@@ -1,0 +1,59 @@
+// Shared measurement protocol and table emitters for the paper benches.
+//
+// Methodology follows §VIII-A / [109]: repeated timed runs with the first
+// run discarded as warmup, means with nonparametric 95% CIs on request, and
+// CSV-style rows that can be fed straight to a plotting script.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace probgraph::bench {
+
+struct Measurement {
+  double mean_seconds = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+  int repetitions = 0;
+};
+
+/// Time `fn` `reps` times (plus one discarded warmup run); returns mean and
+/// bootstrap 95% CI.
+template <typename Fn>
+Measurement measure(Fn&& fn, int reps = 3) {
+  fn();  // warmup (the paper discards the first 1% of measurements)
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  const util::MeanCi ci = util::bootstrap_mean_ci(times);
+  return {ci.mean, ci.lo, ci.hi, reps};
+}
+
+/// Print a header + aligned row helper for paper-shaped tables.
+inline void print_header(const std::string& title, const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+/// Relative count in the paper's sense: approximate / exact (Fig. 4 y-axis).
+inline double relative_count(double approx, double exact) {
+  return exact == 0.0 ? (approx == 0.0 ? 1.0 : 0.0) : approx / exact;
+}
+
+/// Accuracy in the |cnt_PG − cnt_EX| / cnt_EX sense of §VIII-A, reported as
+/// 1 − error so that "0.93" reads as "93% accurate".
+inline double accuracy(double approx, double exact) {
+  if (exact == 0.0) return approx == 0.0 ? 1.0 : 0.0;
+  return 1.0 - std::abs(approx - exact) / exact;
+}
+
+}  // namespace probgraph::bench

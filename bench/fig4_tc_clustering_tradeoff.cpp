@@ -1,0 +1,156 @@
+// Fig. 4: performance / accuracy / memory tradeoffs of ProbGraph for
+// Triangle Counting and Clustering (Jaccard, Overlap, Common Neighbors),
+// on real-world proxies (top panel) and Kronecker graphs (bottom panel).
+//
+// Every data point reports: speedup over the exact tuned baseline (x-axis),
+// relative pattern count (y-axis), and relative additional memory (shade).
+// Schemes: PG(BF) = AND estimator b = 2, PG(MH) = 1-Hash; TC additionally
+// compares the Doulion (sampling) and Colorful baselines, as in the figure.
+//
+// Paper-shape expectations: both PG schemes sit right of 1× with relative
+// counts near 1.0; MH faster but less accurate than BF; relative memory
+// well below 0.25 for almost all points.
+#include <cstdio>
+
+#include "algorithms/clustering.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "baselines/colorful.hpp"
+#include "baselines/doulion.hpp"
+#include "common/harness.hpp"
+#include "common/workloads.hpp"
+#include "graph/orientation.hpp"
+
+namespace pb = probgraph;
+using pb::algo::SimilarityMeasure;
+
+namespace {
+
+constexpr double kBudget = 0.25;
+constexpr std::uint64_t kSeed = 42;
+
+void tc_rows(const pb::bench::Workload& workload) {
+  const pb::CsrGraph g = workload.make();
+  const pb::CsrGraph dag = pb::degree_orient(g);
+
+  double exact_count = 0.0;
+  const auto exact = pb::bench::measure(
+      [&] { exact_count = static_cast<double>(pb::algo::triangle_count_exact_oriented(dag)); });
+
+  auto report = [&](const char* scheme, double seconds, double count, double rel_mem) {
+    std::printf("%-18s %-12s | %8.2fx  %6.3f  %5.2f | %9.4fs\n", workload.name.c_str(),
+                scheme, exact.mean_seconds / seconds, pb::bench::relative_count(count, exact_count),
+                rel_mem, seconds);
+  };
+  report("Exact", exact.mean_seconds, exact_count, 0.0);
+
+  for (const auto kind : {pb::SketchKind::kBloomFilter, pb::SketchKind::kOneHash}) {
+    pb::ProbGraphConfig cfg;
+    cfg.kind = kind;
+    cfg.storage_budget = kBudget;
+    cfg.budget_reference_bytes = g.memory_bytes();
+    cfg.bf_hashes = 2;
+    cfg.seed = kSeed;
+    const pb::ProbGraph pg(dag, cfg);
+    double count = 0.0;
+    const auto timing = pb::bench::measure(
+        [&] { count = pb::algo::triangle_count_probgraph(pg, pb::algo::TcMode::kOriented); });
+    report(kind == pb::SketchKind::kBloomFilter ? "ProbGraph(BF)" : "ProbGraph(MH)",
+           timing.mean_seconds, count, pg.relative_memory());
+  }
+
+  {
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::baselines::doulion_tc(g, 0.1, kSeed).estimate; });
+    report("Doulion p=.1", timing.mean_seconds, count, 0.1);
+  }
+  {
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::baselines::colorful_tc(g, 3, kSeed).estimate; });
+    report("Colorful N=3", timing.mean_seconds, count, 1.0 / 9.0);
+  }
+}
+
+void clustering_rows(const pb::bench::Workload& workload, SimilarityMeasure measure,
+                     double tau) {
+  const pb::CsrGraph g = workload.make();
+
+  std::size_t exact_clusters = 0;
+  const auto exact = pb::bench::measure([&] {
+    exact_clusters = pb::algo::jarvis_patrick_exact(g, measure, tau).num_clusters;
+  });
+
+  std::printf("%-18s %-12s | %8.2fx  %6.3f  %5.2f | %9.4fs\n", workload.name.c_str(),
+              "Exact", 1.0, 1.0, 0.0, exact.mean_seconds);
+
+  for (const auto kind : {pb::SketchKind::kBloomFilter, pb::SketchKind::kOneHash}) {
+    pb::ProbGraphConfig cfg;
+    cfg.kind = kind;
+    cfg.storage_budget = kBudget;
+    cfg.bf_hashes = 2;
+    cfg.seed = kSeed;
+    const pb::ProbGraph pg(g, cfg);
+    std::size_t clusters = 0;
+    const auto timing = pb::bench::measure([&] {
+      clusters = pb::algo::jarvis_patrick_probgraph(pg, measure, tau).num_clusters;
+    });
+    std::printf("%-18s %-12s | %8.2fx  %6.3f  %5.2f | %9.4fs\n", workload.name.c_str(),
+                kind == pb::SketchKind::kBloomFilter ? "ProbGraph(BF)" : "ProbGraph(MH)",
+                exact.mean_seconds / timing.mean_seconds,
+                pb::bench::relative_count(static_cast<double>(clusters),
+                                          static_cast<double>(exact_clusters)),
+                pg.relative_memory(), timing.mean_seconds);
+  }
+}
+
+void run_panel(const char* title, const std::vector<pb::bench::Workload>& suite) {
+  pb::bench::print_header(
+      std::string("Fig. 4 (") + title + "): Triangle Counting",
+      "graph              scheme       |  speedup  relcnt  relmem |      time");
+  for (const auto& w : suite) tc_rows(w);
+
+  const struct {
+    const char* name;
+    SimilarityMeasure measure;
+    double tau;
+  } variants[] = {
+      {"Clustering (Jaccard)", SimilarityMeasure::kJaccard, 0.10},
+      {"Clustering (Overlap)", SimilarityMeasure::kOverlap, 0.30},
+      {"Clustering (Common Neigh.)", SimilarityMeasure::kCommonNeighbors, 3.0},
+  };
+  for (const auto& variant : variants) {
+    pb::bench::print_header(
+        std::string("Fig. 4 (") + title + "): " + variant.name,
+        "graph              scheme       |  speedup  relcnt  relmem |      time");
+    for (const auto& w : suite) clustering_rows(w, variant.measure, variant.tau);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 reproduction: speedup / relative count / relative memory\n");
+  // A compact sub-suite keeps the full bench sweep under control while
+  // covering every density regime of the figure.
+  std::vector<pb::bench::Workload> real;
+  for (auto& w : pb::bench::real_world_suite()) {
+    if (w.name == "bio-CE-PG*" || w.name == "econ-beacxc*" || w.name == "int-citAsPh*" ||
+        w.name == "ch-Si10H16*" || w.name == "dimacs-hat1500*" || w.name == "sc-ThermAB*") {
+      real.push_back(w);
+    }
+  }
+  run_panel("real-world proxies", real);
+
+  std::vector<pb::bench::Workload> kron;
+  for (auto& w : pb::bench::kronecker_suite()) {
+    if (w.name == "kron-s12-e16" || w.name == "kron-s13-e16" || w.name == "kron-s14-e16") {
+      kron.push_back(w);
+    }
+  }
+  run_panel("Kronecker", kron);
+
+  std::printf("\nExpected shape (paper): PG speedups up to tens of x with relcnt near 1;\n"
+              "MH rows faster / less accurate than BF rows; relmem <= ~0.25.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 5: 4-clique counting tradeoffs on real-world proxies and Kronecker
+// graphs. Same axes as Fig. 4: speedup vs the exact reformulated Listing-2
+// algorithm, relative 4-clique count, and relative additional memory.
+//
+// Paper-shape expectations: PG speedups grow with graph density (up to the
+// 50× regime on Kronecker inputs at 32 cores); accuracy stays around 90%;
+// relative memory close to the configured budget.
+#include <cstdio>
+
+#include "algorithms/clique_count.hpp"
+#include "common/harness.hpp"
+#include "common/workloads.hpp"
+#include "graph/orientation.hpp"
+
+namespace pb = probgraph;
+
+namespace {
+
+void rows(const pb::bench::Workload& workload) {
+  const pb::CsrGraph g = workload.make();
+  const pb::CsrGraph dag = pb::degree_orient(g);
+
+  double exact_count = 0.0;
+  const auto exact = pb::bench::measure([&] {
+    exact_count = static_cast<double>(pb::algo::four_clique_count_exact_oriented(dag));
+  });
+  std::printf("%-18s %-14s | %8.2fx  %6.3f  %5.2f | %9.4fs\n", workload.name.c_str(),
+              "Exact", 1.0, 1.0, 0.0, exact.mean_seconds);
+
+  for (const auto kind : {pb::SketchKind::kBloomFilter, pb::SketchKind::kOneHash}) {
+    pb::ProbGraphConfig cfg;
+    cfg.kind = kind;
+    // Fig. 5's caption: "Relative memory: all data points are close to 1.0"
+    // — 4CC compounds three approximations, so the paper provisions the
+    // sketches at parity with the CSR itself.
+    cfg.storage_budget = 1.0;
+    cfg.budget_reference_bytes = g.memory_bytes();
+    cfg.bf_hashes = 2;
+    cfg.seed = 42;
+    const pb::ProbGraph pg(dag, cfg);
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::algo::four_clique_count_probgraph(pg); });
+    std::printf("%-18s %-14s | %8.2fx  %6.3f  %5.2f | %9.4fs\n", workload.name.c_str(),
+                kind == pb::SketchKind::kBloomFilter ? "ProbGraph(BF)" : "ProbGraph(MH)",
+                exact.mean_seconds / timing.mean_seconds,
+                pb::bench::relative_count(count, exact_count), pg.relative_memory(),
+                timing.mean_seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5 reproduction: 4-clique counting\n");
+  pb::bench::print_header(
+      "Fig. 5 (real-world proxies)",
+      "graph              scheme         |  speedup  relcnt  relmem |      time");
+  for (const auto& w : pb::bench::real_world_suite()) {
+    // The densest proxies make the exact 4CC baseline dominate bench time.
+    if (w.name == "dimacs-hat1500*" || w.name == "bn-mouse-brain1*" ||
+        w.name == "econ-beacxc*") {
+      continue;
+    }
+    rows(w);
+  }
+  pb::bench::print_header(
+      "Fig. 5 (Kronecker)",
+      "graph              scheme         |  speedup  relcnt  relmem |      time");
+  for (const auto& w : pb::bench::kronecker_suite()) {
+    if (w.name == "kron-s12-e16" || w.name == "kron-s13-e16") rows(w);
+  }
+  std::printf("\nExpected shape (paper): PG right of 1x with relcnt near 1.0;\n"
+              "MH faster than BF; accuracy around 0.9 for most points.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Fig. 6: per-graph bar plots for Triangle Counting — speedup, relative
+// count, and relative memory of every compared scheme: ProbGraph (BF, MH),
+// the guarantee-backed baselines (Doulion, Colorful), the heuristics
+// without guarantees (Reduced Execution, Partial Graph Processing,
+// AutoApprox1/2), and the exact baseline.
+//
+// Paper-shape expectations: PG bars dominate the heuristics on accuracy by
+// 25–75 percentage points; the AutoApprox schemes are slower than exact
+// (vertex-centric message materialization); heuristics need no extra
+// memory; PG stays within the storage budget.
+#include <cstdio>
+
+#include "algorithms/triangle_count.hpp"
+#include "baselines/colorful.hpp"
+#include "baselines/doulion.hpp"
+#include "baselines/heuristics.hpp"
+#include "common/harness.hpp"
+#include "common/workloads.hpp"
+#include "graph/orientation.hpp"
+
+namespace pb = probgraph;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+void bench_graph(const pb::bench::Workload& workload) {
+  const pb::CsrGraph g = workload.make();
+  const pb::CsrGraph dag = pb::degree_orient(g);
+
+  double exact_count = 0.0;
+  const auto exact = pb::bench::measure([&] {
+    exact_count = static_cast<double>(pb::algo::triangle_count_exact_oriented(dag));
+  });
+
+  auto row = [&](const char* scheme, double seconds, double count, double rel_mem) {
+    std::printf("  %-18s | speedup %7.2fx | relcnt %6.3f | accuracy %6.1f%% | relmem %5.2f\n",
+                scheme, exact.mean_seconds / seconds,
+                pb::bench::relative_count(count, exact_count),
+                100.0 * pb::bench::accuracy(count, exact_count), rel_mem);
+  };
+
+  std::printf("%s  (n=%u, m=%llu, TC=%.0f)\n", workload.name.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), exact_count);
+  row("Exact", exact.mean_seconds, exact_count, 0.0);
+
+  // The paper recommends b ∈ {1, 2} (§VIII-G); report both BF settings.
+  const struct {
+    const char* label;
+    pb::SketchKind kind;
+    std::uint32_t b;
+  } pg_schemes[] = {{"ProbGraph(BF b=1)", pb::SketchKind::kBloomFilter, 1},
+                    {"ProbGraph(BF b=2)", pb::SketchKind::kBloomFilter, 2},
+                    {"ProbGraph(MH)", pb::SketchKind::kOneHash, 1}};
+  for (const auto& scheme : pg_schemes) {
+    pb::ProbGraphConfig cfg;
+    cfg.kind = scheme.kind;
+    cfg.storage_budget = 0.25;
+    cfg.budget_reference_bytes = g.memory_bytes();
+    cfg.bf_hashes = scheme.b;
+    cfg.seed = kSeed;
+    const pb::ProbGraph pg(dag, cfg);
+    double count = 0.0;
+    const auto timing = pb::bench::measure(
+        [&] { count = pb::algo::triangle_count_probgraph(pg, pb::algo::TcMode::kOriented); });
+    row(scheme.label, timing.mean_seconds, count, pg.relative_memory());
+  }
+
+  {
+    double count = 0.0;
+    const auto timing = pb::bench::measure(
+        [&] { count = pb::baselines::reduced_execution_tc(g, 4); });
+    row("ReducedExec 1/4", timing.mean_seconds, count, 0.0);
+  }
+  {
+    double count = 0.0;
+    const auto timing = pb::bench::measure(
+        [&] { count = pb::baselines::partial_processing_tc(g, 0.5, kSeed); });
+    row("PartialProc .5", timing.mean_seconds, count, 0.0);
+  }
+  {
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::baselines::auto_approx1_tc(g, kSeed); });
+    row("AutoApprox1", timing.mean_seconds, count, 0.0);
+  }
+  {
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::baselines::auto_approx2_tc(g, kSeed); });
+    row("AutoApprox2", timing.mean_seconds, count, 0.0);
+  }
+  {
+    double count = 0.0;
+    const auto timing = pb::bench::measure(
+        [&] { count = pb::baselines::doulion_tc(g, 0.25, kSeed).estimate; });
+    row("Doulion p=.25", timing.mean_seconds, count, 0.25);
+  }
+  {
+    double count = 0.0;
+    const auto timing =
+        pb::bench::measure([&] { count = pb::baselines::colorful_tc(g, 2, kSeed).estimate; });
+    row("Colorful N=2", timing.mean_seconds, count, 0.25);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 6 reproduction: Triangle Counting, all schemes, per graph\n\n");
+  for (const auto& w : pb::bench::real_world_suite()) bench_graph(w);
+  std::printf("Expected shape (paper): PG accuracy above every heuristic (by 25-75 pts\n"
+              "on hard graphs); AutoApprox slower than Exact; heuristics relmem = 0.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Table IV: work/depth of the |N_u ∩ N_v| primitives, validated
+// empirically — latency of CSR merge (O(du + dv)), CSR galloping
+// (O(du log dv)), BF bitwise AND (O(B/W)), and MinHash intersections (O(k))
+// across neighborhood-size shapes.
+//
+// Paper-shape expectations: merge scales with du + dv and galloping wins
+// when dv >> du; the BF/MinHash kernels are size-independent (fixed B or
+// k), which is exactly the load-balancing argument of Fig. 1 panel 5.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bloom_filter.hpp"
+#include "core/intersect.hpp"
+#include "core/minhash.hpp"
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace pb = probgraph;
+
+namespace {
+
+std::vector<pb::VertexId> random_sorted_set(std::size_t size, pb::VertexId universe,
+                                            std::uint64_t seed) {
+  pb::util::Xoshiro256 rng(seed);
+  std::vector<pb::VertexId> out;
+  out.reserve(size);
+  std::vector<bool> used(universe, false);
+  while (out.size() < size) {
+    const auto v = static_cast<pb::VertexId>(rng.bounded(universe));
+    if (!used[v]) {
+      used[v] = true;
+      out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BM_CsrMerge(benchmark::State& state) {
+  const auto du = static_cast<std::size_t>(state.range(0));
+  const auto dv = static_cast<std::size_t>(state.range(1));
+  const auto x = random_sorted_set(du, 1 << 20, 1);
+  const auto y = random_sorted_set(dv, 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::intersect_size_merge(x, y));
+  }
+}
+
+void BM_CsrGallop(benchmark::State& state) {
+  const auto du = static_cast<std::size_t>(state.range(0));
+  const auto dv = static_cast<std::size_t>(state.range(1));
+  const auto x = random_sorted_set(du, 1 << 20, 1);
+  const auto y = random_sorted_set(dv, 1 << 20, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::intersect_size_gallop(x, y));
+  }
+}
+
+void BM_BloomAnd(benchmark::State& state) {
+  const auto du = static_cast<std::size_t>(state.range(0));
+  const auto dv = static_cast<std::size_t>(state.range(1));
+  const std::uint64_t bits = 4096;  // fixed B regardless of du, dv
+  pb::BloomFilter bx(bits, 2, 1), by(bits, 2, 1);
+  bx.insert(random_sorted_set(du, 1 << 20, 1));
+  by.insert(random_sorted_set(dv, 1 << 20, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::util::and_popcount(bx.view().words(), by.view().words()));
+  }
+}
+
+void BM_OneHash(benchmark::State& state) {
+  const auto du = static_cast<std::size_t>(state.range(0));
+  const auto dv = static_cast<std::size_t>(state.range(1));
+  pb::OneHashSketch sx(64, 1), sy(64, 1);
+  sx.build(random_sorted_set(du, 1 << 20, 1));
+  sy.build(random_sorted_set(dv, 1 << 20, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pb::OneHashSketch::intersection_size(sx.entries(), sy.entries(), 64));
+  }
+}
+
+void BM_KHash(benchmark::State& state) {
+  const auto du = static_cast<std::size_t>(state.range(0));
+  const auto dv = static_cast<std::size_t>(state.range(1));
+  pb::KHashSketch sx(64, 1), sy(64, 1);
+  sx.build(random_sorted_set(du, 1 << 20, 1));
+  sy.build(random_sorted_set(dv, 1 << 20, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pb::KHashSketch::matching_slots(sx.slots(), sy.slots()));
+  }
+}
+
+void shapes(benchmark::internal::Benchmark* b) {
+  // Balanced, skewed, and very skewed neighborhood pairs.
+  b->Args({64, 64})->Args({512, 512})->Args({4096, 4096});
+  b->Args({64, 4096})->Args({64, 65536})->Args({512, 65536});
+}
+
+BENCHMARK(BM_CsrMerge)->Apply(shapes);
+BENCHMARK(BM_CsrGallop)->Apply(shapes);
+BENCHMARK(BM_BloomAnd)->Apply(shapes);
+BENCHMARK(BM_OneHash)->Apply(shapes);
+BENCHMARK(BM_KHash)->Apply(shapes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table VI: work advantages of ProbGraph-enhanced algorithms, validated
+// empirically — exact TC work is O(n·d̄²) while PG(BF) is O(n·d̄·B/W) and
+// PG(MH) is O(n·d̄·k), so when the average degree doubles at fixed n, the
+// exact runtime should grow ~4x while the PG runtimes grow ~2x.
+#include <cstdio>
+
+#include "algorithms/triangle_count.hpp"
+#include "common/harness.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+
+namespace pb = probgraph;
+
+int main() {
+  std::printf("Table VI reproduction: runtime scaling in average degree (n = 2^13 fixed)\n");
+  pb::bench::print_header(
+      "Triangle Counting runtime vs d̄",
+      "   m/n |     Exact    growth |    PG(BF)    growth |    PG(1H)    growth");
+
+  double prev_exact = 0.0, prev_bf = 0.0, prev_oh = 0.0;
+  for (const double ef : {8.0, 16.0, 32.0, 64.0}) {
+    const pb::CsrGraph g = pb::gen::kronecker(13, ef, 11);
+    const pb::CsrGraph dag = pb::degree_orient(g);
+
+    const auto exact = pb::bench::measure(
+        [&] { (void)pb::algo::triangle_count_exact_oriented(dag); });
+
+    pb::ProbGraphConfig bf_cfg;
+    bf_cfg.bf_bits = 1024;  // fixed sketch size across the sweep
+    bf_cfg.bf_hashes = 2;
+    const pb::ProbGraph pg_bf(dag, bf_cfg);
+    const auto bf = pb::bench::measure(
+        [&] { (void)pb::algo::triangle_count_probgraph(pg_bf); });
+
+    pb::ProbGraphConfig oh_cfg;
+    oh_cfg.kind = pb::SketchKind::kOneHash;
+    oh_cfg.minhash_k = 32;
+    const pb::ProbGraph pg_oh(dag, oh_cfg);
+    const auto oh = pb::bench::measure(
+        [&] { (void)pb::algo::triangle_count_probgraph(pg_oh); });
+
+    auto growth = [](double cur, double prev) { return prev == 0.0 ? 0.0 : cur / prev; };
+    std::printf("%6.0f | %9.4f  %6.2fx | %9.4f  %6.2fx | %9.4f  %6.2fx\n",
+                static_cast<double>(g.num_directed_edges()) / g.num_vertices(),
+                exact.mean_seconds, growth(exact.mean_seconds, prev_exact), bf.mean_seconds,
+                growth(bf.mean_seconds, prev_bf), oh.mean_seconds,
+                growth(oh.mean_seconds, prev_oh));
+    prev_exact = exact.mean_seconds;
+    prev_bf = bf.mean_seconds;
+    prev_oh = oh.mean_seconds;
+  }
+  std::printf("\nExpected shape (paper): the Exact growth column approaches ~4x per\n"
+              "degree doubling (work n·d̄²); the PG columns approach ~2x (work n·d̄·B/W\n"
+              "and n·d̄·k with B, k fixed).\n");
+  return 0;
+}

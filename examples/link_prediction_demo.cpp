@@ -1,0 +1,58 @@
+// Link prediction on an evolving collaboration network (paper Listing 5
+// and §III: "predicting whether two non-adjacent vertices can become
+// connected in the future").
+//
+// A fraction of the edges is hidden; every candidate pair is scored by a
+// vertex-similarity scheme; the top-scored pairs are the predicted future
+// links; effectiveness = |E_predict ∩ E_rndm|. We compare exact scoring
+// against ProbGraph scoring across similarity measures and representations.
+//
+//   $ ./example_link_prediction_demo
+#include <cstdio>
+
+#include "algorithms/link_prediction.hpp"
+#include "graph/generators.hpp"
+
+using namespace probgraph;
+
+int main() {
+  // A small-world collaboration graph: cliquish neighborhoods make hidden
+  // intra-cluster edges recoverable from shared neighbors.
+  const CsrGraph g = gen::watts_strogatz(6000, 12, 0.15, 3);
+  std::printf("collaboration network: n=%u, m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  algo::LinkPredictionConfig lp;
+  lp.removal_fraction = 0.05;
+  lp.seed = 17;
+
+  std::printf("\n%-22s %-10s | %9s %9s %12s\n", "measure", "scorer", "hits", "removed",
+              "scoring time");
+  for (const auto measure :
+       {algo::SimilarityMeasure::kCommonNeighbors, algo::SimilarityMeasure::kJaccard,
+        algo::SimilarityMeasure::kAdamicAdar}) {
+    lp.measure = measure;
+
+    const auto exact = algo::link_prediction_exact(g, lp);
+    std::printf("%-22s %-10s | %9llu %9llu %11.4fs\n", algo::to_string(measure), "exact",
+                static_cast<unsigned long long>(exact.hits),
+                static_cast<unsigned long long>(exact.num_removed), exact.scoring_seconds);
+
+    for (const auto kind : {SketchKind::kBloomFilter, SketchKind::kOneHash}) {
+      ProbGraphConfig pg_cfg;
+      pg_cfg.kind = kind;
+      pg_cfg.storage_budget = 0.33;
+      pg_cfg.bf_hashes = 2;
+      const auto approx = algo::link_prediction_probgraph(g, lp, pg_cfg);
+      std::printf("%-22s %-10s | %9llu %9llu %11.4fs\n", algo::to_string(measure),
+                  kind == SketchKind::kBloomFilter ? "PG(BF)" : "PG(1H)",
+                  static_cast<unsigned long long>(approx.hits),
+                  static_cast<unsigned long long>(approx.num_removed),
+                  approx.scoring_seconds);
+    }
+  }
+  std::printf("\nEffectiveness = hits / removed; ProbGraph scorers should recover a\n"
+              "hit count close to exact scoring at a fraction of the scoring cost on\n"
+              "large candidate sets.\n");
+  return 0;
+}

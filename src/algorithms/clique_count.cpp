@@ -1,0 +1,148 @@
+#include "algorithms/clique_count.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/estimators.hpp"
+#include "core/intersect.hpp"
+#include "graph/orientation.hpp"
+#include "util/bitvector.hpp"
+
+namespace probgraph::algo {
+
+std::uint64_t four_clique_count_exact_oriented(const CsrGraph& dag) {
+  const VertexId n = dag.num_vertices();
+  std::uint64_t total = 0;
+#pragma omp parallel reduction(+ : total)
+  {
+    std::vector<VertexId> c3;  // per-thread scratch for C3 = N+u ∩ N+v
+#pragma omp for schedule(dynamic, 32)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+      const auto nu = dag.neighbors(static_cast<VertexId>(u));
+      for (const VertexId v : nu) {
+        c3.clear();
+        intersect_into(nu, dag.neighbors(v), c3);
+        for (const VertexId w : c3) {
+          total += intersect_size_merge(dag.neighbors(w), {c3.data(), c3.size()});
+        }
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t four_clique_count_exact(const CsrGraph& g) {
+  return four_clique_count_exact_oriented(degree_orient(g));
+}
+
+namespace {
+
+double four_clique_bf(const ProbGraph& pg) {
+  const CsrGraph& dag = pg.graph();
+  const VertexId n = dag.num_vertices();
+  const std::uint64_t bits = pg.bf_bits();
+  const std::uint32_t b = pg.config().bf_hashes;
+  double total = 0.0;
+#pragma omp parallel reduction(+ : total)
+  {
+    std::vector<VertexId> c3;
+#pragma omp for schedule(dynamic, 32)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+      const auto bf_u = pg.bf(static_cast<VertexId>(u));
+      const auto wu = pg.bf_words(static_cast<VertexId>(u));
+      for (const VertexId v : dag.neighbors(static_cast<VertexId>(u))) {
+        // Approximate C3 membership list: elements of N+v inside BF(N+u).
+        c3.clear();
+        for (const VertexId x : dag.neighbors(v)) {
+          if (bf_u.contains(x)) c3.push_back(x);
+        }
+        if (c3.empty()) continue;
+        const auto wv = pg.bf_words(v);
+        for (const VertexId w : c3) {
+          const std::uint64_t ones = util::and3_popcount(wu, wv, pg.bf_words(w));
+          total += est::bf_intersection_and(ones, bits, b);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+/// Extract the enumerable sampled common elements of two MinHash sketches
+/// plus the Jaccard estimate. Returns the estimate of |N+u ∩ N+v|.
+double sampled_common(const ProbGraph& pg, VertexId u, VertexId v,
+                      std::vector<VertexId>& out) {
+  const CsrGraph& g = pg.graph();
+  out.clear();
+  double j = 0.0;
+  if (pg.kind() == SketchKind::kOneHash) {
+    const auto a = pg.onehash_entries(u);
+    const auto b = pg.onehash_entries(v);
+    OneHashSketch::intersect_elements(a, b, pg.minhash_k(), out);
+    j = OneHashSketch::jaccard_from_spans(a, b, pg.minhash_k());
+  } else {  // kKHash
+    const auto a = pg.khash_signature(u);
+    const auto bsig = pg.khash_signature(v);
+    std::uint32_t matches = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != kEmptySlot && a[i] == bsig[i]) {
+        ++matches;
+        out.push_back(static_cast<VertexId>(a[i]));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    j = static_cast<double>(matches) / static_cast<double>(pg.minhash_k());
+  }
+  std::sort(out.begin(), out.end());
+  return est::mh_intersection(j, static_cast<double>(g.degree(u)),
+                              static_cast<double>(g.degree(v)));
+}
+
+double four_clique_mh(const ProbGraph& pg) {
+  const CsrGraph& dag = pg.graph();
+  const VertexId n = dag.num_vertices();
+  double total = 0.0;
+#pragma omp parallel reduction(+ : total)
+  {
+    std::vector<VertexId> c3s;
+#pragma omp for schedule(dynamic, 32)
+    for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
+      for (const VertexId v : dag.neighbors(static_cast<VertexId>(u))) {
+        const double est_c3 = sampled_common(pg, static_cast<VertexId>(u), v, c3s);
+        if (c3s.empty() || est_c3 <= 0.0) continue;
+        // Inverse sampling fraction; C3s can exceed the estimate on small
+        // sets, in which case the sample is effectively exhaustive.
+        const double inv_p =
+            std::max(1.0, est_c3 / static_cast<double>(c3s.size()));
+        double inner = 0.0;
+        for (const VertexId w : c3s) {
+          inner += static_cast<double>(
+              intersect_size_merge(dag.neighbors(w), {c3s.data(), c3s.size()}));
+        }
+        total += inv_p * inv_p * inner;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double four_clique_count_probgraph(const ProbGraph& pg) {
+  switch (pg.kind()) {
+    case SketchKind::kBloomFilter:
+      return four_clique_bf(pg);
+    case SketchKind::kKHash:
+    case SketchKind::kOneHash:
+      return four_clique_mh(pg);
+    case SketchKind::kKmv:
+      throw std::invalid_argument(
+          "four_clique_count_probgraph: KMV sketches cannot enumerate C3 "
+          "(store hash values, not elements); use BF or MinHash");
+  }
+  return 0.0;
+}
+
+}  // namespace probgraph::algo

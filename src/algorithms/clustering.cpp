@@ -1,0 +1,63 @@
+#include "algorithms/clustering.hpp"
+
+#include <cstdint>
+
+#include "algorithms/connected_components.hpp"
+
+namespace probgraph::algo {
+
+namespace {
+
+/// Shared driver: evaluate `sim(v, u)` over every undirected edge (v < u),
+/// mark keepers in parallel, then union sequentially.
+template <typename SimFn>
+ClusteringResult cluster_with(const CsrGraph& g, double tau, SimFn&& sim) {
+  const VertexId n = g.num_vertices();
+  const auto offsets = g.offsets();
+  const auto adj = g.adjacency();
+
+  // keep[i] flags the i-th directed edge slot (only v<u slots are used).
+  std::vector<std::uint8_t> keep(adj.size(), 0);
+  std::uint64_t kept = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : kept)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    for (EdgeId i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId u = adj[i];
+      if (u <= static_cast<VertexId>(v)) continue;
+      if (sim(static_cast<VertexId>(v), u) > tau) {
+        keep[i] = 1;
+        ++kept;
+      }
+    }
+  }
+
+  UnionFind uf(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeId i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (keep[i]) uf.unite(v, adj[i]);
+    }
+  }
+  ClusteringResult result;
+  result.num_clusters = uf.num_sets();
+  result.kept_edges = kept;
+  result.labels = uf.labels();
+  return result;
+}
+
+}  // namespace
+
+ClusteringResult jarvis_patrick_exact(const CsrGraph& g, SimilarityMeasure measure,
+                                      double tau) {
+  return cluster_with(g, tau, [&](VertexId v, VertexId u) {
+    return similarity_exact(g, v, u, measure);
+  });
+}
+
+ClusteringResult jarvis_patrick_probgraph(const ProbGraph& pg, SimilarityMeasure measure,
+                                          double tau) {
+  return cluster_with(pg.graph(), tau, [&](VertexId v, VertexId u) {
+    return similarity_probgraph(pg, v, u, measure);
+  });
+}
+
+}  // namespace probgraph::algo

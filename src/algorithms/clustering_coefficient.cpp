@@ -1,0 +1,60 @@
+#include "algorithms/clustering_coefficient.hpp"
+
+#include <algorithm>
+
+#include "core/intersect.hpp"
+
+namespace probgraph::algo {
+
+double cohesion(double tc, std::uint64_t num_vertices) noexcept {
+  if (num_vertices < 3) return 0.0;
+  const double n = static_cast<double>(num_vertices);
+  const double triples = n * (n - 1.0) * (n - 2.0) / 6.0;
+  return tc / triples;
+}
+
+double global_clustering_coefficient(const CsrGraph& g, double tc) noexcept {
+  double wedges = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double d = static_cast<double>(g.degree(v));
+    wedges += d * (d - 1.0) / 2.0;
+  }
+  return wedges == 0.0 ? 0.0 : 3.0 * tc / wedges;
+}
+
+std::vector<double> local_clustering_exact(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> cc(n, 0.0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    const auto nv = g.neighbors(static_cast<VertexId>(v));
+    const double d = static_cast<double>(nv.size());
+    if (d < 2.0) continue;
+    std::uint64_t closed = 0;  // counts each triangle through v twice
+    for (const VertexId u : nv) {
+      closed += intersect_size_merge(nv, g.neighbors(u));
+    }
+    cc[v] = static_cast<double>(closed) / (d * (d - 1.0));
+  }
+  return cc;
+}
+
+std::vector<double> local_clustering_probgraph(const ProbGraph& pg) {
+  const CsrGraph& g = pg.graph();
+  const VertexId n = g.num_vertices();
+  std::vector<double> cc(n, 0.0);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    const auto nv = g.neighbors(static_cast<VertexId>(v));
+    const double d = static_cast<double>(nv.size());
+    if (d < 2.0) continue;
+    double closed = 0.0;
+    for (const VertexId u : nv) {
+      closed += pg.est_intersection(static_cast<VertexId>(v), u);
+    }
+    cc[v] = std::clamp(closed / (d * (d - 1.0)), 0.0, 1.0);
+  }
+  return cc;
+}
+
+}  // namespace probgraph::algo

@@ -1,0 +1,31 @@
+// Triangle-derived network statistics (paper §III-A, "Real-World
+// Applications"): network cohesion TC[S]/C(|S|,3), the global clustering
+// coefficient 3·TC/#wedges, and per-vertex local clustering coefficients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prob_graph.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::algo {
+
+/// Network cohesion of the whole graph: TC / C(n, 3) (§III-A). `tc` is a
+/// triangle count obtained from any of the TC routines.
+[[nodiscard]] double cohesion(double tc, std::uint64_t num_vertices) noexcept;
+
+/// Global clustering coefficient 3·TC / #wedges, where
+/// #wedges = Σ_v d_v(d_v − 1)/2.
+[[nodiscard]] double global_clustering_coefficient(const CsrGraph& g, double tc) noexcept;
+
+/// Exact per-vertex local clustering coefficients:
+/// cc(v) = #triangles through v / C(d_v, 2). O(Σ_v d_v · d̄) work.
+[[nodiscard]] std::vector<double> local_clustering_exact(const CsrGraph& g);
+
+/// ProbGraph local clustering coefficients: triangles through v are
+/// estimated as ½·Σ_{u∈N_v} est|N_v ∩ N_u|. `pg` must be built over `g`.
+[[nodiscard]] std::vector<double> local_clustering_probgraph(const ProbGraph& pg);
+
+}  // namespace probgraph::algo

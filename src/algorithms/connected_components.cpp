@@ -1,0 +1,54 @@
+#include "algorithms/connected_components.hpp"
+
+#include <numeric>
+
+namespace probgraph::algo {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), VertexId{0});
+}
+
+VertexId UnionFind::find(VertexId x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(VertexId a, VertexId b) noexcept {
+  VertexId ra = find(a);
+  VertexId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<VertexId> UnionFind::labels() {
+  std::vector<VertexId> label(parent_.size(), 0);
+  std::vector<VertexId> remap(parent_.size(), static_cast<VertexId>(-1));
+  VertexId next = 0;
+  for (VertexId v = 0; v < parent_.size(); ++v) {
+    const VertexId root = find(v);
+    if (remap[root] == static_cast<VertexId>(-1)) remap[root] = next++;
+    label[v] = remap[root];
+  }
+  return label;
+}
+
+std::vector<VertexId> connected_components(const CsrGraph& g, std::size_t* num_components) {
+  UnionFind uf(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) uf.unite(v, u);
+    }
+  }
+  if (num_components != nullptr) *num_components = uf.num_sets();
+  return uf.labels();
+}
+
+}  // namespace probgraph::algo

@@ -1,0 +1,42 @@
+// Union-find and connected components: the substrate of Jarvis–Patrick
+// cluster extraction (the kept-edge set C of Listing 4 induces clusters as
+// the connected components of (V, C)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/types.hpp"
+
+namespace probgraph::algo {
+
+/// Union-find with union-by-size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set (with path halving).
+  [[nodiscard]] VertexId find(VertexId x) noexcept;
+
+  /// Merge the sets of a and b; returns true if they were distinct.
+  bool unite(VertexId a, VertexId b) noexcept;
+
+  /// Number of disjoint sets.
+  [[nodiscard]] std::size_t num_sets() const noexcept { return num_sets_; }
+
+  /// Compact labels in [0, num_sets): vertices in the same set share a label.
+  [[nodiscard]] std::vector<VertexId> labels();
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+  std::size_t num_sets_;
+};
+
+/// Connected components of an undirected CSR graph; returns per-vertex
+/// compact labels and writes the component count to `num_components`.
+[[nodiscard]] std::vector<VertexId> connected_components(const CsrGraph& g,
+                                                         std::size_t* num_components = nullptr);
+
+}  // namespace probgraph::algo

@@ -1,0 +1,117 @@
+#include "algorithms/link_prediction.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace probgraph::algo {
+
+namespace {
+
+std::uint64_t pack_pair(VertexId a, VertexId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct Split {
+  CsrGraph sparse;
+  std::unordered_set<std::uint64_t> removed;  // E_rndm as packed pairs
+};
+
+/// E_sparse = E \ E_rndm with E_rndm a uniform sample of the edges.
+Split split_graph(const CsrGraph& g, double removal_fraction, std::uint64_t seed) {
+  std::vector<Edge> all_edges;
+  all_edges.reserve(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v) all_edges.emplace_back(v, u);
+    }
+  }
+  util::Xoshiro256 rng(seed);
+  // Partial Fisher–Yates: move the sampled edges to the back.
+  const auto remove_count = static_cast<std::size_t>(
+      removal_fraction * static_cast<double>(all_edges.size()));
+  Split split;
+  for (std::size_t i = 0; i < remove_count; ++i) {
+    const std::size_t j = i + rng.bounded(all_edges.size() - i);
+    std::swap(all_edges[i], all_edges[j]);
+    split.removed.insert(pack_pair(all_edges[i].first, all_edges[i].second));
+  }
+  std::vector<Edge> kept(all_edges.begin() + static_cast<std::ptrdiff_t>(remove_count),
+                         all_edges.end());
+  split.sparse = GraphBuilder::from_edges(std::move(kept), g.num_vertices());
+  return split;
+}
+
+struct ScoredPair {
+  std::uint64_t pair;
+  double score;
+};
+
+/// Enumerate distance-2 non-adjacent candidate pairs of `sparse` and score
+/// them with `score_fn`. Returns the result assembled per Listing 5.
+template <typename ScoreFn>
+LinkPredictionResult run(const CsrGraph& sparse,
+                         const std::unordered_set<std::uint64_t>& removed,
+                         ScoreFn&& score_fn) {
+  LinkPredictionResult result;
+  result.num_removed = removed.size();
+  if (removed.empty()) return result;
+
+  // Candidate generation: wedges a - v - b with {a,b} not an edge.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<ScoredPair> scored;
+  util::Timer timer;
+  for (VertexId v = 0; v < sparse.num_vertices(); ++v) {
+    const auto nv = sparse.neighbors(v);
+    for (std::size_t i = 0; i < nv.size(); ++i) {
+      for (std::size_t j = i + 1; j < nv.size(); ++j) {
+        const VertexId a = nv[i], b = nv[j];
+        const std::uint64_t key = pack_pair(a, b);
+        if (!seen.insert(key).second) continue;
+        if (sparse.has_edge(a, b)) continue;
+        scored.push_back({key, score_fn(a, b)});
+      }
+    }
+  }
+  result.scoring_seconds = timer.seconds();
+  result.num_candidates = scored.size();
+
+  // E_predict: the |E_rndm| top-scored pairs.
+  const std::size_t top = std::min<std::size_t>(removed.size(), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(top),
+                    scored.end(),
+                    [](const ScoredPair& x, const ScoredPair& y) { return x.score > y.score; });
+  for (std::size_t i = 0; i < top; ++i) {
+    if (removed.contains(scored[i].pair)) ++result.hits;
+  }
+  result.effectiveness =
+      static_cast<double>(result.hits) / static_cast<double>(removed.size());
+  return result;
+}
+
+}  // namespace
+
+LinkPredictionResult link_prediction_exact(const CsrGraph& g,
+                                           const LinkPredictionConfig& config) {
+  const Split split = split_graph(g, config.removal_fraction, config.seed);
+  return run(split.sparse, split.removed, [&](VertexId a, VertexId b) {
+    return similarity_exact(split.sparse, a, b, config.measure);
+  });
+}
+
+LinkPredictionResult link_prediction_probgraph(const CsrGraph& g,
+                                               const LinkPredictionConfig& config,
+                                               const ProbGraphConfig& pg_config) {
+  const Split split = split_graph(g, config.removal_fraction, config.seed);
+  const ProbGraph pg(split.sparse, pg_config);
+  return run(split.sparse, split.removed, [&](VertexId a, VertexId b) {
+    return similarity_probgraph(pg, a, b, config.measure);
+  });
+}
+
+}  // namespace probgraph::algo

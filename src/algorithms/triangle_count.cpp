@@ -1,0 +1,61 @@
+#include "algorithms/triangle_count.hpp"
+
+#include "core/intersect.hpp"
+#include "graph/orientation.hpp"
+
+namespace probgraph::algo {
+
+namespace {
+
+template <typename Kernel>
+std::uint64_t tc_oriented_loop(const CsrGraph& dag, Kernel&& kernel) {
+  const VertexId n = dag.num_vertices();
+  std::uint64_t total = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    const auto nv = dag.neighbors(static_cast<VertexId>(v));
+    std::uint64_t local = 0;
+    for (const VertexId u : nv) {
+      local += kernel(nv, dag.neighbors(u));
+    }
+    total += local;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t triangle_count_exact_oriented(const CsrGraph& dag, ExactIntersect kernel) {
+  switch (kernel) {
+    case ExactIntersect::kMerge:
+      return tc_oriented_loop(dag, [](auto a, auto b) { return intersect_size_merge(a, b); });
+    case ExactIntersect::kGallop:
+      return tc_oriented_loop(dag, [](auto a, auto b) { return intersect_size_gallop(a, b); });
+    case ExactIntersect::kAdaptive:
+      return tc_oriented_loop(dag,
+                              [](auto a, auto b) { return intersect_size_adaptive(a, b); });
+  }
+  return 0;
+}
+
+std::uint64_t triangle_count_exact(const CsrGraph& g, ExactIntersect kernel) {
+  return triangle_count_exact_oriented(degree_orient(g), kernel);
+}
+
+double triangle_count_probgraph(const ProbGraph& pg, TcMode mode) {
+  const CsrGraph& g = pg.graph();
+  const VertexId n = g.num_vertices();
+  double total = 0.0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    double local = 0.0;
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      if (mode == TcMode::kFull && u <= static_cast<VertexId>(v)) continue;
+      local += pg.est_intersection(static_cast<VertexId>(v), u);
+    }
+    total += local;
+  }
+  return mode == TcMode::kFull ? total / 3.0 : total;
+}
+
+}  // namespace probgraph::algo

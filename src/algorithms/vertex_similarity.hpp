@@ -1,0 +1,38 @@
+// Vertex similarity measures (paper Listing 3).
+//
+// All measures reduce to the intersection cardinality |N_u ∩ N_v| (Jaccard,
+// Overlap, Common Neighbors, Total Neighbors) or to a weighted sum over the
+// common neighbors (Adamic-Adar, Resource Allocation). Exact versions use
+// merge intersection; ProbGraph versions use the sketch estimators, with
+// the weighted measures handled by BF membership filtering or MinHash
+// sample rescaling (they need the *elements* of the intersection).
+#pragma once
+
+#include <cstdint>
+
+#include "core/prob_graph.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::algo {
+
+enum class SimilarityMeasure : std::uint8_t {
+  kJaccard,             ///< |A∩B| / |A∪B|
+  kOverlap,             ///< |A∩B| / min(|A|, |B|)
+  kCommonNeighbors,     ///< |N_v ∩ N_u|
+  kTotalNeighbors,      ///< |N_v ∪ N_u|
+  kAdamicAdar,          ///< Σ_{w∈N_v∩N_u} 1 / log|N_w|
+  kResourceAllocation,  ///< Σ_{w∈N_v∩N_u} 1 / |N_w|
+};
+
+[[nodiscard]] const char* to_string(SimilarityMeasure m) noexcept;
+
+/// Exact similarity of two vertices under `measure`.
+[[nodiscard]] double similarity_exact(const CsrGraph& g, VertexId u, VertexId v,
+                                      SimilarityMeasure measure);
+
+/// ProbGraph similarity estimate. `pg` must be built over `g` itself (full
+/// neighborhoods, not the DAG).
+[[nodiscard]] double similarity_probgraph(const ProbGraph& pg, VertexId u, VertexId v,
+                                          SimilarityMeasure measure);
+
+}  // namespace probgraph::algo

@@ -1,0 +1,33 @@
+#include "baselines/colorful.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "algorithms/triangle_count.hpp"
+#include "graph/builder.hpp"
+#include "util/hash.hpp"
+
+namespace probgraph::baselines {
+
+ColorfulResult colorful_tc(const CsrGraph& g, std::uint32_t num_colors, std::uint64_t seed) {
+  if (num_colors == 0) throw std::invalid_argument("colorful_tc: need at least one color");
+  auto color = [&](VertexId v) {
+    return util::hash64(v, seed) % num_colors;
+  };
+  std::vector<Edge> mono;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t cv = color(v);
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v && color(u) == cv) mono.emplace_back(v, u);
+    }
+  }
+  ColorfulResult result;
+  result.monochromatic_edges = mono.size();
+  const CsrGraph sub = GraphBuilder::from_edges(std::move(mono), g.num_vertices());
+  const auto tc = algo::triangle_count_exact(sub);
+  result.estimate =
+      static_cast<double>(tc) * static_cast<double>(num_colors) * static_cast<double>(num_colors);
+  return result;
+}
+
+}  // namespace probgraph::baselines

@@ -1,0 +1,25 @@
+// Colorful Triangle Counting (Pagh & Tsourakakis [47]; paper §VIII
+// comparison baseline, representing combinatorial-pruning schemes).
+//
+// Color every vertex uniformly at random with one of N colors; keep only
+// monochromatic edges; a triangle survives iff all three vertices share a
+// color, which happens with probability 1/N². The exact triangle count of
+// the monochromatic subgraph times N² is an unbiased estimator with
+// polynomial concentration (Table VII row "Colorful").
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::baselines {
+
+struct ColorfulResult {
+  double estimate = 0.0;
+  std::uint64_t monochromatic_edges = 0;
+};
+
+[[nodiscard]] ColorfulResult colorful_tc(const CsrGraph& g, std::uint32_t num_colors,
+                                         std::uint64_t seed);
+
+}  // namespace probgraph::baselines

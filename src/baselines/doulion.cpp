@@ -1,0 +1,30 @@
+#include "baselines/doulion.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "algorithms/triangle_count.hpp"
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace probgraph::baselines {
+
+DoulionResult doulion_tc(const CsrGraph& g, double p, std::uint64_t seed) {
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("doulion_tc: p must be in (0, 1]");
+  util::Xoshiro256 rng(seed);
+  std::vector<Edge> kept;
+  kept.reserve(static_cast<std::size_t>(p * static_cast<double>(g.num_edges())));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u > v && rng.bernoulli(p)) kept.emplace_back(v, u);
+    }
+  }
+  DoulionResult result;
+  result.sampled_edges = kept.size();
+  const CsrGraph sparse = GraphBuilder::from_edges(std::move(kept), g.num_vertices());
+  const auto tc = algo::triangle_count_exact(sparse);
+  result.estimate = static_cast<double>(tc) / (p * p * p);
+  return result;
+}
+
+}  // namespace probgraph::baselines

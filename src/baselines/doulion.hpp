@@ -1,0 +1,23 @@
+// Doulion [46]: triangle counting "with a coin" (paper §VIII comparison
+// baseline, representing edge-sampling schemes).
+//
+// Keep every edge independently with probability p, count triangles in the
+// sparsified graph exactly, rescale by 1/p³ (a triangle survives iff all
+// three of its edges do). Unbiased, but only polynomial concentration and
+// no MLE structure — see Table VII.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::baselines {
+
+struct DoulionResult {
+  double estimate = 0.0;       ///< 1/p³-rescaled triangle count
+  std::uint64_t sampled_edges = 0;
+};
+
+[[nodiscard]] DoulionResult doulion_tc(const CsrGraph& g, double p, std::uint64_t seed);
+
+}  // namespace probgraph::baselines

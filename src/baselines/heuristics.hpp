@@ -1,0 +1,42 @@
+// Heuristic approximate-TC baselines without quality guarantees (paper
+// §VIII-D): Reduced Execution and Partial Graph Processing of Singh &
+// Nasre [112], and the two Auto-Approximate variants of Shang & Yu [113].
+//
+// The paper's finding — reproduced by `fig6_tc_bars` — is that these
+// heuristics are both less accurate than ProbGraph (by 25–75%) and often
+// slower, with the Auto-Approximate schemes slower than the exact tuned
+// baseline due to their vertex-centric message-passing abstraction. Our
+// AutoApprox implementation honestly emulates that abstraction (materalized
+// per-vertex message buffers) rather than strawmanning it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::baselines {
+
+/// Reduced Execution [112]: run the node-iterator outer loop on every
+/// `step`-th vertex only (loop perforation). Faithful to the original, the
+/// partial count is returned *without* rescaling — these schemes trade
+/// accuracy for time with no statistical correction, which is what the
+/// paper's accuracy-gap comparison measures.
+[[nodiscard]] double reduced_execution_tc(const CsrGraph& g, std::uint32_t step);
+
+/// Partial Graph Processing [112]: intersect per-vertex *subsampled*
+/// neighborhoods (each vertex keeps each neighbor with probability
+/// `fraction`, independently per endpoint). Raw partial count, unrescaled.
+[[nodiscard]] double partial_processing_tc(const CsrGraph& g, double fraction,
+                                           std::uint64_t seed);
+
+/// Auto-Approximate [113], variant 1: vertex-centric TC where each vertex
+/// sends its neighbor list to its higher-rank neighbors, which count
+/// intersections against their own lists; a fixed fraction of messages is
+/// dropped (sample_rate = 0.5). Raw partial count, unrescaled.
+[[nodiscard]] double auto_approx1_tc(const CsrGraph& g, std::uint64_t seed);
+
+/// Auto-Approximate variant 2: more aggressive message sampling
+/// (sample_rate = 0.25).
+[[nodiscard]] double auto_approx2_tc(const CsrGraph& g, std::uint64_t seed);
+
+}  // namespace probgraph::baselines

@@ -1,0 +1,30 @@
+#include "core/bloom_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace probgraph {
+
+BloomFilter::BloomFilter(std::uint64_t bits, std::uint32_t num_hashes, std::uint64_t seed)
+    : bits_(bits), num_hashes_(num_hashes), family_(seed) {
+  if (bits == 0) throw std::invalid_argument("BloomFilter: width must be positive");
+  if (num_hashes == 0) throw std::invalid_argument("BloomFilter: need at least one hash");
+}
+
+void BloomFilter::insert(std::uint64_t x) noexcept {
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    bits_.set(family_(i, x) % bits_.size_bits());
+  }
+}
+
+void BloomFilter::insert(std::span<const VertexId> xs) noexcept {
+  for (const VertexId x : xs) insert(x);
+}
+
+double BloomFilter::false_positive_rate() const noexcept {
+  const double fill =
+      static_cast<double>(count_ones()) / static_cast<double>(bits_.size_bits());
+  return std::pow(fill, static_cast<double>(num_hashes_));
+}
+
+}  // namespace probgraph

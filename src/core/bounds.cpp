@@ -1,0 +1,108 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/special_functions.hpp"
+
+namespace probgraph::bounds {
+
+namespace {
+
+/// Clamp a probability bound to [0, 1] — any RHS above 1 is vacuous but
+/// callers should still get a well-formed probability.
+double clamp_prob(double p) noexcept { return std::clamp(p, 0.0, 1.0); }
+
+}  // namespace
+
+bool bf_and_bound_applicable(double inter_size, double bits, double b) noexcept {
+  return bits > 1.0 && b * inter_size <= 0.499 * bits * std::log(bits);
+}
+
+double bf_and_mse_bound(double inter_size, double bits, double b) noexcept {
+  const double w = inter_size;
+  return std::exp(w * b / (bits - 1.0)) * bits / (b * b) - bits / (b * b) - w / b;
+}
+
+double bf_and_deviation_bound(double inter_size, double bits, double b, double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  return clamp_prob(bf_and_mse_bound(inter_size, bits, b) / (t * t));
+}
+
+double bf_linear_mse_bound(double set_size, double bits, double b, double delta) noexcept {
+  const double w = set_size;
+  const double rate = w * b / bits;
+  const double bias = w - delta * bits * (1.0 - std::exp(-rate));
+  const double var =
+      delta * delta * bits * (std::exp(-rate) - (1.0 + rate) * std::exp(-2.0 * rate));
+  return bias * bias + std::max(0.0, var);
+}
+
+double bf_linear_deviation_bound(double set_size, double bits, double b, double delta,
+                                 double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  return clamp_prob(bf_linear_mse_bound(set_size, bits, b, delta) / (t * t));
+}
+
+double mh_deviation_bound(double size_x, double size_y, double k, double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  const double s = size_x + size_y;
+  if (s <= 0.0) return 0.0;
+  return clamp_prob(2.0 * std::exp(-2.0 * k * t * t / (s * s)));
+}
+
+double tc_bf_deviation_bound(double num_edges, double max_degree, double bits, double b,
+                             double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  const double inner = bf_and_mse_bound(max_degree, bits, b);
+  return clamp_prob(2.0 * num_edges * num_edges * inner / (9.0 * t * t));
+}
+
+double tc_mh_deviation_bound(double sum_deg_sq, double k, double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  if (sum_deg_sq <= 0.0) return 0.0;
+  return clamp_prob(2.0 * std::exp(-18.0 * k * t * t / (sum_deg_sq * sum_deg_sq)));
+}
+
+double tc_mh_deviation_bound_chromatic(double sum_deg_cube, double max_degree, double k,
+                                       double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  if (sum_deg_cube <= 0.0) return 0.0;
+  return clamp_prob(
+      2.0 * std::exp(-9.0 * k * t * t / (4.0 * (max_degree + 1.0) * sum_deg_cube)));
+}
+
+double kmv_size_within_prob(double set_size, double k, double t) noexcept {
+  // The k-th smallest of |X| iid Uniform(0,1] hashes is Beta(k, |X|-k+1).
+  // |est − |X|| <= t  <=>  (k−1)/(|X|+t) <= max(K_X) <= (k−1)/(|X|−t).
+  if (set_size < k) return 1.0;  // sketch unsaturated: estimator is exact
+  const double a = k;
+  const double beta = set_size - k + 1.0;
+  const double upper = (set_size - t <= 0.0)
+                           ? 1.0
+                           : util::reg_inc_beta(a, beta, std::min(1.0, (k - 1.0) / (set_size - t)));
+  const double lower = util::reg_inc_beta(a, beta, std::min(1.0, (k - 1.0) / (set_size + t)));
+  return std::clamp(upper - lower, 0.0, 1.0);
+}
+
+double kmv_intersection_deviation_bound(double size_x, double size_y, double size_union,
+                                        double k, double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  const double px = 1.0 - kmv_size_within_prob(size_x, k, t / 3.0);
+  const double py = 1.0 - kmv_size_within_prob(size_y, k, t / 3.0);
+  const double pu = 1.0 - kmv_size_within_prob(size_union, k, t / 3.0);
+  return clamp_prob(px + py + pu);
+}
+
+double kmv_intersection_deviation_exact(double size_union, double k, double t) noexcept {
+  if (t <= 0.0) return 1.0;
+  return clamp_prob(1.0 - kmv_size_within_prob(size_union, k, t));
+}
+
+double mh_k_for_accuracy(double eps, double delta) noexcept {
+  // Solve 2 exp(−2k eps²) <= delta  =>  k >= ln(2/delta) / (2 eps²),
+  // with t = eps·(|X|+|Y|) absorbed into eps.
+  return std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps));
+}
+
+}  // namespace probgraph::bounds

@@ -1,0 +1,84 @@
+// Quality guarantees: the MSE and concentration bounds of §IV and §VII.
+//
+// Each function evaluates the *right-hand side* of a bound from the paper,
+// i.e. an upper bound on a deviation probability (or on the MSE). They are
+// used by the `table7_estimator_properties` bench to confront the bounds
+// with empirical deviation rates, and exposed publicly so that users can
+// size sketches for a target accuracy.
+//
+//   bf_and_mse_bound           Prop. IV.1 — MSE of |X∩Y|_AND (the o(1) is dropped)
+//   bf_and_deviation_bound     Eq. (3)    — Chebyshev on the MSE
+//   bf_linear_mse_bound        Prop. A.2  — MSE of any linear estimator δ·B₁
+//   bf_linear_deviation_bound  Appendix C-2 — Chebyshev on Prop. A.2
+//   mh_deviation_bound         Props. IV.2/IV.3 — 2·exp(−2kt²/(|X|+|Y|)²),
+//                              identical for k-hash and 1-hash
+//   tc_bf_deviation_bound      Thm. VII.1 (BF case)
+//   tc_mh_deviation_bound      Thm. VII.1 (MinHash, degree-square form)
+//   tc_mh_deviation_bound_chromatic  Thm. VII.1 (MinHash, Vizing form)
+//   kmv_size_within_prob       Prop. A.7  — exact beta-CDF probability
+//   kmv_intersection_deviation_bound Prop. A.8 — union bound over 3 terms
+//   kmv_intersection_deviation_exact Prop. A.9 — with exact |X|, |Y|
+#pragma once
+
+#include <cstdint>
+
+namespace probgraph::bounds {
+
+/// Prop. IV.1 RHS: e^{wb/(B−1)}·B/b² − B/b² − w/b, where w = |X∩Y|.
+/// Valid when b·w <= 0.499·B·log B (checked by `bf_and_bound_applicable`).
+[[nodiscard]] double bf_and_mse_bound(double inter_size, double bits, double b) noexcept;
+
+/// Applicability predicate of Prop. IV.1 / Thm. VII.1 (BF case).
+[[nodiscard]] bool bf_and_bound_applicable(double inter_size, double bits, double b) noexcept;
+
+/// Eq. (3): P(|est − |X∩Y|| ≥ t) ≤ MSE / t².
+[[nodiscard]] double bf_and_deviation_bound(double inter_size, double bits, double b,
+                                            double t) noexcept;
+
+/// Prop. A.2 RHS for an estimator δ·B₁ (δ = 1/b recovers |X∩Y|_L):
+/// [w − δB(1−e^{−wb/B})]² + δ²B[e^{−wb/B} − (1 + wb/B)e^{−2wb/B}].
+[[nodiscard]] double bf_linear_mse_bound(double set_size, double bits, double b,
+                                         double delta) noexcept;
+
+/// Chebyshev deviation bound on Prop. A.2.
+[[nodiscard]] double bf_linear_deviation_bound(double set_size, double bits, double b,
+                                               double delta, double t) noexcept;
+
+/// Props. IV.2 / IV.3: P(|est − |X∩Y|| ≥ t) ≤ 2·exp(−2kt²/(|X|+|Y|)²).
+/// The same exponential bound holds for both MinHash variants.
+[[nodiscard]] double mh_deviation_bound(double size_x, double size_y, double k,
+                                        double t) noexcept;
+
+/// Thm. VII.1, BF case: P(|TC − TĈ_AND| ≥ t) ≤ 2m²·RHS(Δ)/(9t²), valid when
+/// b·Δ ≤ 0.499·B·log B.
+[[nodiscard]] double tc_bf_deviation_bound(double num_edges, double max_degree, double bits,
+                                           double b, double t) noexcept;
+
+/// Thm. VII.1, MinHash: P(|TC − TĈ| ≥ t) ≤ 2·exp(−18kt²/(Σ_v d_v²)²).
+[[nodiscard]] double tc_mh_deviation_bound(double sum_deg_sq, double k, double t) noexcept;
+
+/// Thm. VII.1, MinHash with the Vizing/chromatic-index refinement:
+/// P ≤ 2·exp(−9kt²/(4(Δ+1)·Σ_v d_v³)).
+[[nodiscard]] double tc_mh_deviation_bound_chromatic(double sum_deg_cube, double max_degree,
+                                                     double k, double t) noexcept;
+
+/// Prop. A.7: P(||X̂|_KMV − |X|| ≤ t) as a difference of Beta(k, |X|−k+1)
+/// CDF values. Returns a probability in [0, 1].
+[[nodiscard]] double kmv_size_within_prob(double set_size, double k, double t) noexcept;
+
+/// Prop. A.8: deviation bound for the KMV intersection via the union bound
+/// over the three constituent estimators at distance t/3.
+[[nodiscard]] double kmv_intersection_deviation_bound(double size_x, double size_y,
+                                                      double size_union, double k,
+                                                      double t) noexcept;
+
+/// Prop. A.9: deviation probability when |X| and |Y| are known exactly —
+/// only the union estimate fluctuates.
+[[nodiscard]] double kmv_intersection_deviation_exact(double size_union, double k,
+                                                      double t) noexcept;
+
+/// Inversion helper: smallest k such that the MinHash bound guarantees
+/// P(deviation ≥ eps·(|X|+|Y|)) ≤ delta. Useful for sizing sketches.
+[[nodiscard]] double mh_k_for_accuracy(double eps, double delta) noexcept;
+
+}  // namespace probgraph::bounds

@@ -1,0 +1,74 @@
+#include "core/kmv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace probgraph {
+
+KmvSketch::KmvSketch(std::uint32_t k, std::uint64_t seed) : k_(k), family_(seed) {
+  if (k < 2) throw std::invalid_argument("KmvSketch: k must be at least 2");
+}
+
+void KmvSketch::build(std::span<const VertexId> xs) {
+  values_.clear();
+  values_.reserve(std::min<std::size_t>(k_, xs.size()));
+  auto less = std::less<double>{};
+  for (const VertexId x : xs) {
+    const double h = util::hash_to_unit(family_(0, x));
+    if (values_.size() < k_) {
+      values_.push_back(h);
+      std::push_heap(values_.begin(), values_.end(), less);
+    } else if (h < values_.front()) {
+      std::pop_heap(values_.begin(), values_.end(), less);
+      values_.back() = h;
+      std::push_heap(values_.begin(), values_.end(), less);
+    }
+  }
+  std::sort(values_.begin(), values_.end());
+}
+
+double KmvSketch::estimate_size() const noexcept {
+  if (values_.empty()) return 0.0;
+  if (values_.size() < k_) {
+    // Sketch not saturated: we saw every element.
+    return static_cast<double>(values_.size());
+  }
+  return static_cast<double>(k_ - 1) / values_.back();
+}
+
+KmvSketch KmvSketch::unite(const KmvSketch& x, const KmvSketch& y) {
+  KmvSketch u;
+  u.k_ = std::min(x.k_, y.k_);
+  u.family_ = x.family_;
+  u.values_.reserve(u.k_);
+  // Merge two sorted lists, keep the smallest k distinct hash values.
+  // (Distinctness: the same element hashes identically in both sketches.)
+  std::size_t i = 0, j = 0;
+  while (u.values_.size() < u.k_ && (i < x.values_.size() || j < y.values_.size())) {
+    double next;
+    if (j >= y.values_.size() || (i < x.values_.size() && x.values_[i] < y.values_[j])) {
+      next = x.values_[i++];
+    } else if (i < x.values_.size() && x.values_[i] == y.values_[j]) {
+      next = x.values_[i++];
+      ++j;
+    } else {
+      next = y.values_[j++];
+    }
+    u.values_.push_back(next);
+  }
+  return u;
+}
+
+double KmvSketch::estimate_intersection(const KmvSketch& x, const KmvSketch& y,
+                                        double size_x, double size_y) {
+  const KmvSketch u = unite(x, y);
+  double est_union;
+  if (u.values_.size() < u.k_) {
+    est_union = static_cast<double>(u.values_.size());
+  } else {
+    est_union = static_cast<double>(u.k_ - 1) / u.values_.back();
+  }
+  return std::max(0.0, size_x + size_y - est_union);
+}
+
+}  // namespace probgraph

@@ -1,0 +1,48 @@
+// K-Minimum-Values sketches (paper §IX, "Beyond Bloom Filter and MinHash").
+//
+// A KMV sketch K_X keeps the k smallest *hash values* (reals in (0,1]) of
+// the elements of X. |X| is estimated as (k-1)/max(K_X); a union sketch
+// K_{X∪Y} is the k smallest values of K_X ∪ K_Y; and the intersection is
+// estimated by inclusion–exclusion (Eq. (40)/(41)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace probgraph {
+
+class KmvSketch {
+ public:
+  KmvSketch() = default;
+  KmvSketch(std::uint32_t k, std::uint64_t seed);
+
+  /// Build from a set: hash every element to (0,1], keep the k smallest.
+  void build(std::span<const VertexId> xs);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  /// Stored values (sorted ascending); size is min(k, |X|).
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  /// The estimator |X̂|_KMV = (k-1)/max(K_X) (Eq. (39)). When the sketch is
+  /// not full (|X| < k) every hash was kept, so the exact size is returned.
+  [[nodiscard]] double estimate_size() const noexcept;
+
+  /// k smallest of K_X ∪ K_Y: the sketch of the union (§IX).
+  [[nodiscard]] static KmvSketch unite(const KmvSketch& x, const KmvSketch& y);
+
+  /// Eq. (41): |X ∩ Y| ≈ |X| + |Y| − |X̂∪Y|_KMV with exact input sizes
+  /// (degrees are free in graph algorithms, as the paper notes).
+  [[nodiscard]] static double estimate_intersection(const KmvSketch& x, const KmvSketch& y,
+                                                    double size_x, double size_y);
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<double> values_;  // sorted ascending
+  util::HashFamily family_;
+};
+
+}  // namespace probgraph

@@ -1,0 +1,125 @@
+#include "core/minhash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace probgraph {
+
+KHashSketch::KHashSketch(std::uint32_t k, std::uint64_t seed)
+    : slots_(k, kEmptySlot), family_(seed) {
+  if (k == 0) throw std::invalid_argument("KHashSketch: k must be positive");
+}
+
+void KHashSketch::build(std::span<const VertexId> xs) noexcept {
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  if (xs.empty()) return;
+  const auto k = static_cast<std::uint32_t>(slots_.size());
+  std::vector<std::uint64_t> best_hash(k, ~std::uint64_t{0});
+  for (const VertexId x : xs) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t h = family_(i, x);
+      if (h < best_hash[i]) {
+        best_hash[i] = h;
+        slots_[i] = x;
+      }
+    }
+  }
+}
+
+std::uint32_t KHashSketch::matching_slots(std::span<const std::uint64_t> a,
+                                          std::span<const std::uint64_t> b) noexcept {
+  const std::size_t k = std::min(a.size(), b.size());
+  std::uint32_t matches = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    matches += (a[i] != kEmptySlot && a[i] == b[i]) ? 1U : 0U;
+  }
+  return matches;
+}
+
+double KHashSketch::jaccard(const KHashSketch& other) const noexcept {
+  if (slots_.empty()) return 0.0;
+  return static_cast<double>(matching_slots(slots_, other.slots_)) /
+         static_cast<double>(slots_.size());
+}
+
+OneHashSketch::OneHashSketch(std::uint32_t k, std::uint64_t seed) : k_(k), family_(seed) {
+  if (k == 0) throw std::invalid_argument("OneHashSketch: k must be positive");
+}
+
+void OneHashSketch::build(std::span<const VertexId> xs) {
+  entries_.clear();
+  entries_.reserve(std::min<std::size_t>(k_, xs.size()));
+  // Bounded max-heap on the hash value: keep the k smallest hashes seen.
+  auto heap_cmp = [](const BottomKEntry& a, const BottomKEntry& b) { return a < b; };
+  for (const VertexId x : xs) {
+    const BottomKEntry e{family_(0, x), x};
+    if (entries_.size() < k_) {
+      entries_.push_back(e);
+      std::push_heap(entries_.begin(), entries_.end(), heap_cmp);
+    } else if (e < entries_.front()) {
+      std::pop_heap(entries_.begin(), entries_.end(), heap_cmp);
+      entries_.back() = e;
+      std::push_heap(entries_.begin(), entries_.end(), heap_cmp);
+    }
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+std::uint32_t OneHashSketch::intersection_size(std::span<const BottomKEntry> a,
+                                               std::span<const BottomKEntry> b,
+                                               std::uint32_t k) noexcept {
+  // Walk the merged union in hash order; only the first k distinct union
+  // entries participate (they form the bottom-k sketch of X ∪ Y).
+  std::uint32_t count = 0, taken = 0;
+  std::size_t i = 0, j = 0;
+  while (taken < k && (i < a.size() || j < b.size())) {
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      ++i;
+    } else if (i >= a.size() || b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+    ++taken;
+  }
+  return count;
+}
+
+void OneHashSketch::intersect_elements(std::span<const BottomKEntry> a,
+                                       std::span<const BottomKEntry> b, std::uint32_t k,
+                                       std::vector<VertexId>& out) {
+  std::uint32_t taken = 0;
+  std::size_t i = 0, j = 0;
+  while (taken < k && (i < a.size() || j < b.size())) {
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      ++i;
+    } else if (i >= a.size() || b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i].element);
+      ++i;
+      ++j;
+    }
+    ++taken;
+  }
+}
+
+double OneHashSketch::jaccard_from_spans(std::span<const BottomKEntry> a,
+                                         std::span<const BottomKEntry> b,
+                                         std::uint32_t k) noexcept {
+  if (k == 0) return 0.0;
+  const std::uint32_t inter = intersection_size(a, b, k);
+  // When both sketches are unsaturated the union sample is exhaustive and
+  // the denominator is the true union size, not k.
+  const std::uint32_t union_seen = static_cast<std::uint32_t>(a.size() + b.size()) - inter;
+  if (union_seen == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(std::min(k, union_seen));
+}
+
+double OneHashSketch::jaccard(const OneHashSketch& other) const noexcept {
+  return jaccard_from_spans(entries_, other.entries_, std::min(k_, other.k_));
+}
+
+}  // namespace probgraph

@@ -1,0 +1,113 @@
+// MinHash sketches (paper §II-D): the k-hash and 1-hash variants.
+//
+// k-hash (M_X): k independent hash functions; slot i stores the element of
+// X minimizing h_i. The sketch is a length-k *signature*; two signatures
+// are compared slot-wise, |M_X ∩ M_Y| = #{i : M_X[i] == M_Y[i]}, which is
+// Bin(k, J(X,Y)) distributed (§IV-C).
+//
+// 1-hash (M¹_X): one hash function; the k elements of X with the smallest
+// hashes (bottom-k). Never contains duplicates; |M¹_X ∩ M¹_Y| follows the
+// hypergeometric distribution (§IV-D). Entries are stored sorted by hash
+// value so that two sketches intersect with an O(k) merge, and the common
+// *elements* are enumerable (needed by the MH 4-clique variant).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace probgraph {
+
+/// k-hash signature entry: the minimizing element for one hash function.
+/// kEmptySlot marks slots of an empty input set.
+inline constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+/// Owning k-hash MinHash sketch.
+class KHashSketch {
+ public:
+  KHashSketch() = default;
+  KHashSketch(std::uint32_t k, std::uint64_t seed);
+
+  /// Build the signature of a set in O(k * |xs|) work (Table V).
+  void build(std::span<const VertexId> xs) noexcept;
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return static_cast<std::uint32_t>(slots_.size()); }
+  [[nodiscard]] std::span<const std::uint64_t> slots() const noexcept { return slots_; }
+
+  /// #matching slots — the |M_X ∩ M_Y| of Eq. (5).
+  [[nodiscard]] static std::uint32_t matching_slots(std::span<const std::uint64_t> a,
+                                                    std::span<const std::uint64_t> b) noexcept;
+
+  /// Jaccard estimate Ĵ = matches / k.
+  [[nodiscard]] double jaccard(const KHashSketch& other) const noexcept;
+
+ private:
+  std::vector<std::uint64_t> slots_;  // element minimizing h_i, or kEmptySlot
+  util::HashFamily family_;
+};
+
+/// One 1-hash (bottom-k) entry: hash value + the element it came from.
+struct BottomKEntry {
+  std::uint64_t hash;
+  VertexId element;
+  friend bool operator<(const BottomKEntry& a, const BottomKEntry& b) noexcept {
+    return a.hash < b.hash || (a.hash == b.hash && a.element < b.element);
+  }
+  friend bool operator==(const BottomKEntry&, const BottomKEntry&) = default;
+};
+
+/// Owning 1-hash (bottom-k) sketch.
+class OneHashSketch {
+ public:
+  OneHashSketch() = default;
+  OneHashSketch(std::uint32_t k, std::uint64_t seed);
+
+  /// Build: hash all elements once, keep the k smallest. O(d) work with a
+  /// bounded max-heap (Table V row "1-Hash").
+  void build(std::span<const VertexId> xs);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  /// Number of stored entries: min(k, |X|).
+  [[nodiscard]] std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(entries_.size()); }
+  /// Entries sorted ascending by hash.
+  [[nodiscard]] std::span<const BottomKEntry> entries() const noexcept { return entries_; }
+
+  /// |M¹_X ∩ M¹_Y| restricted to the bottom-k of the union, via a sorted
+  /// merge over hash values: O(k).
+  ///
+  /// The union restriction is what makes the count follow the
+  /// Hypergeometric(|X∪Y|, |X∩Y|, k) law of §IV-D: the k smallest union
+  /// hashes are a uniform without-replacement sample of X ∪ Y, and each
+  /// sampled element lies in both sketches iff it lies in X ∩ Y. The naive
+  /// count without the restriction is biased upward (elements compete only
+  /// within their own set).
+  [[nodiscard]] static std::uint32_t intersection_size(std::span<const BottomKEntry> a,
+                                                       std::span<const BottomKEntry> b,
+                                                       std::uint32_t k) noexcept;
+
+  /// Enumerate the common elements within the union bottom-k (used by the
+  /// MH 4-clique variant and the weighted similarity measures).
+  static void intersect_elements(std::span<const BottomKEntry> a,
+                                 std::span<const BottomKEntry> b, std::uint32_t k,
+                                 std::vector<VertexId>& out);
+
+  /// Jaccard estimate from raw entry spans: Ĵ = intersection_size / k, with
+  /// the denominator replaced by the observed union size when both sketches
+  /// are unsaturated (the sample is then exhaustive and the ratio exact).
+  [[nodiscard]] static double jaccard_from_spans(std::span<const BottomKEntry> a,
+                                                 std::span<const BottomKEntry> b,
+                                                 std::uint32_t k) noexcept;
+
+  /// Jaccard estimate Ĵ between two sketches.
+  [[nodiscard]] double jaccard(const OneHashSketch& other) const noexcept;
+
+ private:
+  std::uint32_t k_ = 0;
+  std::vector<BottomKEntry> entries_;
+  util::HashFamily family_;
+};
+
+}  // namespace probgraph

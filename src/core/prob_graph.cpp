@@ -1,0 +1,296 @@
+#include "core/prob_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/estimators.hpp"
+#include "core/kmv.hpp"
+#include "util/bitvector.hpp"
+#include "util/timer.hpp"
+
+namespace probgraph {
+
+const char* to_string(SketchKind kind) noexcept {
+  switch (kind) {
+    case SketchKind::kBloomFilter: return "BF";
+    case SketchKind::kKHash: return "kH";
+    case SketchKind::kOneHash: return "1H";
+    case SketchKind::kKmv: return "KMV";
+  }
+  return "?";
+}
+
+const char* to_string(BfEstimator e) noexcept {
+  switch (e) {
+    case BfEstimator::kAnd: return "AND";
+    case BfEstimator::kLimit: return "L";
+    case BfEstimator::kOr: return "OR";
+  }
+  return "?";
+}
+
+ProbGraph::ProbGraph(const CsrGraph& g, ProbGraphConfig config)
+    : graph_(&g), config_(config), family_(config.seed) {
+  if (config_.storage_budget <= 0.0 && config_.bf_bits == 0 && config_.minhash_k == 0) {
+    throw std::invalid_argument("ProbGraph: storage budget must be positive");
+  }
+  const VertexId n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("ProbGraph: empty graph");
+
+  const double base_bytes = config_.budget_reference_bytes != 0
+                                ? static_cast<double>(config_.budget_reference_bytes)
+                                : static_cast<double>(g.memory_bytes());
+  const double budget_bytes = config_.storage_budget * base_bytes;
+
+  util::Timer timer;
+  switch (config_.kind) {
+    case SketchKind::kBloomFilter: {
+      if (config_.bf_hashes == 0) {
+        throw std::invalid_argument("ProbGraph: bf_hashes must be positive");
+      }
+      std::uint64_t bits = config_.bf_bits;
+      if (bits == 0) {
+        bits = static_cast<std::uint64_t>(budget_bytes * 8.0 / static_cast<double>(n));
+      }
+      // Uniform width, multiple of the word size, at least one word.
+      bf_bits_ = std::max<std::uint64_t>(kWordBits, bits / kWordBits * kWordBits);
+      bf_words_per_vertex_ = util::words_for_bits(bf_bits_);
+      build_bloom();
+      break;
+    }
+    case SketchKind::kKHash: {
+      k_ = config_.minhash_k != 0
+               ? config_.minhash_k
+               : std::max<std::uint32_t>(
+                     1, static_cast<std::uint32_t>(
+                            budget_bytes / (static_cast<double>(n) * sizeof(std::uint64_t))));
+      build_khash();
+      break;
+    }
+    case SketchKind::kOneHash: {
+      k_ = config_.minhash_k != 0
+               ? config_.minhash_k
+               : std::max<std::uint32_t>(
+                     1, static_cast<std::uint32_t>(
+                            budget_bytes / (static_cast<double>(n) * sizeof(BottomKEntry))));
+      build_onehash();
+      break;
+    }
+    case SketchKind::kKmv: {
+      k_ = config_.minhash_k != 0
+               ? config_.minhash_k
+               : std::max<std::uint32_t>(
+                     2, static_cast<std::uint32_t>(
+                            budget_bytes / (static_cast<double>(n) * sizeof(double))));
+      k_ = std::max<std::uint32_t>(2, k_);
+      build_kmv();
+      break;
+    }
+  }
+  construction_seconds_ = timer.seconds();
+}
+
+void ProbGraph::build_bloom() {
+  const CsrGraph& g = *graph_;
+  const VertexId n = g.num_vertices();
+  bf_arena_.assign(static_cast<std::size_t>(n) * bf_words_per_vertex_, 0);
+  const std::uint32_t b = config_.bf_hashes;
+#pragma omp parallel for schedule(dynamic, 128)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    std::uint64_t* words = bf_arena_.data() + static_cast<std::size_t>(v) * bf_words_per_vertex_;
+    for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
+      for (std::uint32_t i = 0; i < b; ++i) {
+        const std::uint64_t pos = family_(i, x) % bf_bits_;
+        words[pos / kWordBits] |= (std::uint64_t{1} << (pos % kWordBits));
+      }
+    }
+  }
+}
+
+void ProbGraph::build_khash() {
+  const CsrGraph& g = *graph_;
+  const VertexId n = g.num_vertices();
+  kh_arena_.assign(static_cast<std::size_t>(n) * k_, kEmptySlot);
+#pragma omp parallel
+  {
+    std::vector<std::uint64_t> best(k_);
+#pragma omp for schedule(dynamic, 128)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      std::uint64_t* slots = kh_arena_.data() + static_cast<std::size_t>(v) * k_;
+      std::fill(best.begin(), best.end(), ~std::uint64_t{0});
+      for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
+        for (std::uint32_t i = 0; i < k_; ++i) {
+          const std::uint64_t h = family_(i, x);
+          if (h < best[i]) {
+            best[i] = h;
+            slots[i] = x;
+          }
+        }
+      }
+    }
+  }
+}
+
+void ProbGraph::build_onehash() {
+  const CsrGraph& g = *graph_;
+  const VertexId n = g.num_vertices();
+  oh_arena_.assign(static_cast<std::size_t>(n) * k_, BottomKEntry{~std::uint64_t{0}, 0});
+  sketch_sizes_.assign(n, 0);
+#pragma omp parallel for schedule(dynamic, 128)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    BottomKEntry* entries = oh_arena_.data() + static_cast<std::size_t>(v) * k_;
+    const auto nv = g.neighbors(static_cast<VertexId>(v));
+    std::uint32_t fill = 0;
+    auto heap_cmp = [](const BottomKEntry& a, const BottomKEntry& b) { return a < b; };
+    for (const VertexId x : nv) {
+      const BottomKEntry e{family_(0, x), x};
+      if (fill < k_) {
+        entries[fill++] = e;
+        std::push_heap(entries, entries + fill, heap_cmp);
+      } else if (e < entries[0]) {
+        std::pop_heap(entries, entries + fill, heap_cmp);
+        entries[fill - 1] = e;
+        std::push_heap(entries, entries + fill, heap_cmp);
+      }
+    }
+    std::sort(entries, entries + fill);
+    sketch_sizes_[v] = fill;
+  }
+}
+
+void ProbGraph::build_kmv() {
+  const CsrGraph& g = *graph_;
+  const VertexId n = g.num_vertices();
+  kmv_arena_.assign(static_cast<std::size_t>(n) * k_, 2.0);
+  sketch_sizes_.assign(n, 0);
+#pragma omp parallel for schedule(dynamic, 128)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    double* values = kmv_arena_.data() + static_cast<std::size_t>(v) * k_;
+    std::uint32_t fill = 0;
+    for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
+      const double h = util::hash_to_unit(family_(0, x));
+      if (fill < k_) {
+        values[fill++] = h;
+        std::push_heap(values, values + fill);
+      } else if (h < values[0]) {
+        std::pop_heap(values, values + fill);
+        values[fill - 1] = h;
+        std::push_heap(values, values + fill);
+      }
+    }
+    std::sort(values, values + fill);
+    sketch_sizes_[v] = fill;
+  }
+}
+
+double ProbGraph::est_intersection(VertexId u, VertexId v) const noexcept {
+  const CsrGraph& g = *graph_;
+  switch (config_.kind) {
+    case SketchKind::kBloomFilter: {
+      const auto wu = bf_words(u);
+      const auto wv = bf_words(v);
+      switch (config_.bf_estimator) {
+        case BfEstimator::kAnd:
+          return est::bf_intersection_and(util::and_popcount(wu, wv), bf_bits_,
+                                          config_.bf_hashes);
+        case BfEstimator::kLimit:
+          return est::bf_intersection_limit(util::and_popcount(wu, wv), config_.bf_hashes);
+        case BfEstimator::kOr:
+          return est::bf_intersection_or(static_cast<double>(g.degree(u)),
+                                         static_cast<double>(g.degree(v)),
+                                         util::or_popcount(wu, wv), bf_bits_,
+                                         config_.bf_hashes);
+      }
+      return 0.0;
+    }
+    case SketchKind::kKHash: {
+      const std::uint32_t matches =
+          KHashSketch::matching_slots(khash_signature(u), khash_signature(v));
+      const double j = static_cast<double>(matches) / static_cast<double>(k_);
+      return est::mh_intersection(j, static_cast<double>(g.degree(u)),
+                                  static_cast<double>(g.degree(v)));
+    }
+    case SketchKind::kOneHash: {
+      const double j =
+          OneHashSketch::jaccard_from_spans(onehash_entries(u), onehash_entries(v), k_);
+      return est::mh_intersection(j, static_cast<double>(g.degree(u)),
+                                  static_cast<double>(g.degree(v)));
+    }
+    case SketchKind::kKmv: {
+      const auto vu = kmv_values(u);
+      const auto vv = kmv_values(v);
+      // Inline union-of-sorted-lists with k smallest, then Eq. (41).
+      const std::uint32_t k = k_;
+      std::size_t i = 0, j = 0;
+      std::uint32_t taken = 0;
+      double last = 0.0;
+      while (taken < k && (i < vu.size() || j < vv.size())) {
+        if (j >= vv.size() || (i < vu.size() && vu[i] < vv[j])) {
+          last = vu[i++];
+        } else if (i < vu.size() && vu[i] == vv[j]) {
+          last = vu[i++];
+          ++j;
+        } else {
+          last = vv[j++];
+        }
+        ++taken;
+      }
+      const double est_union =
+          (taken < k) ? static_cast<double>(taken) : static_cast<double>(k - 1) / last;
+      return std::max(0.0, static_cast<double>(g.degree(u)) +
+                               static_cast<double>(g.degree(v)) - est_union);
+    }
+  }
+  return 0.0;
+}
+
+double ProbGraph::est_jaccard(VertexId u, VertexId v) const noexcept {
+  // MinHash sketches estimate J directly; BF/KMV go through |X∩Y| and the
+  // identity J = |X∩Y| / (|X| + |Y| − |X∩Y|) of Listing 6.
+  const CsrGraph& g = *graph_;
+  const double du = static_cast<double>(g.degree(u));
+  const double dv = static_cast<double>(g.degree(v));
+  if (du + dv == 0.0) return 0.0;
+  switch (config_.kind) {
+    case SketchKind::kKHash:
+      return static_cast<double>(
+                 KHashSketch::matching_slots(khash_signature(u), khash_signature(v))) /
+             static_cast<double>(k_);
+    case SketchKind::kOneHash:
+      return OneHashSketch::jaccard_from_spans(onehash_entries(u), onehash_entries(v), k_);
+    default: {
+      const double inter = std::min(est_intersection(u, v), du + dv);
+      const double uni = du + dv - inter;
+      return uni <= 0.0 ? 1.0 : inter / uni;
+    }
+  }
+}
+
+double ProbGraph::est_overlap(VertexId u, VertexId v) const noexcept {
+  const CsrGraph& g = *graph_;
+  const double denom = static_cast<double>(std::min(g.degree(u), g.degree(v)));
+  if (denom == 0.0) return 0.0;
+  return est_intersection(u, v) / denom;
+}
+
+double ProbGraph::est_total_neighbors(VertexId u, VertexId v) const noexcept {
+  const CsrGraph& g = *graph_;
+  return static_cast<double>(g.degree(u)) + static_cast<double>(g.degree(v)) -
+         est_intersection(u, v);
+}
+
+std::size_t ProbGraph::memory_bytes() const noexcept {
+  return bf_arena_.size() * sizeof(std::uint64_t) + kh_arena_.size() * sizeof(std::uint64_t) +
+         oh_arena_.size() * sizeof(BottomKEntry) + kmv_arena_.size() * sizeof(double) +
+         sketch_sizes_.size() * sizeof(std::uint32_t);
+}
+
+double ProbGraph::relative_memory() const noexcept {
+  const double base = config_.budget_reference_bytes != 0
+                          ? static_cast<double>(config_.budget_reference_bytes)
+                          : static_cast<double>(graph_->memory_bytes());
+  return static_cast<double>(memory_bytes()) / base;
+}
+
+}  // namespace probgraph

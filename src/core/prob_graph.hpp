@@ -1,0 +1,177 @@
+// ProbGraph: the probabilistic graph representation (paper §V, §VI).
+//
+// A ProbGraph instance holds one probabilistic sketch per vertex
+// neighborhood of a CSR graph, laid out in a single contiguous arena:
+//
+//   * every vertex gets the *same* sketch size (derived from the storage
+//     budget s of §V-A) — the load-balancing property of Fig. 1 panel 5:
+//     "all set intersections are conducted over the same size bit vectors,
+//     annihilating issues related to intersecting neighborhoods of
+//     different sizes";
+//   * construction parallelizes over vertices with no synchronization,
+//     since each vertex's sketch occupies a private arena slice (Table V);
+//   * `est_intersection(u, v)` returns the |N_u ∩ N_v| estimate under the
+//     configured representation and estimator — the drop-in replacement for
+//     the blue operations in Listings 1–5.
+//
+// Usage (cf. the paper's Listing 6):
+//   CsrGraph g = ...;
+//   ProbGraph pg(g, {.kind = SketchKind::BloomFilter, .storage_budget = 0.25});
+//   double inter = pg.est_intersection(u, v);
+//   double jac   = pg.est_jaccard(u, v);
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bloom_filter.hpp"
+#include "core/minhash.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace probgraph {
+
+/// Which probabilistic set representation backs the ProbGraph (§II-D, §IX).
+enum class SketchKind : std::uint8_t {
+  kBloomFilter,  ///< bit vectors + b hash functions
+  kKHash,        ///< MinHash, k independent hash functions
+  kOneHash,      ///< MinHash bottom-k, single hash function
+  kKmv,          ///< K Minimum Values
+};
+
+/// Which |X∩Y| estimator to apply on top of a Bloom-filter ProbGraph.
+enum class BfEstimator : std::uint8_t {
+  kAnd,    ///< Eq. (2), the default
+  kLimit,  ///< Eq. (4), the B→∞ limit — better on some dense graphs (§VIII-B)
+  kOr,     ///< Eq. (29), the Swamidass OR baseline
+};
+
+[[nodiscard]] const char* to_string(SketchKind kind) noexcept;
+[[nodiscard]] const char* to_string(BfEstimator e) noexcept;
+
+struct ProbGraphConfig {
+  SketchKind kind = SketchKind::kBloomFilter;
+
+  /// The storage budget s ∈ (0, 1]: PG may use up to s × (CSR bytes) of
+  /// additional memory (§V-A). Ignored for a parameter fixed explicitly
+  /// below. The paper's evaluation never exceeds s = 0.33.
+  double storage_budget = 0.25;
+
+  /// Number of BF hash functions b. The evaluation uses b ∈ {1, 2, 4} and
+  /// notes PG "benefits from low b ∈ {1, 2}" (§VIII-G).
+  std::uint32_t bf_hashes = 2;
+
+  /// Explicit per-vertex BF width in bits (0 = derive from storage_budget;
+  /// always rounded up to a multiple of 64).
+  std::uint64_t bf_bits = 0;
+
+  /// Explicit MinHash/KMV k (0 = derive from storage_budget).
+  std::uint32_t minhash_k = 0;
+
+  /// Base for the storage budget in bytes (0 = the CSR bytes of the graph
+  /// being sketched). Set this to the *original* graph's CSR size when
+  /// sketching the degree-oriented DAG, so that s keeps its §V-A meaning of
+  /// "additional memory on top of the default CSR representation of G".
+  std::size_t budget_reference_bytes = 0;
+
+  /// BF estimator selection.
+  BfEstimator bf_estimator = BfEstimator::kAnd;
+
+  /// Seed for all hash families (the paper seeds with wall-clock time; we
+  /// default to a fixed seed for reproducibility).
+  std::uint64_t seed = 42;
+};
+
+class ProbGraph {
+ public:
+  /// Build sketches for every vertex neighborhood of `g`. The graph must
+  /// outlive the ProbGraph (sketch estimates use exact degrees).
+  ProbGraph(const CsrGraph& g, ProbGraphConfig config);
+
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const ProbGraphConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SketchKind kind() const noexcept { return config_.kind; }
+
+  // --- Derived sketch parameters. ---
+
+  /// Per-vertex BF width in bits (0 unless kind == kBloomFilter).
+  [[nodiscard]] std::uint64_t bf_bits() const noexcept { return bf_bits_; }
+  /// Per-vertex MinHash/KMV size k (0 for BF).
+  [[nodiscard]] std::uint32_t minhash_k() const noexcept { return k_; }
+
+  // --- The |N_u ∩ N_v| estimator (the blue operation of Listings 1–5). ---
+
+  [[nodiscard]] double est_intersection(VertexId u, VertexId v) const noexcept;
+
+  // --- Derived similarity estimators (Listing 3). ---
+
+  [[nodiscard]] double est_jaccard(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] double est_overlap(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] double est_common_neighbors(VertexId u, VertexId v) const noexcept {
+    return est_intersection(u, v);
+  }
+  [[nodiscard]] double est_total_neighbors(VertexId u, VertexId v) const noexcept;
+
+  // --- Representation-specific accessors (hot paths of the algorithms). ---
+
+  /// Words of vertex v's Bloom filter inside the arena.
+  [[nodiscard]] std::span<const std::uint64_t> bf_words(VertexId v) const noexcept {
+    return {bf_arena_.data() + static_cast<std::size_t>(v) * bf_words_per_vertex_,
+            bf_words_per_vertex_};
+  }
+  [[nodiscard]] BloomFilterView bf(VertexId v) const noexcept {
+    return {bf_words(v), bf_bits_, config_.bf_hashes, family_};
+  }
+
+  /// k-hash signature of vertex v.
+  [[nodiscard]] std::span<const std::uint64_t> khash_signature(VertexId v) const noexcept {
+    return {kh_arena_.data() + static_cast<std::size_t>(v) * k_, k_};
+  }
+
+  /// Bottom-k entries of vertex v (sorted by hash; size <= k).
+  [[nodiscard]] std::span<const BottomKEntry> onehash_entries(VertexId v) const noexcept {
+    return {oh_arena_.data() + static_cast<std::size_t>(v) * k_, sketch_sizes_[v]};
+  }
+
+  /// KMV values of vertex v (sorted ascending; size <= k).
+  [[nodiscard]] std::span<const double> kmv_values(VertexId v) const noexcept {
+    return {kmv_arena_.data() + static_cast<std::size_t>(v) * k_, sketch_sizes_[v]};
+  }
+
+  // --- Memory accounting (the relative-memory axis of Figs. 4–7). ---
+
+  /// Bytes of sketch storage (arena + per-vertex sizes).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  /// memory_bytes() / CSR bytes — the shade axis of Figs. 4–7; should not
+  /// exceed the configured storage budget by more than rounding.
+  [[nodiscard]] double relative_memory() const noexcept;
+
+  /// Wall-clock seconds spent building the sketches (§VIII-G).
+  [[nodiscard]] double construction_seconds() const noexcept { return construction_seconds_; }
+
+ private:
+  void build_bloom();
+  void build_khash();
+  void build_onehash();
+  void build_kmv();
+
+  const CsrGraph* graph_;
+  ProbGraphConfig config_;
+  util::HashFamily family_;
+
+  std::uint64_t bf_bits_ = 0;
+  std::size_t bf_words_per_vertex_ = 0;
+  std::uint32_t k_ = 0;
+
+  std::vector<std::uint64_t> bf_arena_;      // n * bf_words_per_vertex_
+  std::vector<std::uint64_t> kh_arena_;      // n * k signature slots
+  std::vector<BottomKEntry> oh_arena_;       // n * k entries
+  std::vector<double> kmv_arena_;            // n * k values
+  std::vector<std::uint32_t> sketch_sizes_;  // per-vertex fill (1-hash/KMV)
+
+  double construction_seconds_ = 0.0;
+};
+
+}  // namespace probgraph

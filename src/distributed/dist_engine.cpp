@@ -1,0 +1,65 @@
+#include "distributed/dist_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace probgraph::dist {
+
+namespace {
+
+std::uint64_t exact_bytes(std::uint64_t degree, std::uint64_t) {
+  return degree * sizeof(VertexId);
+}
+
+std::uint64_t fixed_bytes(std::uint64_t, std::uint64_t param) { return param; }
+
+}  // namespace
+
+Representation exact_representation() noexcept {
+  return {"Exact CSR", &exact_bytes, 0};
+}
+
+Representation bloom_representation(std::uint64_t bits) noexcept {
+  return {"ProbGraph(BF)", &fixed_bytes, (bits + 7) / 8};
+}
+
+Representation minhash_representation(std::uint64_t k, std::uint64_t entry_bytes) noexcept {
+  return {"ProbGraph(MH)", &fixed_bytes, k * entry_bytes};
+}
+
+TrafficReport simulate_tc_traffic(const CsrGraph& dag, std::uint32_t ranks,
+                                  const Representation& repr, const CommModel& model) {
+  const BlockPartition part(dag.num_vertices(), ranks);
+  TrafficReport report;
+  std::vector<std::uint64_t> rank_bytes(part.num_ranks(), 0);
+  std::vector<std::uint64_t> rank_msgs(part.num_ranks(), 0);
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(part.num_ranks()); ++r) {
+    // Per-rank fetch cache: a remote neighborhood is shipped at most once.
+    std::unordered_set<VertexId> fetched;
+    std::uint64_t bytes = 0, msgs = 0;
+    const auto rank = static_cast<std::uint32_t>(r);
+    for (VertexId v = part.block_begin(rank); v < part.block_end(rank); ++v) {
+      for (const VertexId u : dag.neighbors(v)) {
+        if (part.owner(u) == rank) continue;
+        if (!fetched.insert(u).second) continue;
+        bytes += repr.payload_bytes(dag.degree(u), repr.param);
+        ++msgs;
+      }
+    }
+    rank_bytes[rank] = bytes;
+    rank_msgs[rank] = msgs;
+  }
+
+  for (std::uint32_t r = 0; r < part.num_ranks(); ++r) {
+    report.total_bytes += rank_bytes[r];
+    report.total_messages += rank_msgs[r];
+    report.max_rank_bytes = std::max(report.max_rank_bytes, rank_bytes[r]);
+    report.modeled_seconds = std::max(
+        report.modeled_seconds, model.transfer_seconds(rank_msgs[r], rank_bytes[r]));
+  }
+  return report;
+}
+
+}  // namespace probgraph::dist

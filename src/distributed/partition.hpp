@@ -1,0 +1,43 @@
+// 1D block vertex partitioning for the distributed simulation (§VIII-F).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace probgraph::dist {
+
+/// Contiguous block partition of {0..n-1} into `ranks` near-equal blocks.
+class BlockPartition {
+ public:
+  BlockPartition(VertexId num_vertices, std::uint32_t ranks) noexcept
+      : n_(num_vertices),
+        ranks_(ranks == 0 ? 1 : ranks),
+        block_((num_vertices + ranks_ - 1) / ranks_) {}
+
+  [[nodiscard]] std::uint32_t num_ranks() const noexcept { return ranks_; }
+
+  /// Owning rank of vertex v.
+  [[nodiscard]] std::uint32_t owner(VertexId v) const noexcept {
+    return block_ == 0 ? 0 : static_cast<std::uint32_t>(v / block_);
+  }
+
+  /// First vertex of rank r's block.
+  [[nodiscard]] VertexId block_begin(std::uint32_t r) const noexcept {
+    const auto begin = static_cast<std::uint64_t>(r) * block_;
+    return begin > n_ ? n_ : static_cast<VertexId>(begin);
+  }
+
+  /// One-past-last vertex of rank r's block.
+  [[nodiscard]] VertexId block_end(std::uint32_t r) const noexcept {
+    const auto end = static_cast<std::uint64_t>(r + 1) * block_;
+    return end > n_ ? n_ : static_cast<VertexId>(end);
+  }
+
+ private:
+  VertexId n_;
+  std::uint32_t ranks_;
+  VertexId block_;
+};
+
+}  // namespace probgraph::dist

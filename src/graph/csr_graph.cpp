@@ -1,0 +1,61 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace probgraph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+}
+
+bool CsrGraph::has_edge(VertexId v, VertexId u) const noexcept {
+  const auto nv = neighbors(v);
+  return std::binary_search(nv.begin(), nv.end(), u);
+}
+
+EdgeId CsrGraph::max_degree() const noexcept {
+  EdgeId d = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+double CsrGraph::degree_moment(int power) const noexcept {
+  double acc = 0.0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    acc += std::pow(static_cast<double>(degree(v)), power);
+  }
+  return acc;
+}
+
+void CsrGraph::validate() const {
+  if (offsets_.empty() || offsets_.front() != 0) {
+    throw std::invalid_argument("CsrGraph: offsets must start at 0");
+  }
+  if (offsets_.back() != neighbors_.size()) {
+    throw std::invalid_argument("CsrGraph: offsets.back() must equal adjacency size");
+  }
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      throw std::invalid_argument("CsrGraph: offsets not monotone at vertex " +
+                                  std::to_string(v));
+    }
+    const auto nv = neighbors(v);
+    for (std::size_t i = 0; i < nv.size(); ++i) {
+      if (nv[i] >= n) {
+        throw std::invalid_argument("CsrGraph: neighbor id out of range at vertex " +
+                                    std::to_string(v));
+      }
+      if (i > 0 && nv[i - 1] >= nv[i]) {
+        throw std::invalid_argument(
+            "CsrGraph: neighborhood not strictly sorted at vertex " + std::to_string(v));
+      }
+    }
+  }
+}
+
+}  // namespace probgraph

@@ -1,0 +1,88 @@
+// Compressed Sparse Row graph: the exact substrate of ProbGraph.
+//
+// The paper (§II-A) stores the input graph in "the standard Compressed
+// Sparse Row (CSR) format, in which all neighborhoods Nv form a contiguous
+// array (2m words if G is undirected) ... Each Nv is stored as a contiguous
+// sorted array of vertex IDs".
+//
+// This class is the canonical representation for both undirected graphs
+// (where each edge {u,v} appears as (u,v) and (v,u)) and directed graphs
+// such as the degree-ordered DAG used by triangle/clique counting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace probgraph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Construct from prebuilt offset/adjacency arrays. `offsets` must have
+  /// n+1 entries with offsets[0] == 0 and offsets[n] == neighbors.size();
+  /// every neighborhood must be sorted ascending. GraphBuilder guarantees
+  /// these invariants; `validate()` checks them.
+  CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  /// Number of vertices n.
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of *directed* edges, i.e. the adjacency-array length. For an
+  /// undirected graph this is 2m in the paper's notation.
+  [[nodiscard]] EdgeId num_directed_edges() const noexcept { return neighbors_.size(); }
+
+  /// Number of undirected edges m (assumes a symmetric graph).
+  [[nodiscard]] EdgeId num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  /// The degree d_v.
+  [[nodiscard]] EdgeId degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// The sorted neighborhood N_v.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// Membership query u ∈ N_v via binary search: O(log d_v).
+  [[nodiscard]] bool has_edge(VertexId v, VertexId u) const noexcept;
+
+  /// Maximum degree d (the paper's Δ in §VII).
+  [[nodiscard]] EdgeId max_degree() const noexcept;
+
+  /// Average degree d̄ = 2m/n for symmetric graphs.
+  [[nodiscard]] double avg_degree() const noexcept {
+    const VertexId n = num_vertices();
+    return n == 0 ? 0.0 : static_cast<double>(num_directed_edges()) / n;
+  }
+
+  /// Σ_v d_v^2 and Σ_v d_v^3 — the degree moments appearing in the MinHash
+  /// triangle-count bounds of Theorem VII.1.
+  [[nodiscard]] double degree_moment(int power) const noexcept;
+
+  /// Memory footprint of the CSR arrays in bytes (offsets + adjacency).
+  /// This is the denominator of the paper's relative-memory metric and the
+  /// base of the storage budget s (§V-A).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(VertexId);
+  }
+
+  [[nodiscard]] std::span<const EdgeId> offsets() const noexcept { return offsets_; }
+  [[nodiscard]] std::span<const VertexId> adjacency() const noexcept { return neighbors_; }
+
+  /// Check structural invariants (monotone offsets, sorted neighborhoods,
+  /// in-range IDs). Throws std::invalid_argument on violation.
+  void validate() const;
+
+ private:
+  std::vector<EdgeId> offsets_;      // n+1 entries
+  std::vector<VertexId> neighbors_;  // offsets_[n] entries, sorted per vertex
+};
+
+}  // namespace probgraph

@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace probgraph::io {
+
+namespace {
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return in;
+}
+
+}  // namespace
+
+CsrGraph read_edge_list(const std::string& path) {
+  std::ifstream in = open_or_throw(path);
+  std::vector<Edge> edges;
+  std::string line;
+  VertexId declared_n = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      // Honor vertex counts declared in comments so that trailing isolated
+      // vertices survive a round trip. Recognized: our own "n=<count>"
+      // header and the SNAP convention "# Nodes: <count> Edges: ...".
+      for (const std::string& tag : {std::string("n="), std::string("Nodes: ")}) {
+        const auto pos = line.find(tag);
+        if (pos != std::string::npos) {
+          declared_n = std::max(
+              declared_n, static_cast<VertexId>(std::strtoull(
+                              line.c_str() + pos + tag.size(), nullptr, 10)));
+        }
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("malformed edge-list line in " + path + ": " + line);
+    }
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return GraphBuilder::from_edges(std::move(edges), declared_n);
+}
+
+void write_edge_list(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open file for writing: " + path);
+  out << "# probgraph edge list: n=" << g.num_vertices() << " m=" << g.num_edges() << "\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+CsrGraph read_matrix_market(const std::string& path) {
+  std::ifstream in = open_or_throw(path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("not a MatrixMarket file: " + path);
+  }
+  // Skip comment lines, then read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hs(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(hs >> rows >> cols >> nnz)) {
+    throw std::runtime_error("malformed MatrixMarket size line in " + path);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(nnz);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t r = 0, c = 0;
+    if (!(ls >> r >> c)) {
+      throw std::runtime_error("malformed MatrixMarket entry in " + path + ": " + line);
+    }
+    if (r == 0 || c == 0) {
+      throw std::runtime_error("MatrixMarket indices must be 1-based: " + path);
+    }
+    edges.emplace_back(static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1));
+  }
+  return GraphBuilder::from_edges(std::move(edges),
+                                  static_cast<VertexId>(std::max(rows, cols)));
+}
+
+}  // namespace probgraph::io

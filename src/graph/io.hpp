@@ -1,0 +1,30 @@
+// Graph file I/O.
+//
+// Supports the two formats the paper's dataset sources ship in:
+//   * whitespace-separated edge lists ("u v" per line, '#'/'%' comments) —
+//     the SNAP [114] and KONECT [115] convention,
+//   * MatrixMarket coordinate files (DIMACS/SuiteSparse convention).
+// Graphs are symmetrized/simplified on load via GraphBuilder.
+#pragma once
+
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::io {
+
+/// Read a SNAP-style edge list. Lines starting with '#' or '%' are skipped.
+/// Vertex IDs may be arbitrary non-negative integers; they are used as-is
+/// (no compaction), so files with ID gaps produce isolated vertices.
+CsrGraph read_edge_list(const std::string& path);
+
+/// Write an undirected graph as an edge list with one "u v" line per
+/// undirected edge (u < v).
+void write_edge_list(const CsrGraph& g, const std::string& path);
+
+/// Read a MatrixMarket coordinate file (the header line is validated;
+/// values on data lines beyond the two indices are ignored). 1-based
+/// indices are converted to 0-based.
+CsrGraph read_matrix_market(const std::string& path);
+
+}  // namespace probgraph::io

@@ -1,0 +1,41 @@
+#include "graph/orientation.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace probgraph {
+
+CsrGraph degree_orient(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  // rank(v) < rank(u) iff (d_v, v) < (d_u, u); we orient toward the higher
+  // rank without materializing R: the comparison is done inline.
+  auto precedes = [&](VertexId v, VertexId u) {
+    const EdgeId dv = g.degree(v), du = g.degree(u);
+    return dv < du || (dv == du && v < u);
+  };
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    EdgeId out = 0;
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      if (precedes(static_cast<VertexId>(v), u)) ++out;
+    }
+    offsets[v + 1] = out;
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> adj(offsets[n]);
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    EdgeId cursor = offsets[v];
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      if (precedes(static_cast<VertexId>(v), u)) adj[cursor++] = u;
+    }
+    // Neighborhoods of g are sorted by ID; the filtered subsequence stays
+    // sorted by ID, which is what the merge intersections require.
+  }
+  return CsrGraph(std::move(offsets), std::move(adj));
+}
+
+}  // namespace probgraph

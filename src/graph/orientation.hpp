@@ -1,0 +1,19 @@
+// Degree orientation: the N+ DAG of Listings 1 and 2.
+//
+// "Derive a vertex order R s.t. if R(v) < R(u) then dv <= du" — each
+// undirected edge {u, v} is kept only as the arc from the lower-ranked to
+// the higher-ranked endpoint. The resulting DAG has exactly m arcs and its
+// per-vertex out-degree is bounded by O(sqrt(m)) on simple graphs, which is
+// what makes the node-iterator triangle count work-efficient.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace probgraph {
+
+/// Build the degree-ordered DAG: arc u -> v iff {u,v} in E and
+/// (d_u, u) < (d_v, v) lexicographically (degree ties broken by ID).
+/// The output is a directed CsrGraph over the same vertex set with m arcs.
+CsrGraph degree_orient(const CsrGraph& g);
+
+}  // namespace probgraph

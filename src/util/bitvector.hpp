@@ -1,0 +1,90 @@
+// Word-parallel bit vector: the storage backing Bloom filters.
+//
+// The paper's performance argument (§VI) is that BF intersection reduces to
+// a bitwise AND over fixed-size bit vectors followed by a popcount
+// reduction: "popcnt counts the number of 1-bits in one memory word in one
+// CPU cycle". The kernels below operate on raw uint64_t word spans so that
+// ProbGraph can lay all per-vertex filters out in a single arena and
+// intersect any pair without materializing a result vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace probgraph::util {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::uint64_t bits) noexcept {
+  return static_cast<std::size_t>((bits + kWordBits - 1) / kWordBits);
+}
+
+/// Popcount of the bitwise AND of two equal-length word spans.
+/// This is the |X AND Y| primitive of Fig. 1 panel 3: O(B/W) work.
+[[nodiscard]] std::uint64_t and_popcount(std::span<const std::uint64_t> a,
+                                         std::span<const std::uint64_t> b) noexcept;
+
+/// Popcount of the bitwise AND of three word spans (used by the BF variant
+/// of 4-clique counting, which chains B_u AND B_v AND B_w).
+[[nodiscard]] std::uint64_t and3_popcount(std::span<const std::uint64_t> a,
+                                          std::span<const std::uint64_t> b,
+                                          std::span<const std::uint64_t> c) noexcept;
+
+/// Popcount of the bitwise OR of two equal-length word spans (used by the
+/// OR-based estimator of [59], Eq. (29) of the paper's appendix).
+[[nodiscard]] std::uint64_t or_popcount(std::span<const std::uint64_t> a,
+                                        std::span<const std::uint64_t> b) noexcept;
+
+/// Popcount over a word span.
+[[nodiscard]] std::uint64_t popcount(std::span<const std::uint64_t> words) noexcept;
+
+/// Owning fixed-width bit vector.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Create an all-zeros vector of exactly `bits` bits.
+  explicit BitVector(std::uint64_t bits)
+      : num_bits_(bits), words_(words_for_bits(bits), 0) {}
+
+  [[nodiscard]] std::uint64_t size_bits() const noexcept { return num_bits_; }
+  [[nodiscard]] std::size_t size_words() const noexcept { return words_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return num_bits_ == 0; }
+
+  void set(std::uint64_t i) noexcept {
+    words_[i / kWordBits] |= (std::uint64_t{1} << (i % kWordBits));
+  }
+  void reset(std::uint64_t i) noexcept {
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+  }
+  [[nodiscard]] bool test(std::uint64_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+  }
+
+  /// Number of set bits (the paper's B_{X,1}).
+  [[nodiscard]] std::uint64_t count_ones() const noexcept;
+  /// Number of zero bits (the paper's B_{X,0}).
+  [[nodiscard]] std::uint64_t count_zeros() const noexcept {
+    return num_bits_ - count_ones();
+  }
+
+  void clear() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept { return words_; }
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  /// In-place AND with another vector of the same width.
+  BitVector& operator&=(const BitVector& other) noexcept;
+  /// In-place OR with another vector of the same width.
+  BitVector& operator|=(const BitVector& other) noexcept;
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  std::uint64_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace probgraph::util

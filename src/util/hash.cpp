@@ -1,0 +1,64 @@
+#include "util/hash.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace probgraph::util {
+
+namespace {
+
+constexpr std::uint32_t fmix32(std::uint32_t h) noexcept {
+  h ^= h >> 16;
+  h *= 0x85ebca6bU;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35U;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t murmur3_x86_32(const void* key, std::size_t len, std::uint32_t seed) noexcept {
+  const auto* data = static_cast<const std::uint8_t*>(key);
+  const std::size_t nblocks = len / 4;
+
+  std::uint32_t h1 = seed;
+  constexpr std::uint32_t c1 = 0xcc9e2d51U;
+  constexpr std::uint32_t c2 = 0x1b873593U;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k1;
+    std::memcpy(&k1, data + i * 4, 4);
+    k1 *= c1;
+    k1 = std::rotl(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = std::rotl(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64U;
+  }
+
+  const std::uint8_t* tail = data + nblocks * 4;
+  std::uint32_t k1 = 0;
+  switch (len & 3U) {
+    case 3:
+      k1 ^= static_cast<std::uint32_t>(tail[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<std::uint32_t>(tail[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= tail[0];
+      k1 *= c1;
+      k1 = std::rotl(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    default:
+      break;
+  }
+
+  h1 ^= static_cast<std::uint32_t>(len);
+  return fmix32(h1);
+}
+
+}  // namespace probgraph::util

@@ -1,0 +1,64 @@
+// Seeded hash functions used by every sketch in ProbGraph.
+//
+// The paper (§VI-C) uses MurmurHash3 [106] "well-known for its speed and
+// simplicity". We provide:
+//   * murmur3_x86_32  — the reference 32-bit MurmurHash3 over byte buffers,
+//   * murmur3_fmix64  — the 64-bit finalizer (a high-quality bijective
+//                       mixer), which is what the sketch hot paths use to
+//                       hash a (vertex, seed) pair in a handful of cycles,
+//   * HashFamily      — an indexed family h_1..h_b of independent-seeming
+//                       hash functions derived from one 64-bit seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace probgraph::util {
+
+/// Reference MurmurHash3 x86_32 over an arbitrary byte buffer.
+std::uint32_t murmur3_x86_32(const void* key, std::size_t len, std::uint32_t seed) noexcept;
+
+/// MurmurHash3 64-bit finalizer (fmix64). Bijective on 64-bit integers.
+constexpr std::uint64_t murmur3_fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash a 64-bit value under a 64-bit seed. This is the workhorse of all
+/// sketches: one multiply-xor chain, no memory traffic.
+constexpr std::uint64_t hash64(std::uint64_t x, std::uint64_t seed) noexcept {
+  return murmur3_fmix64(x + 0x9e3779b97f4a7c15ULL * (seed + 1));
+}
+
+/// Map a 64-bit hash to the real interval (0, 1]. Used by KMV sketches,
+/// whose estimator (k-1)/max needs hashes "uniform at random in (0,1]".
+constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  // 2^-64 * (h + 1): h = 0 maps to 2^-64 > 0 and h = 2^64-1 maps to 1.
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+/// An indexed family of hash functions h_i, i in [0, count). Each member is
+/// hash64 under a distinct derived seed, which is the standard practical
+/// stand-in for the paper's "b independent hash functions" assumption.
+class HashFamily {
+ public:
+  HashFamily() = default;
+  explicit HashFamily(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Evaluate member i on x.
+  [[nodiscard]] std::uint64_t operator()(std::uint32_t i, std::uint64_t x) const noexcept {
+    return hash64(x, murmur3_fmix64(seed_ ^ (0xa0761d6478bd642fULL * (i + 1))));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0x5eed'c0de'd00d'f00dULL;
+};
+
+}  // namespace probgraph::util

@@ -1,0 +1,75 @@
+#include "util/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace probgraph::util {
+
+double log_beta(double a, double b) noexcept {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Continued-fraction for the incomplete beta (Numerical Recipes `betacf`,
+// modified Lentz's method).
+double betacf(double a, double b, double x) noexcept {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  const double tiny = std::numeric_limits<double>::min() * 1e10;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const auto dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double reg_inc_beta(double a, double b, double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double front = std::exp(ln_front);
+  // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to keep the continued
+  // fraction in its fast-converging regime.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double binomial_cdf(double k, double n, double p) noexcept {
+  if (k < 0.0) return 0.0;
+  const double kf = std::floor(k);
+  if (kf >= n) return 1.0;
+  // P[X <= k] = I_{1-p}(n - k, k + 1).
+  return reg_inc_beta(n - kf, kf + 1.0, 1.0 - p);
+}
+
+}  // namespace probgraph::util

@@ -1,0 +1,28 @@
+// Special functions needed by the KMV concentration bounds.
+//
+// Proposition A.7 of the paper expresses the deviation probability of the
+// KMV size estimator through the regularized incomplete beta function
+// I_x(a, b) (the k-th smallest of |X| uniform hashes is Beta(k, |X|-k+1)
+// distributed). We implement I_x via the standard continued-fraction
+// expansion (Lentz's algorithm), accurate to ~1e-14 over the full domain.
+#pragma once
+
+namespace probgraph::util {
+
+/// Natural log of the beta function B(a, b) = Γ(a)Γ(b)/Γ(a+b).
+[[nodiscard]] double log_beta(double a, double b) noexcept;
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0, x in [0, 1].
+[[nodiscard]] double reg_inc_beta(double a, double b, double x) noexcept;
+
+/// CDF of the Beta(a, b) distribution at x (alias of reg_inc_beta).
+[[nodiscard]] inline double beta_cdf(double x, double a, double b) noexcept {
+  return reg_inc_beta(a, b, x);
+}
+
+/// CDF of the Binomial(n, p) distribution at k (P[X <= k]), computed through
+/// the incomplete-beta identity. Used by tests validating the k-hash model
+/// |M_X ∩ M_Y| ~ Bin(k, J).
+[[nodiscard]] double binomial_cdf(double k, double n, double p) noexcept;
+
+}  // namespace probgraph::util

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace probgraph::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  auto interp = [&](double q) {
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  };
+  s.q1 = interp(0.25);
+  s.median = interp(0.5);
+  s.q3 = interp(0.75);
+  return s;
+}
+
+MeanCi bootstrap_mean_ci(std::span<const double> xs, int resamples, std::uint64_t seed) {
+  MeanCi ci;
+  ci.mean = mean(xs);
+  if (xs.size() < 2) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      acc += xs[rng.bounded(xs.size())];
+    }
+    means.push_back(acc / static_cast<double>(xs.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(means.size() - 1));
+    return means[idx];
+  };
+  ci.lo = at(0.025);
+  ci.hi = at(0.975);
+  return ci;
+}
+
+}  // namespace probgraph::util

@@ -1,0 +1,45 @@
+// Descriptive statistics and nonparametric confidence intervals.
+//
+// The evaluation methodology (§VIII-A) follows Hoefler & Belli [109]:
+// report means with 95% *nonparametric* confidence intervals and summarize
+// relative-error distributions with boxplots (Fig. 3). This module provides
+// exactly those summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace probgraph::util {
+
+/// Five-number boxplot summary plus mean (Fig. 3 uses boxplots of relative
+/// differences over all adjacent vertex pairs).
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  std::size_t count = 0;
+};
+
+/// 95% confidence interval on the mean.
+struct MeanCi {
+  double mean = 0;
+  double lo = 0;
+  double hi = 0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;  // sample variance
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Quantile via linear interpolation of the order statistics (type-7,
+/// the same convention as numpy's default). q must be in [0, 1].
+[[nodiscard]] double quantile(std::vector<double> xs, double q);
+
+[[nodiscard]] BoxStats box_stats(std::vector<double> xs);
+
+/// Percentile-bootstrap 95% CI on the mean (the "nonparametric confidence
+/// intervals" of the benchmarking methodology). Deterministic under `seed`.
+[[nodiscard]] MeanCi bootstrap_mean_ci(std::span<const double> xs,
+                                       int resamples = 1000,
+                                       std::uint64_t seed = 42);
+
+}  // namespace probgraph::util

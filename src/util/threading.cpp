@@ -1,0 +1,15 @@
+#include "util/threading.hpp"
+
+#include <omp.h>
+
+namespace probgraph::util {
+
+int max_threads() noexcept { return omp_get_max_threads(); }
+
+void set_threads(int n) noexcept {
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int thread_id() noexcept { return omp_get_thread_num(); }
+
+}  // namespace probgraph::util

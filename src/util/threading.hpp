@@ -1,0 +1,32 @@
+// Thin wrapper over the OpenMP runtime.
+//
+// Keeping the #include <omp.h> in one translation unit lets the rest of the
+// library stay header-clean and makes thread-count plumbing (the scaling
+// benches sweep 1..2^k threads) explicit and testable.
+#pragma once
+
+namespace probgraph::util {
+
+/// Maximum number of threads OpenMP will use for the next parallel region.
+int max_threads() noexcept;
+
+/// Set the number of threads for subsequent parallel regions.
+void set_threads(int n) noexcept;
+
+/// Thread id inside a parallel region (0 outside of one).
+int thread_id() noexcept;
+
+/// RAII guard that sets the OpenMP thread count and restores the previous
+/// value on scope exit. Used by the scaling benches.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int n) noexcept : saved_(max_threads()) { set_threads(n); }
+  ~ThreadScope() { set_threads(saved_); }
+  ThreadScope(const ThreadScope&) = delete;
+  ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace probgraph::util

@@ -1,0 +1,20 @@
+// Fundamental integer types shared across the ProbGraph library.
+#pragma once
+
+#include <cstdint>
+
+namespace probgraph {
+
+/// Vertex identifier. Graphs are modeled as V = {0, ..., n-1} (the paper
+/// uses 1-based IDs; we use 0-based throughout).
+using VertexId = std::uint32_t;
+
+/// Index into the CSR adjacency array; also used for (directed) edge counts.
+/// 64-bit so that graphs with more than 2^32 directed edges are supported.
+using EdgeId = std::uint64_t;
+
+/// Size of a memory word in bits (the paper's W). All bit-vector kernels
+/// operate on 64-bit words; SIMD widening is left to the auto-vectorizer.
+inline constexpr unsigned kWordBits = 64;
+
+}  // namespace probgraph

@@ -1,0 +1,111 @@
+// Cross-cutting accuracy properties of the ProbGraph estimators: sweeps
+// over (representation × budget × graph family) asserting the qualitative
+// laws the paper's evaluation rests on — consistency in the budget, the
+// ≤ budget memory envelope, and sane aggregate accuracy on both regular
+// (Watts–Strogatz) and skewed (Kronecker) inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/intersect.hpp"
+#include "core/prob_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph {
+namespace {
+
+double aggregate_relative_estimate(const CsrGraph& g, const ProbGraph& pg) {
+  double exact = 0.0, est = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      exact += static_cast<double>(intersect_size_merge(g.neighbors(v), g.neighbors(u)));
+      est += pg.est_intersection(v, u);
+    }
+  }
+  return exact == 0.0 ? 1.0 : est / exact;
+}
+
+using SweepParam = std::tuple<SketchKind, double>;  // (kind, budget)
+
+class AccuracySweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static ProbGraphConfig config(SketchKind kind, double budget, std::uint64_t seed) {
+    ProbGraphConfig cfg;
+    cfg.kind = kind;
+    cfg.storage_budget = budget;
+    cfg.bf_hashes = 1;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+TEST_P(AccuracySweep, MemoryEnvelopeHolds) {
+  const auto [kind, budget] = GetParam();
+  const CsrGraph g = gen::watts_strogatz(3000, 20, 0.2, 5);
+  const ProbGraph pg(g, config(kind, budget, 1));
+  // Word/entry rounding can exceed tiny budgets; allow one word per vertex
+  // of slack on top of 15%.
+  const double slack =
+      1.15 * budget + 16.0 * g.num_vertices() / static_cast<double>(g.memory_bytes());
+  EXPECT_LE(pg.relative_memory(), slack) << to_string(kind) << " s=" << budget;
+}
+
+TEST_P(AccuracySweep, AggregateEstimateIsCalibratedOnRegularGraphs) {
+  const auto [kind, budget] = GetParam();
+  if (budget < 0.2) GTEST_SKIP() << "below the paper's evaluated budget range";
+  const CsrGraph g = gen::watts_strogatz(3000, 20, 0.2, 5);
+  // Average across builds: single-hash representations correlate errors
+  // within one build (see test_triangle_count.cpp).
+  double rel = 0.0;
+  constexpr int kSeeds = 3;
+  for (int s = 0; s < kSeeds; ++s) {
+    const ProbGraph pg(g, config(kind, budget, 10 + s));
+    rel += aggregate_relative_estimate(g, pg);
+  }
+  rel /= kSeeds;
+  EXPECT_GT(rel, 0.55) << to_string(kind) << " s=" << budget;
+  EXPECT_LT(rel, 1.45) << to_string(kind) << " s=" << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndBudgets, AccuracySweep,
+    ::testing::Combine(::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                         SketchKind::kOneHash, SketchKind::kKmv),
+                       ::testing::Values(0.1, 0.25, 0.33, 0.5)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_s" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+class BudgetMonotonicity : public ::testing::TestWithParam<SketchKind> {};
+
+TEST_P(BudgetMonotonicity, ErrorShrinksWithBudget) {
+  // Consistency (§II-F): larger sketches → estimates closer to the truth.
+  // Checked on the aggregate across three builds per budget.
+  const CsrGraph g = gen::kronecker(10, 16.0, 9);
+  auto mean_abs_error = [&](double budget) {
+    double err = 0.0;
+    constexpr int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      ProbGraphConfig cfg;
+      cfg.kind = GetParam();
+      cfg.storage_budget = budget;
+      cfg.bf_hashes = 1;
+      cfg.seed = 20 + s;
+      const ProbGraph pg(g, cfg);
+      err += std::abs(aggregate_relative_estimate(g, pg) - 1.0);
+    }
+    return err / kSeeds;
+  };
+  EXPECT_LT(mean_abs_error(1.5), mean_abs_error(0.08) + 1e-9) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BudgetMonotonicity,
+                         ::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                           SketchKind::kOneHash, SketchKind::kKmv),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace probgraph

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/triangle_count.hpp"
+#include "baselines/colorful.hpp"
+#include "baselines/doulion.hpp"
+#include "baselines/heuristics.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph::baselines {
+namespace {
+
+TEST(Doulion, FullProbabilityIsExact) {
+  const CsrGraph g = gen::kronecker(9, 10.0, 3);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  const DoulionResult r = doulion_tc(g, 1.0, 42);
+  EXPECT_DOUBLE_EQ(r.estimate, exact);
+  EXPECT_EQ(r.sampled_edges, g.num_edges());
+}
+
+TEST(Doulion, RejectsBadProbability) {
+  const CsrGraph g = gen::complete(5);
+  EXPECT_THROW(doulion_tc(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(doulion_tc(g, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Doulion, MeanOverSeedsIsUnbiased) {
+  const CsrGraph g = gen::kronecker(10, 16.0, 7);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  double acc = 0.0;
+  constexpr int kTrials = 24;
+  for (int t = 0; t < kTrials; ++t) acc += doulion_tc(g, 0.5, 100 + t).estimate;
+  EXPECT_NEAR(acc / kTrials / exact, 1.0, 0.15);
+}
+
+TEST(Colorful, SingleColorIsExact) {
+  const CsrGraph g = gen::kronecker(9, 10.0, 5);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  const ColorfulResult r = colorful_tc(g, 1, 42);
+  EXPECT_DOUBLE_EQ(r.estimate, exact);
+  EXPECT_EQ(r.monochromatic_edges, g.num_edges());
+}
+
+TEST(Colorful, RejectsZeroColors) {
+  EXPECT_THROW(colorful_tc(gen::complete(4), 0, 1), std::invalid_argument);
+}
+
+TEST(Colorful, MeanOverSeedsIsUnbiased) {
+  const CsrGraph g = gen::kronecker(10, 16.0, 9);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  double acc = 0.0;
+  constexpr int kTrials = 32;
+  for (int t = 0; t < kTrials; ++t) acc += colorful_tc(g, 2, 500 + t).estimate;
+  EXPECT_NEAR(acc / kTrials / exact, 1.0, 0.2);
+}
+
+TEST(ReducedExecution, StepOneIsExact) {
+  const CsrGraph g = gen::kronecker(9, 12.0, 11);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  EXPECT_DOUBLE_EQ(reduced_execution_tc(g, 1), exact);
+  EXPECT_THROW(reduced_execution_tc(g, 0), std::invalid_argument);
+}
+
+TEST(ReducedExecution, PartialCountUndershootsExact) {
+  // Loop perforation without rescaling: the reported count is a fraction
+  // of the true one (that is the accuracy loss the paper measures).
+  const CsrGraph g = gen::kronecker(11, 16.0, 13);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  const double est = reduced_execution_tc(g, 4);
+  EXPECT_LT(est, exact);
+  EXPECT_GT(est, 0.0);
+}
+
+TEST(PartialProcessing, FullFractionIsExact) {
+  const CsrGraph g = gen::kronecker(9, 12.0, 15);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  EXPECT_DOUBLE_EQ(partial_processing_tc(g, 1.0, 42), exact);
+  EXPECT_THROW(partial_processing_tc(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(partial_processing_tc(g, 1.2, 1), std::invalid_argument);
+}
+
+TEST(PartialProcessing, SubsamplingUndershootsPredictably) {
+  // Each triangle survives with probability fraction² (both endpoints of
+  // the inner intersection must keep the common neighbor), so the raw
+  // partial count concentrates near fraction² · TC.
+  const CsrGraph g = gen::kronecker(11, 16.0, 17);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  double acc = 0.0;
+  constexpr int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) acc += partial_processing_tc(g, 0.5, 700 + t);
+  EXPECT_NEAR(acc / kTrials / exact, 0.25, 0.1);
+}
+
+TEST(AutoApprox, SampledCountsTrackTheSampleRate) {
+  // Each triangle is found iff the (v -> u) message survives: the raw count
+  // concentrates near sample_rate · TC (0.5 and 0.25 for the two variants).
+  const CsrGraph g = gen::kronecker(10, 12.0, 19);
+  const auto exact = static_cast<double>(algo::triangle_count_exact(g));
+  const double v1 = auto_approx1_tc(g, 42);
+  const double v2 = auto_approx2_tc(g, 42);
+  EXPECT_TRUE(std::isfinite(v1));
+  EXPECT_TRUE(std::isfinite(v2));
+  EXPECT_NEAR(v1 / exact, 0.5, 0.15);
+  EXPECT_NEAR(v2 / exact, 0.25, 0.15);
+  // The more aggressive variant drops more triangles.
+  EXPECT_LT(v2, v1);
+}
+
+TEST(AutoApprox, EmptyGraphYieldsZero) {
+  const CsrGraph g = gen::path(2);  // single edge: no DAG messages survive intersect
+  EXPECT_DOUBLE_EQ(auto_approx1_tc(g, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace probgraph::baselines

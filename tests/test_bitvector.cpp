@@ -1,0 +1,168 @@
+#include "util/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace probgraph::util {
+namespace {
+
+TEST(WordsForBits, RoundsUp) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(BitVector, StartsAllZero) {
+  const BitVector bv(256);
+  EXPECT_EQ(bv.size_bits(), 256u);
+  EXPECT_EQ(bv.size_words(), 4u);
+  EXPECT_EQ(bv.count_ones(), 0u);
+  EXPECT_EQ(bv.count_zeros(), 256u);
+  for (std::uint64_t i = 0; i < 256; ++i) EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector bv(130);
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.test(0));
+  EXPECT_TRUE(bv.test(63));
+  EXPECT_TRUE(bv.test(64));
+  EXPECT_TRUE(bv.test(129));
+  EXPECT_FALSE(bv.test(1));
+  EXPECT_EQ(bv.count_ones(), 4u);
+  bv.reset(63);
+  EXPECT_FALSE(bv.test(63));
+  EXPECT_EQ(bv.count_ones(), 3u);
+}
+
+TEST(BitVector, SetIsIdempotent) {
+  BitVector bv(64);
+  bv.set(10);
+  bv.set(10);
+  EXPECT_EQ(bv.count_ones(), 1u);
+}
+
+TEST(BitVector, ClearResetsEverything) {
+  BitVector bv(100);
+  for (std::uint64_t i = 0; i < 100; i += 3) bv.set(i);
+  bv.clear();
+  EXPECT_EQ(bv.count_ones(), 0u);
+}
+
+TEST(BitVector, AndOrOperators) {
+  BitVector a(128), b(128);
+  a.set(1);
+  a.set(2);
+  a.set(100);
+  b.set(2);
+  b.set(3);
+  b.set(100);
+
+  BitVector both = a;
+  both &= b;
+  EXPECT_TRUE(both.test(2));
+  EXPECT_TRUE(both.test(100));
+  EXPECT_FALSE(both.test(1));
+  EXPECT_FALSE(both.test(3));
+  EXPECT_EQ(both.count_ones(), 2u);
+
+  BitVector any = a;
+  any |= b;
+  EXPECT_EQ(any.count_ones(), 4u);
+}
+
+TEST(BitVector, EqualityComparesContent) {
+  BitVector a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AndPopcount, MatchesNaive) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t words = 1 + rng.bounded(9);  // exercise the unrolled + tail paths
+    std::vector<std::uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng();
+    for (auto& w : b) w = rng();
+    std::uint64_t naive = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      naive += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+    }
+    EXPECT_EQ(and_popcount(a, b), naive);
+  }
+}
+
+TEST(And3Popcount, MatchesNaive) {
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> a(5), b(5), c(5);
+  for (auto& w : a) w = rng();
+  for (auto& w : b) w = rng();
+  for (auto& w : c) w = rng();
+  std::uint64_t naive = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    naive += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i] & c[i]));
+  }
+  EXPECT_EQ(and3_popcount(a, b, c), naive);
+}
+
+TEST(OrPopcount, MatchesNaive) {
+  Xoshiro256 rng(13);
+  std::vector<std::uint64_t> a(6), b(6);
+  for (auto& w : a) w = rng();
+  for (auto& w : b) w = rng();
+  std::uint64_t naive = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    naive += static_cast<std::uint64_t>(__builtin_popcountll(a[i] | b[i]));
+  }
+  EXPECT_EQ(or_popcount(a, b), naive);
+}
+
+TEST(AndPopcount, EmptySpansYieldZero) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(and_popcount(empty, empty), 0u);
+  EXPECT_EQ(popcount(empty), 0u);
+}
+
+// Property sweep: for disjoint, identical, and nested bit sets the AND
+// popcount equals the intersection size of the underlying index sets.
+class AndPopcountProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AndPopcountProperty, AgreesWithSetIntersection) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const std::uint64_t bits = 512;
+  BitVector a(bits), b(bits);
+  std::uint64_t expected = 0;
+  std::vector<bool> in_a(bits, false), in_b(bits, false);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t pos = rng.bounded(bits);
+    if (rng.bernoulli(0.5)) {
+      a.set(pos);
+      in_a[pos] = true;
+    } else {
+      b.set(pos);
+      in_b[pos] = true;
+    }
+  }
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    if (in_a[i] && in_b[i]) ++expected;
+  }
+  EXPECT_EQ(and_popcount(a.words(), b.words()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AndPopcountProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace probgraph::util

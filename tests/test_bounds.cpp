@@ -1,0 +1,164 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/estimators.hpp"
+#include "core/minhash.hpp"
+
+namespace probgraph::bounds {
+namespace {
+
+TEST(BfAndBound, ApplicabilityPredicate) {
+  // b·w <= 0.499·B·log B.
+  EXPECT_TRUE(bf_and_bound_applicable(10, 1024, 2));
+  EXPECT_FALSE(bf_and_bound_applicable(1e9, 1024, 2));
+}
+
+TEST(BfAndBound, MseIsNonNegativeAndGrowsWithIntersection) {
+  const double b1 = bf_and_mse_bound(10, 4096, 2);
+  const double b2 = bf_and_mse_bound(100, 4096, 2);
+  EXPECT_GE(b1, 0.0);
+  EXPECT_GT(b2, b1);
+}
+
+TEST(BfAndBound, DeviationDecaysAsTSquared) {
+  const double p1 = bf_and_deviation_bound(50, 4096, 2, 10);
+  const double p2 = bf_and_deviation_bound(50, 4096, 2, 20);
+  EXPECT_LE(p2, p1);
+  if (p1 < 1.0 && p1 > 0.0) {
+    EXPECT_NEAR(p2 / p1, 0.25, 1e-9);  // Chebyshev: 1/t² scaling
+  }
+  EXPECT_DOUBLE_EQ(bf_and_deviation_bound(50, 4096, 2, 0), 1.0);
+}
+
+TEST(BfLinearBound, ZeroAtPerfectCalibration) {
+  // With w elements, rate = wb/B and δ chosen to cancel the bias exactly,
+  // the squared-bias term vanishes and only the variance term remains.
+  const double w = 100, bits = 8192, b = 2;
+  const double delta = w / (bits * (1.0 - std::exp(-w * b / bits)));
+  const double mse = bf_linear_mse_bound(w, bits, b, delta);
+  const double var_only = mse;  // bias² == 0 by construction
+  EXPECT_GE(var_only, 0.0);
+  EXPECT_LT(var_only, bf_linear_mse_bound(w, bits, b, delta * 2.0));
+}
+
+TEST(MhBound, MatchesClosedForm) {
+  // 2·exp(−2kt²/(|X|+|Y|)²) with k = 128, t = 30, sizes 100+100.
+  const double expected = 2.0 * std::exp(-2.0 * 128 * 900 / (200.0 * 200.0));
+  EXPECT_NEAR(mh_deviation_bound(100, 100, 128, 30), expected, 1e-12);
+}
+
+TEST(MhBound, IsMonotone) {
+  // Decreasing in t and k; vacuous (==1 after clamping) at t = 0.
+  EXPECT_DOUBLE_EQ(mh_deviation_bound(100, 100, 64, 0), 1.0);
+  EXPECT_GT(mh_deviation_bound(100, 100, 64, 10), mh_deviation_bound(100, 100, 64, 50));
+  EXPECT_GT(mh_deviation_bound(100, 100, 64, 50), mh_deviation_bound(100, 100, 256, 50));
+}
+
+TEST(MhBound, EmpiricalViolationRateIsBelowBound) {
+  // Property check of Prop. IV.3: run many independent 1-hash estimates and
+  // verify the deviation probability at t is at most the bound.
+  std::vector<VertexId> xs, ys;
+  for (VertexId i = 0; i < 400; ++i) xs.push_back(i);
+  for (VertexId i = 200; i < 600; ++i) ys.push_back(i);
+  const double true_inter = 200.0;
+  constexpr std::uint32_t kK = 64;
+  constexpr int kTrials = 400;
+  const double t = 120.0;
+
+  int violations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OneHashSketch a(kK, 1000 + trial), b(kK, 1000 + trial);
+    a.build(xs);
+    b.build(ys);
+    const double est = est::mh_intersection(a.jaccard(b), 400, 400);
+    if (std::abs(est - true_inter) >= t) ++violations;
+  }
+  const double empirical = static_cast<double>(violations) / kTrials;
+  const double bound = mh_deviation_bound(400, 400, kK, t);
+  EXPECT_LE(empirical, bound + 0.02);
+}
+
+TEST(TcBfBound, ScalesWithEdgesSquared) {
+  const double b1 = tc_bf_deviation_bound(100, 10, 1 << 16, 2, 1000);
+  const double b2 = tc_bf_deviation_bound(200, 10, 1 << 16, 2, 1000);
+  if (b1 < 1.0 && b2 < 1.0 && b1 > 0.0) {
+    EXPECT_NEAR(b2 / b1, 4.0, 1e-6);
+  }
+}
+
+TEST(TcMhBound, ClosedFormAndMonotonicity) {
+  const double sum_d2 = 5000.0;
+  const double expected = 2.0 * std::exp(-18.0 * 64 * 1e6 / (sum_d2 * sum_d2));
+  EXPECT_NEAR(tc_mh_deviation_bound(sum_d2, 64, 1000), std::min(1.0, expected), 1e-12);
+  EXPECT_GE(tc_mh_deviation_bound(sum_d2, 64, 10), tc_mh_deviation_bound(sum_d2, 64, 100));
+}
+
+TEST(TcMhChromaticBound, TighterForLowDegreeGraphs) {
+  // For a d-regular graph Σd² = n·d², Σd³ = n·d³. With small Δ the Vizing
+  // form must beat (be ≤) the generic form for large t.
+  const double n = 1000, d = 8;
+  const double generic = tc_mh_deviation_bound(n * d * d, 64, 500);
+  const double vizing = tc_mh_deviation_bound_chromatic(n * d * d * d, d, 64, 500);
+  EXPECT_LE(vizing, generic + 1e-12);
+}
+
+TEST(KmvWithinProb, UnsaturatedIsCertain) {
+  EXPECT_DOUBLE_EQ(kmv_size_within_prob(10, 64, 1), 1.0);
+}
+
+TEST(KmvWithinProb, IncreasesWithTolerance) {
+  const double p1 = kmv_size_within_prob(10000, 256, 100);
+  const double p2 = kmv_size_within_prob(10000, 256, 500);
+  const double p3 = kmv_size_within_prob(10000, 256, 2000);
+  EXPECT_LE(p1, p2);
+  EXPECT_LE(p2, p3);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p3, 1.0);
+}
+
+TEST(KmvWithinProb, LargerSketchConcentrates) {
+  const double loose = kmv_size_within_prob(10000, 64, 500);
+  const double tight = kmv_size_within_prob(10000, 1024, 500);
+  EXPECT_GE(tight, loose);
+}
+
+TEST(KmvIntersectionBounds, UnionBoundDominatesExact) {
+  // The three-way union bound (Prop. A.8) is weaker (larger) than the
+  // exact-sizes bound (Prop. A.9) at matched t.
+  const double t = 300.0;
+  const double ub = kmv_intersection_deviation_bound(5000, 5000, 8000, 256, t);
+  const double ex = kmv_intersection_deviation_exact(8000, 256, t);
+  EXPECT_GE(ub + 1e-12, ex);
+  EXPECT_GE(ub, 0.0);
+  EXPECT_LE(ub, 1.0);
+}
+
+TEST(MhKForAccuracy, InvertsTheBound) {
+  const double eps = 0.05, delta = 0.01;
+  const double k = mh_k_for_accuracy(eps, delta);
+  // Plugging k back: bound at t = eps·(|X|+|Y|) must be ≤ delta.
+  const double s = 1000.0;  // any |X|+|Y|
+  EXPECT_LE(mh_deviation_bound(s / 2, s / 2, k, eps * s), delta * 1.0001);
+}
+
+// Sweep: the exponential MinHash bound is never vacuous for reasonable k
+// at 25% relative error, and tightens exponentially in k.
+class MhBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MhBoundSweep, ExponentialDecayInK) {
+  const int k = GetParam();
+  const double s = 200.0;  // |X| + |Y|
+  const double t = 0.25 * s;
+  const double bound = mh_deviation_bound(s / 2, s / 2, k, t);
+  const double expected = 2.0 * std::exp(-2.0 * k * 0.0625);
+  EXPECT_NEAR(bound, std::min(1.0, expected), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MhBoundSweep, ::testing::Values(8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace probgraph::bounds

@@ -1,0 +1,123 @@
+#include "algorithms/clique_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+
+namespace probgraph::algo {
+namespace {
+
+/// O(n⁴) oracle for small graphs.
+std::uint64_t brute_force_4cc(const CsrGraph& g) {
+  std::uint64_t count = 0;
+  const VertexId n = g.num_vertices();
+  for (VertexId a = 0; a < n; ++a)
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!g.has_edge(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (!g.has_edge(a, c) || !g.has_edge(b, c)) continue;
+        for (VertexId d = c + 1; d < n; ++d) {
+          if (g.has_edge(a, d) && g.has_edge(b, d) && g.has_edge(c, d)) ++count;
+        }
+      }
+    }
+  return count;
+}
+
+TEST(FourCliqueExact, ClosedFormOracles) {
+  EXPECT_EQ(four_clique_count_exact(gen::complete(6)), 15u);   // C(6,4)
+  EXPECT_EQ(four_clique_count_exact(gen::complete(10)), 210u); // C(10,4)
+  EXPECT_EQ(four_clique_count_exact(gen::complete(4)), 1u);
+  EXPECT_EQ(four_clique_count_exact(gen::complete(3)), 0u);
+  EXPECT_EQ(four_clique_count_exact(gen::star(30)), 0u);
+  EXPECT_EQ(four_clique_count_exact(gen::complete_bipartite(8, 8)), 0u);
+  // 4 disjoint K_5s: 4 · C(5,4) = 20.
+  EXPECT_EQ(four_clique_count_exact(gen::clique_chain(4, 5)), 20u);
+}
+
+TEST(FourCliqueExact, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const CsrGraph g = gen::erdos_renyi(40, 0.25, seed);
+    EXPECT_EQ(four_clique_count_exact(g), brute_force_4cc(g)) << "seed " << seed;
+  }
+}
+
+TEST(FourCliqueExact, OrientedEntryPointMatches) {
+  const CsrGraph g = gen::kronecker(8, 10.0, 3);
+  EXPECT_EQ(four_clique_count_exact(g),
+            four_clique_count_exact_oriented(degree_orient(g)));
+}
+
+TEST(FourCliqueProbGraph, RejectsKmv) {
+  const CsrGraph dag = degree_orient(gen::complete(8));
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kKmv;
+  const ProbGraph pg(dag, cfg);
+  EXPECT_THROW((void)four_clique_count_probgraph(pg), std::invalid_argument);
+}
+
+TEST(FourCliqueProbGraph, BloomTracksExactOnDenseGraph) {
+  const CsrGraph g = gen::kronecker(10, 24.0, 5);
+  const auto exact = static_cast<double>(four_clique_count_exact(g));
+  ASSERT_GT(exact, 0.0);
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.33;
+  cfg.budget_reference_bytes = g.memory_bytes();
+  cfg.bf_hashes = 1;
+  cfg.seed = 11;
+  const ProbGraph pg(dag, cfg);
+  const double est = four_clique_count_probgraph(pg);
+  // 4CC compounds three approximations (C3 membership, chained AND, and the
+  // w-loop), so the band is wide; Fig. 5 similarly scatters up to ~1.5×.
+  EXPECT_NEAR(est / exact, 1.0, 1.0);
+}
+
+TEST(FourCliqueProbGraph, OneHashIsFiniteAndPositiveOnCliques) {
+  const CsrGraph dag = degree_orient(gen::clique_chain(6, 8));
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 16;
+  const ProbGraph pg(dag, cfg);
+  const double est = four_clique_count_probgraph(pg);
+  EXPECT_GT(est, 0.0);
+  EXPECT_TRUE(std::isfinite(est));
+}
+
+TEST(FourCliqueProbGraph, SaturatedOneHashIsNearExact) {
+  // k larger than every out-degree: sketches hold whole neighborhoods.
+  const CsrGraph g = gen::complete(16);
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 32;
+  const ProbGraph pg(dag, cfg);
+  EXPECT_NEAR(four_clique_count_probgraph(pg), 1820.0, 1820.0 * 0.05);  // C(16,4)
+}
+
+TEST(FourCliqueProbGraph, KHashRunsOnRandomGraph) {
+  const CsrGraph dag = degree_orient(gen::kronecker(9, 10.0, 9));
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kKHash;
+  cfg.minhash_k = 16;
+  const ProbGraph pg(dag, cfg);
+  const double est = four_clique_count_probgraph(pg);
+  EXPECT_GE(est, 0.0);
+  EXPECT_TRUE(std::isfinite(est));
+}
+
+TEST(FourCliqueProbGraph, ZeroOnTriangleFreeGraphs) {
+  const CsrGraph dag = degree_orient(gen::cycle(64));
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 8;
+  const ProbGraph pg(dag, cfg);
+  EXPECT_DOUBLE_EQ(four_clique_count_probgraph(pg), 0.0);
+}
+
+}  // namespace
+}  // namespace probgraph::algo

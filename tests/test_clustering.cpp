@@ -1,0 +1,110 @@
+#include "algorithms/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph::algo {
+namespace {
+
+TEST(JarvisPatrickExact, CliquesSurviveCommonNeighborThreshold) {
+  // 5 disjoint K_6s: inside a clique every edge has 4 common neighbors.
+  const CsrGraph g = gen::clique_chain(5, 6);
+  const ClusteringResult r =
+      jarvis_patrick_exact(g, SimilarityMeasure::kCommonNeighbors, 3.0);
+  EXPECT_EQ(r.num_clusters, 5u);
+  EXPECT_EQ(r.kept_edges, g.num_edges());
+}
+
+TEST(JarvisPatrickExact, HighThresholdShattersEverything) {
+  const CsrGraph g = gen::clique_chain(5, 6);
+  const ClusteringResult r =
+      jarvis_patrick_exact(g, SimilarityMeasure::kCommonNeighbors, 100.0);
+  EXPECT_EQ(r.kept_edges, 0u);
+  EXPECT_EQ(r.num_clusters, g.num_vertices());  // all singletons
+}
+
+TEST(JarvisPatrickExact, TriangleFreeGraphKeepsNothing) {
+  // In a star, adjacent vertices share no neighbors.
+  const CsrGraph g = gen::star(20);
+  const ClusteringResult r =
+      jarvis_patrick_exact(g, SimilarityMeasure::kCommonNeighbors, 0.5);
+  EXPECT_EQ(r.kept_edges, 0u);
+  EXPECT_EQ(r.num_clusters, 20u);
+}
+
+TEST(JarvisPatrickExact, JaccardVariantSeparatesWeakBridges) {
+  // Two K_5s joined by a single bridge edge: the bridge endpoints share no
+  // neighbors, so the bridge is dropped and two clusters remain.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  for (VertexId u = 5; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) edges.emplace_back(u, v);
+  edges.emplace_back(4, 5);  // bridge
+  const CsrGraph g = GraphBuilder::from_edges(std::move(edges));
+  const ClusteringResult r = jarvis_patrick_exact(g, SimilarityMeasure::kJaccard, 0.2);
+  EXPECT_EQ(r.num_clusters, 2u);
+}
+
+TEST(JarvisPatrickExact, LabelsAreConsistentWithClusters) {
+  const CsrGraph g = gen::clique_chain(3, 4);
+  const ClusteringResult r =
+      jarvis_patrick_exact(g, SimilarityMeasure::kCommonNeighbors, 1.0);
+  ASSERT_EQ(r.labels.size(), g.num_vertices());
+  std::set<VertexId> distinct(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(distinct.size(), r.num_clusters);
+  // Vertices of the same planted clique share a label.
+  for (VertexId base = 0; base < 12; base += 4) {
+    for (VertexId i = 1; i < 4; ++i) EXPECT_EQ(r.labels[base], r.labels[base + i]);
+  }
+}
+
+TEST(JarvisPatrickExact, OverlapVariantOnCliqueChain) {
+  // Inside K_6, overlap(u,v) = 4/5 > 0.5.
+  const CsrGraph g = gen::clique_chain(4, 6);
+  const ClusteringResult r = jarvis_patrick_exact(g, SimilarityMeasure::kOverlap, 0.5);
+  EXPECT_EQ(r.num_clusters, 4u);
+}
+
+class ClusteringPgSweep : public ::testing::TestWithParam<SketchKind> {};
+
+TEST_P(ClusteringPgSweep, RecoversPlantedClustersWithGenerousSketch) {
+  const CsrGraph g = gen::clique_chain(6, 8);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  cfg.storage_budget = 2.0;  // generous: estimation noise must not matter
+  cfg.seed = 3;
+  const ProbGraph pg(g, cfg);
+  const ClusteringResult r =
+      jarvis_patrick_probgraph(pg, SimilarityMeasure::kCommonNeighbors, 3.0);
+  EXPECT_EQ(r.num_clusters, 6u) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ClusteringPgSweep,
+                         ::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                           SketchKind::kOneHash, SketchKind::kKmv),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(ClusteringPg, ClusterCountTracksExactOnKronecker) {
+  const CsrGraph g = gen::kronecker(10, 16.0, 23);
+  const ClusteringResult exact =
+      jarvis_patrick_exact(g, SimilarityMeasure::kCommonNeighbors, 2.0);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.33;
+  cfg.bf_hashes = 2;
+  cfg.seed = 29;
+  const ProbGraph pg(g, cfg);
+  const ClusteringResult approx =
+      jarvis_patrick_probgraph(pg, SimilarityMeasure::kCommonNeighbors, 2.0);
+  const double rel = static_cast<double>(approx.num_clusters) /
+                     static_cast<double>(exact.num_clusters);
+  EXPECT_GT(rel, 0.5);
+  EXPECT_LT(rel, 2.0);
+}
+
+}  // namespace
+}  // namespace probgraph::algo

@@ -1,0 +1,73 @@
+#include "algorithms/clustering_coefficient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/triangle_count.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph::algo {
+namespace {
+
+TEST(Cohesion, CompleteGraphIsOne) {
+  const CsrGraph g = gen::complete(10);
+  const auto tc = static_cast<double>(triangle_count_exact(g));
+  EXPECT_DOUBLE_EQ(cohesion(tc, 10), 1.0);
+}
+
+TEST(Cohesion, TriangleFreeIsZeroAndTinyGraphsAreSafe) {
+  EXPECT_DOUBLE_EQ(cohesion(0.0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(cohesion(0.0, 2), 0.0);
+}
+
+TEST(GlobalClusteringCoefficient, ClosedForms) {
+  // K_n: every wedge closes → 1. Star: no wedge closes → 0.
+  const CsrGraph k = gen::complete(8);
+  EXPECT_DOUBLE_EQ(
+      global_clustering_coefficient(k, static_cast<double>(triangle_count_exact(k))), 1.0);
+  const CsrGraph s = gen::star(8);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(s, 0.0), 0.0);
+}
+
+TEST(LocalClusteringExact, CompleteAndStar) {
+  const auto cc_complete = local_clustering_exact(gen::complete(8));
+  for (const double c : cc_complete) EXPECT_DOUBLE_EQ(c, 1.0);
+  const auto cc_star = local_clustering_exact(gen::star(8));
+  for (const double c : cc_star) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(LocalClusteringExact, HandComputedDiamond) {
+  // 0-1, 0-2, 1-2, 1-3, 2-3: cc(0) = 1 (N={1,2} adjacent), cc(3) = 1,
+  // cc(1) = cc(2) = 2 triangles... degree 3 → 2/(3·2/2) = 2/3.
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  const auto cc = local_clustering_exact(g);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);
+  EXPECT_DOUBLE_EQ(cc[3], 1.0);
+  EXPECT_NEAR(cc[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cc[2], 2.0 / 3.0, 1e-12);
+}
+
+TEST(LocalClusteringProbGraph, TracksExactOnDenseGraph) {
+  const CsrGraph g = gen::complete(32);
+  ProbGraphConfig cfg;
+  cfg.bf_bits = 4096;
+  cfg.seed = 7;
+  const ProbGraph pg(g, cfg);
+  const auto cc = local_clustering_probgraph(pg);
+  for (const double c : cc) {
+    EXPECT_GT(c, 0.8);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(LocalClusteringProbGraph, ZeroOnSaturatedTriangleFree) {
+  const CsrGraph g = gen::star(32);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 64;
+  const ProbGraph pg(g, cfg);
+  for (const double c : local_clustering_probgraph(pg)) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+}  // namespace
+}  // namespace probgraph::algo

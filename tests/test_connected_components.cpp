@@ -1,0 +1,68 @@
+#include "algorithms/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph::algo {
+namespace {
+
+TEST(UnionFind, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(uf.find(v), v);
+}
+
+TEST(UnionFind, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+}
+
+TEST(UnionFind, LabelsAreCompact) {
+  UnionFind uf(6);
+  uf.unite(0, 5);
+  uf.unite(1, 2);
+  const auto labels = uf.labels();
+  EXPECT_EQ(labels[0], labels[5]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[1]);
+  std::set<VertexId> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  for (const VertexId l : labels) EXPECT_LT(l, 4u);
+}
+
+TEST(ConnectedComponents, PathIsOneComponent) {
+  std::size_t count = 0;
+  (void)connected_components(gen::path(10), &count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ConnectedComponents, CliqueChainHasOnePerClique) {
+  std::size_t count = 0;
+  const auto labels = connected_components(gen::clique_chain(7, 3), &count);
+  EXPECT_EQ(count, 7u);
+  EXPECT_EQ(labels.size(), 21u);
+}
+
+TEST(ConnectedComponents, IsolatedVerticesCount) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}}, 5);
+  std::size_t count = 0;
+  (void)connected_components(g, &count);
+  EXPECT_EQ(count, 4u);  // {0,1} plus three singletons
+}
+
+TEST(ConnectedComponents, NullCountPointerIsAllowed) {
+  EXPECT_NO_THROW((void)connected_components(gen::cycle(8)));
+}
+
+}  // namespace
+}  // namespace probgraph::algo

@@ -1,0 +1,93 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace probgraph {
+namespace {
+
+CsrGraph triangle_graph() {
+  // 0-1, 1-2, 0-2: a single triangle.
+  return GraphBuilder::from_edges({{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(CsrGraph, BasicCounts) {
+  const CsrGraph g = triangle_graph();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(CsrGraph, DegreesAndNeighbors) {
+  const CsrGraph g = triangle_graph();
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(CsrGraph, HasEdge) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(CsrGraph, MaxAndAvgDegree) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 6.0 / 4.0);
+}
+
+TEST(CsrGraph, DegreeMoments) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {0, 2}, {0, 3}});
+  // degrees: 3, 1, 1, 1 → Σd² = 12, Σd³ = 30.
+  EXPECT_DOUBLE_EQ(g.degree_moment(2), 12.0);
+  EXPECT_DOUBLE_EQ(g.degree_moment(3), 30.0);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_directed_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 0.0);
+}
+
+TEST(CsrGraph, IsolatedVerticesAllowed) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}}, 5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(CsrGraph, MemoryBytesAccountsArrays) {
+  const CsrGraph g = triangle_graph();
+  EXPECT_EQ(g.memory_bytes(), 4 * sizeof(EdgeId) + 6 * sizeof(VertexId));
+}
+
+TEST(CsrGraph, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(triangle_graph().validate());
+}
+
+TEST(CsrGraph, ValidateRejectsBadOffsets) {
+  // offsets.back() disagrees with adjacency size.
+  CsrGraph g({0, 1, 2}, {1});
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidateRejectsUnsortedNeighborhood) {
+  CsrGraph g({0, 2, 3, 4}, {2, 1, 0, 0});
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(CsrGraph, ValidateRejectsOutOfRangeNeighbor) {
+  CsrGraph g({0, 1, 2}, {5, 0});
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace probgraph

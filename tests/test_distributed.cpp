@@ -1,0 +1,119 @@
+#include "distributed/dist_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "distributed/partition.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+
+namespace probgraph::dist {
+namespace {
+
+TEST(BlockPartition, CoversAllVerticesExactlyOnce) {
+  const BlockPartition part(103, 8);
+  EXPECT_EQ(part.num_ranks(), 8u);
+  VertexId covered = 0;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    for (VertexId v = part.block_begin(r); v < part.block_end(r); ++v) {
+      EXPECT_EQ(part.owner(v), r);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(BlockPartition, SingleRankOwnsEverything) {
+  const BlockPartition part(50, 1);
+  for (VertexId v = 0; v < 50; ++v) EXPECT_EQ(part.owner(v), 0u);
+}
+
+TEST(BlockPartition, ZeroRanksClampsToOne) {
+  const BlockPartition part(10, 0);
+  EXPECT_EQ(part.num_ranks(), 1u);
+}
+
+TEST(CommModel, AlphaBetaArithmetic) {
+  CommModel model;
+  model.alpha_s = 1e-6;
+  model.beta_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(model.transfer_seconds(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.transfer_seconds(1000, 1'000'000), 1e-3 + 1e-3);
+}
+
+TEST(Representations, PayloadSizes) {
+  const auto exact = exact_representation();
+  EXPECT_EQ(exact.payload_bytes(100, exact.param), 400u);
+  const auto bf = bloom_representation(1024);
+  EXPECT_EQ(bf.payload_bytes(100, bf.param), 128u);
+  EXPECT_EQ(bf.payload_bytes(100000, bf.param), 128u);  // degree-independent
+  const auto mh = minhash_representation(16, 8);
+  EXPECT_EQ(mh.payload_bytes(5, mh.param), 128u);
+}
+
+TEST(SimulateTcTraffic, SingleRankHasNoTraffic) {
+  const CsrGraph dag = degree_orient(gen::kronecker(9, 8.0, 3));
+  const auto report = simulate_tc_traffic(dag, 1, exact_representation());
+  EXPECT_EQ(report.total_bytes, 0u);
+  EXPECT_EQ(report.total_messages, 0u);
+  EXPECT_DOUBLE_EQ(report.modeled_seconds, 0.0);
+}
+
+TEST(SimulateTcTraffic, ExactBytesOnStarAreClosedForm) {
+  // Star S_n oriented: every leaf has the arc leaf -> hub (hub has max
+  // degree). With 2 ranks, every leaf in the non-hub block fetches the
+  // hub's (empty) neighborhood once per rank: d+(hub) = 0 → 0 bytes but
+  // 1 message from the second rank.
+  const CsrGraph dag = degree_orient(gen::star(10));
+  const auto report = simulate_tc_traffic(dag, 2, exact_representation());
+  EXPECT_EQ(report.total_messages, 1u);
+  EXPECT_EQ(report.total_bytes, 0u);
+}
+
+TEST(SimulateTcTraffic, CachingDeduplicatesFetches) {
+  // Complete graph K_8 on 2 ranks: rank 0 owns {0..3}. Oriented adjacency
+  // of v is {v+1..7}, so rank 0 fetches each of vertices 4..7 exactly once
+  // even though they appear in all four of its adjacency lists.
+  const CsrGraph dag = degree_orient(gen::complete(8));
+  const auto report = simulate_tc_traffic(dag, 2, exact_representation());
+  // rank 0 fetches {4,5,6,7}; rank 1 fetches nothing (its arcs stay local).
+  EXPECT_EQ(report.total_messages, 4u);
+  // payload: d+(4)=3, d+(5)=2, d+(6)=1, d+(7)=0 → 6 ids = 24 bytes.
+  EXPECT_EQ(report.total_bytes, 24u);
+}
+
+TEST(SimulateTcTraffic, SketchesReduceVolumeOnSkewedGraphs) {
+  // The §VIII-F claim: fixed-size sketches cut communication volume by a
+  // large factor when neighborhoods are big.
+  const CsrGraph dag = degree_orient(gen::kronecker(12, 32.0, 7));
+  const auto exact = simulate_tc_traffic(dag, 8, exact_representation());
+  const auto bf = simulate_tc_traffic(dag, 8, bloom_representation(512));
+  const auto mh = simulate_tc_traffic(dag, 8, minhash_representation(16, 4));
+  ASSERT_GT(exact.total_bytes, 0u);
+  EXPECT_LT(bf.total_bytes, exact.total_bytes);
+  EXPECT_LT(mh.total_bytes, exact.total_bytes);
+  // Message counts are identical — only payloads shrink.
+  EXPECT_EQ(bf.total_messages, exact.total_messages);
+  EXPECT_EQ(mh.total_messages, exact.total_messages);
+}
+
+TEST(SimulateTcTraffic, ModeledTimeTracksHeaviestRank) {
+  const CsrGraph dag = degree_orient(gen::kronecker(10, 16.0, 9));
+  CommModel slow;
+  slow.alpha_s = 0.0;
+  slow.beta_Bps = 1e6;
+  const auto report = simulate_tc_traffic(dag, 4, exact_representation(), slow);
+  EXPECT_DOUBLE_EQ(report.modeled_seconds,
+                   static_cast<double>(report.max_rank_bytes) / 1e6);
+}
+
+TEST(SimulateTcTraffic, MoreRanksMoreTotalTraffic) {
+  // Finer partitions cut more edges, so total traffic grows with ranks.
+  const CsrGraph dag = degree_orient(gen::kronecker(11, 16.0, 11));
+  const auto p2 = simulate_tc_traffic(dag, 2, exact_representation());
+  const auto p8 = simulate_tc_traffic(dag, 8, exact_representation());
+  EXPECT_GE(p8.total_bytes, p2.total_bytes);
+}
+
+}  // namespace
+}  // namespace probgraph::dist

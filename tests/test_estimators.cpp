@@ -1,0 +1,155 @@
+#include "core/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace probgraph::est {
+namespace {
+
+std::vector<VertexId> range_set(VertexId lo, VertexId hi) {
+  std::vector<VertexId> v;
+  for (VertexId x = lo; x < hi; ++x) v.push_back(x);
+  return v;
+}
+
+TEST(BfSizeSwamidass, ZeroOnesMeansEmpty) {
+  EXPECT_DOUBLE_EQ(bf_size_swamidass(0, 1024, 2), 0.0);
+}
+
+TEST(BfSizeSwamidass, FullFilterStaysFinite) {
+  // The raw estimator diverges at B₁ = B; the fixed variant must not.
+  const double est = bf_size_swamidass(1024, 1024, 1);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GT(est, 0.0);
+}
+
+TEST(BfSizeSwamidass, RecoverseSizeOnSparseFilter) {
+  // Mean over seeds: the estimator tracks |X| when the filter is sparse.
+  constexpr std::uint64_t kBits = 1 << 14;
+  constexpr std::uint32_t kB = 2;
+  const auto xs = range_set(0, 500);
+  double acc = 0.0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    BloomFilter bf(kBits, kB, 100 + t);
+    bf.insert(xs);
+    acc += bf_size_swamidass(bf.count_ones(), kBits, kB);
+  }
+  EXPECT_NEAR(acc / kTrials, 500.0, 25.0);
+}
+
+TEST(BfSizePapapetrou, AgreesWithSwamidassOnLargeFilters) {
+  // For large B the two estimators coincide: log(1−1/B) ≈ −1/B.
+  constexpr std::uint64_t kBits = 1 << 16;
+  BloomFilter bf(kBits, 2, 3);
+  bf.insert(range_set(0, 1000));
+  const double a = bf_size_swamidass(bf.count_ones(), kBits, 2);
+  const double b = bf_size_papapetrou(bf.count_ones(), kBits, 2);
+  EXPECT_NEAR(a, b, a * 0.001);
+}
+
+TEST(BfIntersectionAnd, TracksTrueIntersection) {
+  // |X ∩ Y| = 300 with |X| = |Y| = 600.
+  constexpr std::uint64_t kBits = 1 << 14;
+  constexpr std::uint32_t kB = 2;
+  double acc = 0.0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    BloomFilter x(kBits, kB, 200 + t), y(kBits, kB, 200 + t);
+    x.insert(range_set(0, 600));
+    y.insert(range_set(300, 900));
+    acc += bf_intersection_and(x.view().and_ones(y.view()), kBits, kB);
+  }
+  EXPECT_NEAR(acc / kTrials, 300.0, 45.0);
+}
+
+TEST(BfIntersectionLimit, IsOnesOverB) {
+  EXPECT_DOUBLE_EQ(bf_intersection_limit(128, 2), 64.0);
+  EXPECT_DOUBLE_EQ(bf_intersection_limit(0, 4), 0.0);
+}
+
+TEST(BfIntersectionLimit, ApproachesAndEstimatorOnHugeFilters) {
+  // Eq. (4) is the B→∞ limit of Eq. (2): on a very sparse filter the two
+  // must agree closely.
+  constexpr std::uint64_t kBits = 1 << 20;
+  BloomFilter x(kBits, 2, 5), y(kBits, 2, 5);
+  x.insert(range_set(0, 400));
+  y.insert(range_set(200, 600));
+  const std::uint64_t and_ones = x.view().and_ones(y.view());
+  const double and_est = bf_intersection_and(and_ones, kBits, 2);
+  const double limit_est = bf_intersection_limit(and_ones, 2);
+  EXPECT_NEAR(and_est, limit_est, limit_est * 0.01 + 1.0);
+}
+
+TEST(BfIntersectionOr, TracksTrueIntersection) {
+  constexpr std::uint64_t kBits = 1 << 14;
+  constexpr std::uint32_t kB = 2;
+  double acc = 0.0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    BloomFilter x(kBits, kB, 300 + t), y(kBits, kB, 300 + t);
+    x.insert(range_set(0, 600));
+    y.insert(range_set(300, 900));
+    acc += bf_intersection_or(600.0, 600.0, x.view().or_ones(y.view()), kBits, kB);
+  }
+  EXPECT_NEAR(acc / kTrials, 300.0, 45.0);
+}
+
+TEST(MhIntersection, ClosedFormIdentity) {
+  // With the exact J, Ĵ/(1+Ĵ)(|X|+|Y|) returns |X∩Y| exactly:
+  // J/(1+J) = |∩|/(|∪|+|∩|) = |∩|/(|X|+|Y|).
+  const double inter = 30.0, sx = 100.0, sy = 80.0;
+  const double uni = sx + sy - inter;
+  EXPECT_NEAR(mh_intersection(inter / uni, sx, sy), inter, 1e-10);
+  EXPECT_DOUBLE_EQ(mh_intersection(0.0, sx, sy), 0.0);
+  // J = 1 (identical sets of size s): estimate is s.
+  EXPECT_DOUBLE_EQ(mh_intersection(1.0, 50.0, 50.0), 50.0);
+}
+
+TEST(SketchOverloads, AgreeWithRawFormulas) {
+  BloomFilter bx(4096, 2, 7), by(4096, 2, 7);
+  bx.insert(range_set(0, 100));
+  by.insert(range_set(50, 150));
+  EXPECT_DOUBLE_EQ(intersection(bx, by),
+                   bf_intersection_and(bx.view().and_ones(by.view()), 4096, 2));
+
+  KHashSketch kx(64, 9), ky(64, 9);
+  kx.build(range_set(0, 100));
+  ky.build(range_set(50, 150));
+  EXPECT_DOUBLE_EQ(intersection(kx, ky, 100, 100),
+                   mh_intersection(kx.jaccard(ky), 100, 100));
+
+  OneHashSketch ox(64, 9), oy(64, 9);
+  ox.build(range_set(0, 100));
+  oy.build(range_set(50, 150));
+  EXPECT_DOUBLE_EQ(intersection(ox, oy, 100, 100),
+                   mh_intersection(ox.jaccard(oy), 100, 100));
+}
+
+// Parameterized sweep: the AND estimator is consistent — error shrinks as
+// the filter grows (§II-F "consistency", checked at three widths).
+class BfConsistencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfConsistencySweep, ErrorShrinksWithFilterSize) {
+  const std::uint64_t bits = GetParam();
+  double acc = 0.0;
+  constexpr int kTrials = 16;
+  for (int t = 0; t < kTrials; ++t) {
+    BloomFilter x(bits, 2, 400 + t), y(bits, 2, 400 + t);
+    x.insert(range_set(0, 200));
+    y.insert(range_set(100, 300));
+    acc += bf_intersection_and(x.view().and_ones(y.view()), bits, 2);
+  }
+  const double rel_err = std::abs(acc / kTrials - 100.0) / 100.0;
+  // Tolerance tightens with size: 2^12 → 20%, 2^14 → 10%, 2^16 → 5%.
+  const double tolerance = bits >= (1u << 16) ? 0.05 : bits >= (1u << 14) ? 0.10 : 0.20;
+  EXPECT_LT(rel_err, tolerance) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BfConsistencySweep,
+                         ::testing::Values(1u << 12, 1u << 14, 1u << 16));
+
+}  // namespace
+}  // namespace probgraph::est

@@ -1,0 +1,109 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace probgraph::util {
+namespace {
+
+TEST(Murmur3X86_32, MatchesReferenceVectors) {
+  // Reference vectors from the canonical smhasher implementation.
+  EXPECT_EQ(murmur3_x86_32("", 0, 0), 0u);
+  EXPECT_EQ(murmur3_x86_32("", 0, 1), 0x514E28B7u);
+  EXPECT_EQ(murmur3_x86_32("", 0, 0xffffffff), 0x81F16F39u);
+  EXPECT_EQ(murmur3_x86_32("test", 4, 0x9747b28c), 0x704b81dcu);
+  EXPECT_EQ(murmur3_x86_32("Hello, world!", 13, 0x9747b28c), 0x24884CBAu);
+}
+
+TEST(Murmur3X86_32, SeedChangesOutput) {
+  const std::string key = "probgraph";
+  EXPECT_NE(murmur3_x86_32(key.data(), key.size(), 1),
+            murmur3_x86_32(key.data(), key.size(), 2));
+}
+
+TEST(Murmur3X86_32, HandlesAllTailLengths) {
+  const char buf[8] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  std::set<std::uint32_t> outputs;
+  for (std::size_t len = 0; len <= 8; ++len) {
+    outputs.insert(murmur3_x86_32(buf, len, 7));
+  }
+  EXPECT_EQ(outputs.size(), 9u);  // every prefix hashes differently
+}
+
+TEST(Fmix64, IsBijectiveOnSamples) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    seen.insert(murmur3_fmix64(x));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Fmix64, ZeroMapsToZero) {
+  // fmix64(0) == 0 is a known fixed point of the finalizer.
+  EXPECT_EQ(murmur3_fmix64(0), 0u);
+}
+
+TEST(Hash64, SeedSeparatesStreams) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    seen.insert(hash64(12345, seed));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(HashToUnit, StaysInHalfOpenUnitInterval) {
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    const double u = hash_to_unit(murmur3_fmix64(x));
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(hash_to_unit(0), 0.0);
+  EXPECT_LE(hash_to_unit(~std::uint64_t{0}), 1.0);
+}
+
+TEST(HashToUnit, IsApproximatelyUniform) {
+  int below_half = 0;
+  constexpr int kSamples = 20000;
+  for (int x = 0; x < kSamples; ++x) {
+    if (hash_to_unit(hash64(static_cast<std::uint64_t>(x), 99)) < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / kSamples, 0.5, 0.02);
+}
+
+TEST(HashFamily, MembersAreDeterministic) {
+  const HashFamily f(123);
+  EXPECT_EQ(f(0, 42), f(0, 42));
+  EXPECT_EQ(f(3, 42), f(3, 42));
+}
+
+TEST(HashFamily, MembersDiffer) {
+  const HashFamily f(123);
+  EXPECT_NE(f(0, 42), f(1, 42));
+  EXPECT_NE(f(1, 42), f(2, 42));
+}
+
+TEST(HashFamily, SeedsSeparateFamilies) {
+  const HashFamily f1(1), f2(2);
+  EXPECT_NE(f1(0, 42), f2(0, 42));
+}
+
+TEST(HashFamily, MembersLookIndependent) {
+  // Count collisions of (h0 mod 2, h1 mod 2) over many inputs: all four
+  // quadrants should be roughly equally likely if members are independent.
+  const HashFamily f(7);
+  int quad[4] = {0, 0, 0, 0};
+  constexpr int kSamples = 40000;
+  for (int x = 0; x < kSamples; ++x) {
+    const int q = static_cast<int>((f(0, x) & 1) << 1 | (f(1, x) & 1));
+    ++quad[q];
+  }
+  for (const int count : quad) {
+    EXPECT_NEAR(static_cast<double>(count) / kSamples, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace probgraph::util

@@ -1,0 +1,202 @@
+// End-to-end integration tests: the full paper pipeline on one graph —
+// build, sketch under a storage budget, run every mining algorithm with
+// every representation, and check accuracy/memory envelopes jointly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/clique_count.hpp"
+#include "algorithms/clustering.hpp"
+#include "algorithms/link_prediction.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "baselines/colorful.hpp"
+#include "baselines/doulion.hpp"
+#include "core/bounds.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+#include "util/threading.hpp"
+
+namespace probgraph {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new CsrGraph(gen::kronecker(11, 16.0, 2024));
+    dag_ = new CsrGraph(degree_orient(*graph_));
+    exact_tc_ = algo::triangle_count_exact_oriented(*dag_);
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete dag_;
+    graph_ = nullptr;
+    dag_ = nullptr;
+  }
+
+  static const CsrGraph* graph_;
+  static const CsrGraph* dag_;
+  static std::uint64_t exact_tc_;
+};
+
+const CsrGraph* PipelineTest::graph_ = nullptr;
+const CsrGraph* PipelineTest::dag_ = nullptr;
+std::uint64_t PipelineTest::exact_tc_ = 0;
+
+TEST_F(PipelineTest, EveryRepresentationReproducesTcWithinBand) {
+  for (const SketchKind kind : {SketchKind::kBloomFilter, SketchKind::kKHash,
+                                SketchKind::kOneHash, SketchKind::kKmv}) {
+    ProbGraphConfig cfg;
+    cfg.kind = kind;
+    cfg.storage_budget = 0.33;
+    cfg.budget_reference_bytes = graph_->memory_bytes();
+    cfg.bf_hashes = 1;
+    if (kind != SketchKind::kBloomFilter) cfg.minhash_k = 16;
+    // KMV's difference-of-sizes estimator needs a larger k for comparable
+    // variance (est = du + dv − est_union amplifies union noise).
+    if (kind == SketchKind::kKmv) cfg.minhash_k = 64;
+    // Average a few sketch builds: single-hash representations correlate
+    // errors across edges within one build (see test_triangle_count.cpp).
+    double est = 0.0;
+    constexpr int kSeeds = 5;
+    for (int s = 0; s < kSeeds; ++s) {
+      cfg.seed = 7 + s;
+      const ProbGraph pg(*dag_, cfg);
+      est += algo::triangle_count_probgraph(pg, algo::TcMode::kOriented);
+    }
+    const double rel = est / kSeeds / static_cast<double>(exact_tc_);
+    EXPECT_GT(rel, 0.6) << to_string(kind);
+    EXPECT_LT(rel, 1.4) << to_string(kind);
+  }
+}
+
+TEST_F(PipelineTest, AccuracyImprovesWithBudget) {
+  double err_small = 0.0, err_large = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    ProbGraphConfig small, large;
+    small.storage_budget = 0.05;
+    large.storage_budget = 0.8;
+    small.bf_hashes = large.bf_hashes = 1;
+    small.seed = large.seed = 40 + t;
+    const ProbGraph pg_small(*dag_, small), pg_large(*dag_, large);
+    err_small += std::abs(algo::triangle_count_probgraph(pg_small) -
+                          static_cast<double>(exact_tc_));
+    err_large += std::abs(algo::triangle_count_probgraph(pg_large) -
+                          static_cast<double>(exact_tc_));
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST_F(PipelineTest, MinHashTcRespectsItsConcentrationBound) {
+  // Thm. VII.1: estimate the violation rate of the 1H bound at a generous t
+  // over independent seeds — it must not exceed the bound.
+  constexpr int kTrials = 10;
+  const double sum_d2 = graph_->degree_moment(2);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 32;
+  const double t = 0.5 * static_cast<double>(exact_tc_);
+  const double bound = bounds::tc_mh_deviation_bound(sum_d2, cfg.minhash_k, t);
+  int violations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    cfg.seed = 900 + trial;
+    const ProbGraph pg(*graph_, cfg);
+    const double est = algo::triangle_count_probgraph(pg, algo::TcMode::kFull);
+    if (std::abs(est - static_cast<double>(exact_tc_)) >= t) ++violations;
+  }
+  EXPECT_LE(static_cast<double>(violations) / kTrials, std::min(1.0, bound + 0.2));
+}
+
+TEST_F(PipelineTest, ParallelAndSequentialAgreeExactly) {
+  // Exact kernels must be invariant under thread count (no data races).
+  std::uint64_t seq_tc = 0;
+  {
+    util::ThreadScope scope(1);
+    seq_tc = algo::triangle_count_exact_oriented(*dag_);
+  }
+  EXPECT_EQ(seq_tc, exact_tc_);
+
+  ProbGraphConfig cfg;
+  cfg.seed = 3;
+  double par_est = 0.0, seq_est = 0.0;
+  {
+    const ProbGraph pg(*dag_, cfg);
+    par_est = algo::triangle_count_probgraph(pg);
+  }
+  {
+    util::ThreadScope scope(1);
+    const ProbGraph pg(*dag_, cfg);
+    seq_est = algo::triangle_count_probgraph(pg);
+  }
+  // Double reduction order may differ: allow tiny FP slack.
+  EXPECT_NEAR(par_est, seq_est, std::abs(seq_est) * 1e-9 + 1e-6);
+}
+
+TEST_F(PipelineTest, CliquePipelineRuns) {
+  const auto exact_ck = algo::four_clique_count_exact_oriented(*dag_);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.33;
+  cfg.budget_reference_bytes = graph_->memory_bytes();
+  cfg.bf_hashes = 1;
+  cfg.seed = 8;
+  const ProbGraph pg(*dag_, cfg);
+  const double est = algo::four_clique_count_probgraph(pg);
+  if (exact_ck > 0) {
+    EXPECT_GT(est, 0.0);
+    EXPECT_NEAR(est / static_cast<double>(exact_ck), 1.0, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, ClusteringPipelineAcrossMeasures) {
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.33;
+  cfg.bf_hashes = 2;
+  cfg.seed = 9;
+  const ProbGraph pg(*graph_, cfg);
+  for (const auto m : {algo::SimilarityMeasure::kJaccard, algo::SimilarityMeasure::kOverlap,
+                       algo::SimilarityMeasure::kCommonNeighbors}) {
+    const double tau = (m == algo::SimilarityMeasure::kCommonNeighbors) ? 2.0 : 0.05;
+    const auto exact = algo::jarvis_patrick_exact(*graph_, m, tau);
+    const auto approx = algo::jarvis_patrick_probgraph(pg, m, tau);
+    ASSERT_GT(exact.num_clusters, 0u);
+    const double rel = static_cast<double>(approx.num_clusters) /
+                       static_cast<double>(exact.num_clusters);
+    EXPECT_GT(rel, 0.4) << to_string(m);
+    EXPECT_LT(rel, 2.5) << to_string(m);
+  }
+}
+
+TEST_F(PipelineTest, BaselinesAndProbGraphRankAsInPaper) {
+  // Fig. 6 shape: a well-provisioned PG(1H) beats aggressive edge sampling
+  // (Doulion p = 0.05) on accuracy, in expectation over seeds.
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 32;
+  double pg_err = 0.0, doulion_err = 0.0;
+  constexpr int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    cfg.seed = 60 + t;
+    const ProbGraph pg(*dag_, cfg);
+    pg_err += std::abs(algo::triangle_count_probgraph(pg) -
+                       static_cast<double>(exact_tc_));
+    doulion_err += std::abs(baselines::doulion_tc(*graph_, 0.05, 60 + t).estimate -
+                            static_cast<double>(exact_tc_));
+  }
+  EXPECT_LT(pg_err / kTrials, doulion_err / kTrials);
+}
+
+TEST_F(PipelineTest, LinkPredictionEndToEnd) {
+  algo::LinkPredictionConfig cfg;
+  cfg.removal_fraction = 0.05;
+  cfg.seed = 77;
+  const auto exact = algo::link_prediction_exact(*graph_, cfg);
+  ProbGraphConfig pg_cfg;
+  pg_cfg.storage_budget = 0.5;
+  pg_cfg.bf_hashes = 2;
+  const auto approx = algo::link_prediction_probgraph(*graph_, cfg, pg_cfg);
+  EXPECT_EQ(exact.num_removed, approx.num_removed);
+  // Sketch scores should not collapse the predictor: within 30 points.
+  EXPECT_NEAR(approx.effectiveness, exact.effectiveness, 0.3);
+}
+
+}  // namespace
+}  // namespace probgraph

@@ -1,0 +1,86 @@
+#include "core/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace probgraph {
+namespace {
+
+std::vector<VertexId> sorted_random_set(util::Xoshiro256& rng, std::size_t size,
+                                        VertexId universe) {
+  std::set<VertexId> s;
+  while (s.size() < size) s.insert(static_cast<VertexId>(rng.bounded(universe)));
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t brute_force(const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  std::uint64_t count = 0;
+  for (const VertexId x : a) {
+    count += std::count(b.begin(), b.end(), x);
+  }
+  return count;
+}
+
+TEST(IntersectMerge, HandCases) {
+  const std::vector<VertexId> a{1, 3, 5, 7};
+  const std::vector<VertexId> b{3, 4, 5, 8};
+  EXPECT_EQ(intersect_size_merge(a, b), 2u);
+  EXPECT_EQ(intersect_size_merge(a, a), 4u);
+  EXPECT_EQ(intersect_size_merge(a, {}), 0u);
+  EXPECT_EQ(intersect_size_merge({}, {}), 0u);
+}
+
+TEST(IntersectGallop, HandCases) {
+  const std::vector<VertexId> small{5, 100};
+  std::vector<VertexId> large;
+  for (VertexId i = 0; i < 200; ++i) large.push_back(i);
+  EXPECT_EQ(intersect_size_gallop(small, large), 2u);
+  EXPECT_EQ(intersect_size_gallop(large, small), 2u);  // auto-swaps
+  EXPECT_EQ(intersect_size_gallop(small, {}), 0u);
+}
+
+TEST(IntersectInto, MaterializesCommonElements) {
+  const std::vector<VertexId> a{1, 2, 3, 9};
+  const std::vector<VertexId> b{2, 3, 4};
+  std::vector<VertexId> out;
+  intersect_into(a, b, out);
+  EXPECT_EQ(out, (std::vector<VertexId>{2, 3}));
+}
+
+// Property sweep: all three kernels agree with brute force on random set
+// pairs of widely varying size ratios.
+struct IntersectCase {
+  std::size_t size_a;
+  std::size_t size_b;
+  VertexId universe;
+};
+
+class IntersectProperty : public ::testing::TestWithParam<IntersectCase> {};
+
+TEST_P(IntersectProperty, KernelsAgreeWithBruteForce) {
+  const auto& param = GetParam();
+  util::Xoshiro256 rng(1234 + param.size_a * 31 + param.size_b);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = sorted_random_set(rng, param.size_a, param.universe);
+    const auto b = sorted_random_set(rng, param.size_b, param.universe);
+    const std::uint64_t expected = brute_force(a, b);
+    EXPECT_EQ(intersect_size_merge(a, b), expected);
+    EXPECT_EQ(intersect_size_gallop(a, b), expected);
+    EXPECT_EQ(intersect_size_adaptive(a, b), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeRatios, IntersectProperty,
+    ::testing::Values(IntersectCase{1, 1, 50}, IntersectCase{10, 10, 100},
+                      IntersectCase{5, 500, 2000}, IntersectCase{500, 5, 2000},
+                      IntersectCase{100, 3000, 10000}, IntersectCase{256, 256, 512},
+                      IntersectCase{50, 50, 55}));  // dense overlap
+
+}  // namespace
+}  // namespace probgraph

@@ -1,0 +1,98 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.hpp"
+
+namespace probgraph::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "probgraph_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  void write_file(const std::string& name, const std::string& content) const {
+    std::ofstream out(path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  const CsrGraph g = gen::kronecker(8, 4.0, 42);
+  write_edge_list(g, path("g.el"));
+  const CsrGraph h = read_edge_list(path("g.el"));
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST_F(IoTest, EdgeListSkipsComments) {
+  write_file("c.el", "# comment\n% other comment\n0 1\n1 2\n");
+  const CsrGraph g = read_edge_list(path("c.el"));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(IoTest, EdgeListRejectsGarbage) {
+  write_file("bad.el", "0 1\nnot numbers\n");
+  EXPECT_THROW(read_edge_list(path("bad.el")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list(path("nope.el")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketBasic) {
+  write_file("m.mtx",
+             "%%MatrixMarket matrix coordinate pattern symmetric\n"
+             "% a comment\n"
+             "3 3 2\n"
+             "1 2\n"
+             "2 3\n");
+  const CsrGraph g = read_matrix_market(path("m.mtx"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST_F(IoTest, MatrixMarketIgnoresValues) {
+  write_file("w.mtx",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "1 2 3.75\n");
+  const CsrGraph g = read_matrix_market(path("w.mtx"));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsBadHeader) {
+  write_file("h.mtx", "not a matrix market file\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(path("h.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsZeroBasedIndices) {
+  write_file("z.mtx",
+             "%%MatrixMarket matrix coordinate pattern general\n"
+             "2 2 1\n"
+             "0 1\n");
+  EXPECT_THROW(read_matrix_market(path("z.mtx")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace probgraph::io

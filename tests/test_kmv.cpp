@@ -1,0 +1,112 @@
+#include "core/kmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace probgraph {
+namespace {
+
+std::vector<VertexId> range_set(VertexId lo, VertexId hi) {
+  std::vector<VertexId> v;
+  for (VertexId x = lo; x < hi; ++x) v.push_back(x);
+  return v;
+}
+
+TEST(KmvSketch, RejectsTinyK) {
+  EXPECT_THROW(KmvSketch(0, 1), std::invalid_argument);
+  EXPECT_THROW(KmvSketch(1, 1), std::invalid_argument);
+}
+
+TEST(KmvSketch, UnsaturatedSketchIsExact) {
+  KmvSketch s(64, 3);
+  s.build(range_set(0, 20));
+  EXPECT_DOUBLE_EQ(s.estimate_size(), 20.0);
+}
+
+TEST(KmvSketch, EmptySetEstimatesZero) {
+  KmvSketch s(8, 3);
+  s.build({});
+  EXPECT_DOUBLE_EQ(s.estimate_size(), 0.0);
+}
+
+TEST(KmvSketch, ValuesSortedAndInUnitInterval) {
+  KmvSketch s(32, 5);
+  s.build(range_set(0, 500));
+  const auto vals = s.values();
+  EXPECT_EQ(vals.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  for (const double v : vals) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(KmvSketch, SizeEstimateConcentrates) {
+  // Mean over seeds: (k-1)/max is approximately unbiased for |X|.
+  const auto xs = range_set(0, 5000);
+  double acc = 0.0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    KmvSketch s(256, 100 + t);
+    s.build(xs);
+    acc += s.estimate_size();
+  }
+  EXPECT_NEAR(acc / kTrials, 5000.0, 5000.0 * 0.05);
+}
+
+TEST(KmvSketch, UniteKeepsSmallestOfBoth) {
+  KmvSketch a(16, 7), b(16, 7);
+  a.build(range_set(0, 100));
+  b.build(range_set(100, 200));
+  const KmvSketch u = KmvSketch::unite(a, b);
+  EXPECT_EQ(u.values().size(), 16u);
+  // Union values are the 16 smallest of the 32 inputs.
+  std::vector<double> all(a.values().begin(), a.values().end());
+  all.insert(all.end(), b.values().begin(), b.values().end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(u.values()[i], all[i]);
+  }
+}
+
+TEST(KmvSketch, UniteDeduplicatesSharedElements) {
+  // The same underlying set in both sketches: the union sketch must equal
+  // the individual sketch, not double-count hashes.
+  KmvSketch a(16, 9), b(16, 9);
+  const auto xs = range_set(0, 300);
+  a.build(xs);
+  b.build(xs);
+  const KmvSketch u = KmvSketch::unite(a, b);
+  ASSERT_EQ(u.values().size(), a.values().size());
+  for (std::size_t i = 0; i < u.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(u.values()[i], a.values()[i]);
+  }
+}
+
+TEST(KmvSketch, IntersectionViaInclusionExclusion) {
+  // |X| = |Y| = 1000, overlap 400 → union 1600, intersection 400.
+  const auto xs = range_set(0, 1000);
+  const auto ys = range_set(600, 1600);
+  double acc = 0.0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    KmvSketch a(256, 500 + t), b(256, 500 + t);
+    a.build(xs);
+    b.build(ys);
+    acc += KmvSketch::estimate_intersection(a, b, 1000.0, 1000.0);
+  }
+  EXPECT_NEAR(acc / kTrials, 400.0, 80.0);
+}
+
+TEST(KmvSketch, IntersectionClampedAtZero) {
+  // Disjoint sets: inclusion-exclusion may go negative; must clamp.
+  KmvSketch a(32, 11), b(32, 11);
+  a.build(range_set(0, 500));
+  b.build(range_set(10000, 10500));
+  EXPECT_GE(KmvSketch::estimate_intersection(a, b, 500.0, 500.0), 0.0);
+}
+
+}  // namespace
+}  // namespace probgraph

@@ -1,0 +1,66 @@
+#include "graph/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph {
+namespace {
+
+TEST(DegreeOrient, ArcCountEqualsEdgeCount) {
+  const CsrGraph g = gen::kronecker(10, 8.0, 5);
+  const CsrGraph dag = degree_orient(g);
+  EXPECT_EQ(dag.num_directed_edges(), g.num_edges());
+  EXPECT_EQ(dag.num_vertices(), g.num_vertices());
+}
+
+TEST(DegreeOrient, ArcsPointTowardHigherRank) {
+  const CsrGraph g = gen::kronecker(9, 6.0, 7);
+  const CsrGraph dag = degree_orient(g);
+  for (VertexId v = 0; v < dag.num_vertices(); ++v) {
+    for (const VertexId u : dag.neighbors(v)) {
+      const bool rank_ok =
+          g.degree(v) < g.degree(u) || (g.degree(v) == g.degree(u) && v < u);
+      EXPECT_TRUE(rank_ok) << "arc " << v << "->" << u;
+    }
+  }
+}
+
+TEST(DegreeOrient, EveryEdgeAppearsExactlyOnce) {
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const CsrGraph dag = degree_orient(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u < v) continue;
+      EXPECT_TRUE(dag.has_edge(v, u) != dag.has_edge(u, v))
+          << "edge {" << v << "," << u << "} must be oriented exactly one way";
+    }
+  }
+}
+
+TEST(DegreeOrient, NeighborhoodsStaySorted) {
+  const CsrGraph dag = degree_orient(gen::kronecker(9, 8.0, 3));
+  EXPECT_NO_THROW(dag.validate());
+}
+
+TEST(DegreeOrient, StarOrientsLeavesToHub) {
+  const CsrGraph dag = degree_orient(gen::star(8));
+  // Leaves (degree 1) rank below the hub (degree 7): every arc is leaf->hub.
+  EXPECT_EQ(dag.degree(0), 0u);
+  for (VertexId v = 1; v < 8; ++v) {
+    ASSERT_EQ(dag.degree(v), 1u);
+    EXPECT_EQ(dag.neighbors(v)[0], 0u);
+  }
+}
+
+TEST(DegreeOrient, OutDegreeIsBoundedOnComplete) {
+  // On K_n ranks are IDs, so out-degree of vertex i is n-1-i.
+  const CsrGraph dag = degree_orient(gen::complete(10));
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_EQ(dag.degree(v), 9u - v);
+  }
+}
+
+}  // namespace
+}  // namespace probgraph

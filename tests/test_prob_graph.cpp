@@ -1,0 +1,213 @@
+#include "core/prob_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/intersect.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph {
+namespace {
+
+TEST(ProbGraph, RejectsDegenerateInputs) {
+  const CsrGraph g = gen::complete(8);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.0;
+  EXPECT_THROW(ProbGraph(g, cfg), std::invalid_argument);
+
+  ProbGraphConfig bad_b;
+  bad_b.bf_hashes = 0;
+  EXPECT_THROW(ProbGraph(g, bad_b), std::invalid_argument);
+}
+
+TEST(ProbGraph, ToStringCoversAllKinds) {
+  EXPECT_STREQ(to_string(SketchKind::kBloomFilter), "BF");
+  EXPECT_STREQ(to_string(SketchKind::kKHash), "kH");
+  EXPECT_STREQ(to_string(SketchKind::kOneHash), "1H");
+  EXPECT_STREQ(to_string(SketchKind::kKmv), "KMV");
+  EXPECT_STREQ(to_string(BfEstimator::kAnd), "AND");
+  EXPECT_STREQ(to_string(BfEstimator::kLimit), "L");
+  EXPECT_STREQ(to_string(BfEstimator::kOr), "OR");
+}
+
+class ProbGraphKindTest : public ::testing::TestWithParam<SketchKind> {};
+
+TEST_P(ProbGraphKindTest, RespectsStorageBudget) {
+  const CsrGraph g = gen::kronecker(11, 16.0, 42);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  cfg.storage_budget = 0.25;
+  const ProbGraph pg(g, cfg);
+  // Rounding (word-size floor for BF, k >= 1 or 2 floor for MH/KMV) may
+  // push slightly past the budget on tiny graphs; 30% slack covers it.
+  EXPECT_LE(pg.relative_memory(), 0.25 * 1.3);
+  EXPECT_GT(pg.memory_bytes(), 0u);
+}
+
+TEST_P(ProbGraphKindTest, EstimatesIntersectionsOnDenseOverlap) {
+  // Complete graph: |N_u ∩ N_v| = n − 2 for every pair of adjacent u, v.
+  const CsrGraph g = gen::complete(64);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  cfg.storage_budget = 2.0;  // generous budget: estimates should be tight
+  cfg.seed = 9;
+  const ProbGraph pg(g, cfg);
+  double worst = 0.0;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) {
+      const double est = pg.est_intersection(u, v);
+      worst = std::max(worst, std::abs(est - 62.0) / 62.0);
+    }
+  }
+  EXPECT_LT(worst, 0.35) << to_string(GetParam());
+}
+
+TEST_P(ProbGraphKindTest, DeterministicUnderSeed) {
+  const CsrGraph g = gen::kronecker(9, 8.0, 17);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  cfg.seed = 123;
+  const ProbGraph a(g, cfg), b(g, cfg);
+  for (VertexId v = 0; v + 1 < std::min<VertexId>(g.num_vertices(), 50); ++v) {
+    EXPECT_DOUBLE_EQ(a.est_intersection(v, v + 1), b.est_intersection(v, v + 1));
+  }
+}
+
+TEST_P(ProbGraphKindTest, JaccardIsInUnitRangeForMinHash) {
+  const CsrGraph g = gen::kronecker(9, 8.0, 21);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  const ProbGraph pg(g, cfg);
+  for (VertexId v = 0; v < std::min<VertexId>(g.num_vertices(), 100); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      const double j = pg.est_jaccard(v, u);
+      EXPECT_GE(j, 0.0);
+      if (cfg.kind == SketchKind::kKHash || cfg.kind == SketchKind::kOneHash) {
+        EXPECT_LE(j, 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ProbGraphKindTest,
+                         ::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                           SketchKind::kOneHash, SketchKind::kKmv),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(ProbGraphBloom, ExplicitBitsOverrideBudget) {
+  const CsrGraph g = gen::complete(16);
+  ProbGraphConfig cfg;
+  cfg.bf_bits = 512;
+  const ProbGraph pg(g, cfg);
+  EXPECT_EQ(pg.bf_bits(), 512u);
+  EXPECT_EQ(pg.bf_words(0).size(), 8u);
+}
+
+TEST(ProbGraphBloom, WidthIsWordMultiple) {
+  const CsrGraph g = gen::kronecker(8, 8.0, 3);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.21;
+  const ProbGraph pg(g, cfg);
+  EXPECT_EQ(pg.bf_bits() % kWordBits, 0u);
+  EXPECT_GE(pg.bf_bits(), kWordBits);
+}
+
+TEST(ProbGraphBloom, BfViewContainsNeighbors) {
+  const CsrGraph g = gen::complete(32);
+  ProbGraphConfig cfg;
+  cfg.bf_bits = 2048;
+  const ProbGraph pg(g, cfg);
+  for (const VertexId u : g.neighbors(5)) {
+    EXPECT_TRUE(pg.bf(5).contains(u));
+  }
+}
+
+TEST(ProbGraphBloom, EstimatorVariantsAllTrack) {
+  const CsrGraph g = gen::complete(64);
+  for (const BfEstimator e : {BfEstimator::kAnd, BfEstimator::kLimit, BfEstimator::kOr}) {
+    ProbGraphConfig cfg;
+    cfg.bf_bits = 1 << 13;
+    cfg.bf_estimator = e;
+    cfg.seed = 5;
+    const ProbGraph pg(g, cfg);
+    EXPECT_NEAR(pg.est_intersection(0, 1), 62.0, 62.0 * 0.25) << to_string(e);
+  }
+}
+
+TEST(ProbGraphMinHash, ExplicitKOverridesBudget) {
+  const CsrGraph g = gen::complete(16);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 11;
+  const ProbGraph pg(g, cfg);
+  EXPECT_EQ(pg.minhash_k(), 11u);
+  EXPECT_LE(pg.onehash_entries(0).size(), 11u);
+}
+
+TEST(ProbGraphMinHash, OneHashEntriesAreNeighbors) {
+  const CsrGraph g = gen::complete(32);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 8;
+  const ProbGraph pg(g, cfg);
+  const auto n0 = g.neighbors(0);
+  for (const auto& entry : pg.onehash_entries(0)) {
+    EXPECT_TRUE(std::binary_search(n0.begin(), n0.end(), entry.element));
+  }
+}
+
+TEST(ProbGraphMinHash, KHashSignatureSlotsAreNeighborsOrEmpty) {
+  const CsrGraph g = gen::star(16);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kKHash;
+  cfg.minhash_k = 4;
+  const ProbGraph pg(g, cfg);
+  // Leaves have the hub as their only neighbor: every slot holds vertex 0.
+  for (const auto slot : pg.khash_signature(3)) EXPECT_EQ(slot, 0u);
+}
+
+TEST(ProbGraphKmv, ValuesSortedPerVertex) {
+  const CsrGraph g = gen::complete(64);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kKmv;
+  cfg.minhash_k = 16;
+  const ProbGraph pg(g, cfg);
+  const auto vals = pg.kmv_values(0);
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  EXPECT_EQ(vals.size(), 16u);
+}
+
+TEST(ProbGraph, ConstructionTimeIsRecorded) {
+  const CsrGraph g = gen::kronecker(10, 8.0, 5);
+  const ProbGraph pg(g, {});
+  EXPECT_GE(pg.construction_seconds(), 0.0);
+}
+
+TEST(ProbGraph, AccuracyAgainstExactOnKronecker) {
+  // Per-edge relative error medians should be moderate at a 33% budget
+  // (Fig. 3: medians below ≈25% for most graph/estimator combinations).
+  const CsrGraph g = gen::kronecker(10, 16.0, 77);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.33;
+  cfg.bf_hashes = 1;
+  cfg.seed = 3;
+  const ProbGraph pg(g, cfg);
+
+  double total_exact = 0.0, total_est = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      total_exact += static_cast<double>(intersect_size_merge(g.neighbors(v), g.neighbors(u)));
+      total_est += pg.est_intersection(v, u);
+    }
+  }
+  ASSERT_GT(total_exact, 0.0);
+  // The *aggregate* estimate (what TC consumes) must be within 40%. The BF
+  // AND estimator overestimates on skewed graphs at tight budgets (Fig. 3
+  // shows outliers up to 200%); the aggregate stays much closer.
+  EXPECT_NEAR(total_est / total_exact, 1.0, 0.40);
+}
+
+}  // namespace
+}  // namespace probgraph

@@ -1,0 +1,82 @@
+#include "util/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace probgraph::util {
+namespace {
+
+TEST(LogBeta, MatchesClosedForms) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = π.
+  EXPECT_NEAR(log_beta(1, 1), 0.0, 1e-12);
+  EXPECT_NEAR(log_beta(2, 3), std::log(1.0 / 12.0), 1e-12);
+  EXPECT_NEAR(log_beta(0.5, 0.5), std::log(M_PI), 1e-12);
+}
+
+TEST(RegIncBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(reg_inc_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(reg_inc_beta(2, 3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(reg_inc_beta(2, 3, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(reg_inc_beta(2, 3, 1.5), 1.0);
+}
+
+TEST(RegIncBeta, UniformCase) {
+  // I_x(1, 1) = x: Beta(1,1) is the uniform distribution.
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(reg_inc_beta(1, 1, x), x, 1e-12);
+  }
+}
+
+TEST(RegIncBeta, ClosedFormQuadratic) {
+  // I_x(2, 1) = x² and I_x(1, 2) = 1-(1-x)² = 2x - x².
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    EXPECT_NEAR(reg_inc_beta(2, 1, x), x * x, 1e-12);
+    EXPECT_NEAR(reg_inc_beta(1, 2, x), 2 * x - x * x, 1e-12);
+  }
+}
+
+TEST(RegIncBeta, SymmetryIdentity) {
+  // I_x(a, b) = 1 − I_{1−x}(b, a).
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(reg_inc_beta(3.5, 2.25, x), 1.0 - reg_inc_beta(2.25, 3.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(RegIncBeta, IsMonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    const double cur = reg_inc_beta(5, 7, x);
+    EXPECT_GE(cur, prev - 1e-14);
+    prev = cur;
+  }
+}
+
+TEST(RegIncBeta, MedianOfSymmetricBeta) {
+  // Beta(a, a) is symmetric around 1/2.
+  EXPECT_NEAR(reg_inc_beta(4, 4, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(reg_inc_beta(10, 10, 0.5), 0.5, 1e-12);
+}
+
+TEST(BinomialCdf, MatchesDirectSummation) {
+  // Bin(10, 0.3): compare against Σ C(10,i) p^i (1-p)^(10-i).
+  const double n = 10, p = 0.3;
+  double direct = 0.0;
+  double log_fact[16];
+  log_fact[0] = 0.0;
+  for (int i = 1; i < 16; ++i) log_fact[i] = log_fact[i - 1] + std::log(i);
+  for (int k = 0; k <= 10; ++k) {
+    const double log_choose = log_fact[10] - log_fact[k] - log_fact[10 - k];
+    direct += std::exp(log_choose + k * std::log(p) + (10 - k) * std::log(1 - p));
+    EXPECT_NEAR(binomial_cdf(k, n, p), direct, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(BinomialCdf, TailsAreExact) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(-1, 5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(99, 5, 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace probgraph::util

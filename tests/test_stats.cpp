@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace probgraph::util {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Variance, MatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with Bessel correction: Σ(x-μ)²/(n−1) = 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Variance, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  const std::vector<double> xs{7.0, 1.0, 3.0, 5.0, 9.0};
+  const BoxStats s = box_stats(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(BoxStats, EmptyInput) {
+  const BoxStats s = box_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(BootstrapCi, BracketsTheMean) {
+  Xoshiro256 rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(10.0 + rng.uniform());
+  const MeanCi ci = bootstrap_mean_ci(xs, 500, 42);
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, 10.5, 0.1);
+  // CI of a tight distribution around 10.5 must be narrow.
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(BootstrapCi, SingleSampleCollapses) {
+  const std::vector<double> xs{3.0};
+  const MeanCi ci = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(BootstrapCi, IsDeterministicUnderSeed) {
+  std::vector<double> xs;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform());
+  const MeanCi a = bootstrap_mean_ci(xs, 300, 9);
+  const MeanCi b = bootstrap_mean_ci(xs, 300, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace probgraph::util

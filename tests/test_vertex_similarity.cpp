@@ -1,0 +1,128 @@
+#include "algorithms/vertex_similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace probgraph::algo {
+namespace {
+
+// Fixture graph:
+//   0 - 1, 0 - 2, 1 - 2   (triangle)
+//   1 - 3, 2 - 3          (3 closes a diamond with 1, 2)
+//   3 - 4                 (pendant)
+CsrGraph diamond() {
+  return GraphBuilder::from_edges({{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}});
+}
+
+TEST(SimilarityExact, CommonNeighbors) {
+  const CsrGraph g = diamond();
+  // N0 = {1,2}, N3 = {1,2,4} → 2 common.
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 3, SimilarityMeasure::kCommonNeighbors), 2.0);
+  // N1 = {0,2,3}, N2 = {0,1,3} → {0,3}.
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 1, 2, SimilarityMeasure::kCommonNeighbors), 2.0);
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 4, SimilarityMeasure::kCommonNeighbors), 0.0);
+}
+
+TEST(SimilarityExact, Jaccard) {
+  const CsrGraph g = diamond();
+  // |N0 ∩ N3| = 2, |N0 ∪ N3| = 3.
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 3, SimilarityMeasure::kJaccard), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 1, 2, SimilarityMeasure::kJaccard), 0.5);
+}
+
+TEST(SimilarityExact, Overlap) {
+  const CsrGraph g = diamond();
+  // |N0 ∩ N3| / min(2, 3) = 1.
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 3, SimilarityMeasure::kOverlap), 1.0);
+}
+
+TEST(SimilarityExact, TotalNeighbors) {
+  const CsrGraph g = diamond();
+  EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 3, SimilarityMeasure::kTotalNeighbors), 3.0);
+}
+
+TEST(SimilarityExact, AdamicAdarAndResourceAllocation) {
+  const CsrGraph g = diamond();
+  // Common neighbors of 0 and 3 are {1, 2}, both of degree 3.
+  const double aa = 2.0 / std::log(3.0);
+  const double ra = 2.0 / 3.0;
+  EXPECT_NEAR(similarity_exact(g, 0, 3, SimilarityMeasure::kAdamicAdar), aa, 1e-12);
+  EXPECT_NEAR(similarity_exact(g, 0, 3, SimilarityMeasure::kResourceAllocation), ra, 1e-12);
+}
+
+TEST(SimilarityExact, AdamicAdarIgnoresDegreeOneCommonNeighbors) {
+  // 0 - 1 - 2 path: common neighbor of 0 and 2 is 1 (degree 2).
+  const CsrGraph g = GraphBuilder::from_edges({{0, 1}, {1, 2}});
+  EXPECT_NEAR(similarity_exact(g, 0, 2, SimilarityMeasure::kAdamicAdar), 1.0 / std::log(2.0),
+              1e-12);
+}
+
+TEST(SimilarityExact, IsSymmetric) {
+  const CsrGraph g = diamond();
+  for (const auto m :
+       {SimilarityMeasure::kJaccard, SimilarityMeasure::kOverlap,
+        SimilarityMeasure::kCommonNeighbors, SimilarityMeasure::kTotalNeighbors,
+        SimilarityMeasure::kAdamicAdar, SimilarityMeasure::kResourceAllocation}) {
+    EXPECT_DOUBLE_EQ(similarity_exact(g, 0, 3, m), similarity_exact(g, 3, 0, m))
+        << to_string(m);
+  }
+}
+
+TEST(SimilarityExact, ToStringNames) {
+  EXPECT_STREQ(to_string(SimilarityMeasure::kJaccard), "Jaccard");
+  EXPECT_STREQ(to_string(SimilarityMeasure::kResourceAllocation), "ResourceAllocation");
+}
+
+class SimilarityPgSweep : public ::testing::TestWithParam<SketchKind> {};
+
+TEST_P(SimilarityPgSweep, TracksExactOnDenseGraph) {
+  const CsrGraph g = gen::complete(48);
+  ProbGraphConfig cfg;
+  cfg.kind = GetParam();
+  cfg.storage_budget = 2.0;
+  cfg.seed = 7;
+  const ProbGraph pg(g, cfg);
+  for (const auto m : {SimilarityMeasure::kJaccard, SimilarityMeasure::kOverlap,
+                       SimilarityMeasure::kCommonNeighbors, SimilarityMeasure::kTotalNeighbors}) {
+    const double exact = similarity_exact(g, 0, 1, m);
+    const double est = similarity_probgraph(pg, 0, 1, m);
+    EXPECT_NEAR(est, exact, std::max(0.15 * std::abs(exact), 0.15))
+        << to_string(GetParam()) << "/" << to_string(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SimilarityPgSweep,
+                         ::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                           SketchKind::kOneHash, SketchKind::kKmv),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(SimilarityPg, WeightedMeasuresBloom) {
+  const CsrGraph g = gen::complete(48);
+  ProbGraphConfig cfg;
+  cfg.bf_bits = 1 << 12;
+  cfg.seed = 13;
+  const ProbGraph pg(g, cfg);
+  const double exact = similarity_exact(g, 0, 1, SimilarityMeasure::kAdamicAdar);
+  const double est = similarity_probgraph(pg, 0, 1, SimilarityMeasure::kAdamicAdar);
+  // BF membership filtering only adds false positives: est >= exact-ish.
+  EXPECT_NEAR(est, exact, exact * 0.3);
+}
+
+TEST(SimilarityPg, WeightedMeasuresOneHashScale) {
+  const CsrGraph g = gen::complete(48);
+  ProbGraphConfig cfg;
+  cfg.kind = SketchKind::kOneHash;
+  cfg.minhash_k = 24;
+  cfg.seed = 17;
+  const ProbGraph pg(g, cfg);
+  const double exact = similarity_exact(g, 0, 1, SimilarityMeasure::kResourceAllocation);
+  const double est = similarity_probgraph(pg, 0, 1, SimilarityMeasure::kResourceAllocation);
+  EXPECT_NEAR(est, exact, exact * 0.4);
+}
+
+}  // namespace
+}  // namespace probgraph::algo
