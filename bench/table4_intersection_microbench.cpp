@@ -6,13 +6,23 @@
 // Paper-shape expectations: merge scales with du + dv and galloping wins
 // when dv >> du; the BF/MinHash kernels are size-independent (fixed B or
 // k), which is exactly the load-balancing argument of Fig. 1 panel 5.
+// A second mode compares the two ProbGraph estimator entry points over a
+// full edge sweep: the legacy per-call path (est_intersection re-resolves
+// the SketchKind × BfEstimator switch on every edge) against the hoisted
+// backend path (visit_backend resolves once, the loop calls the concrete
+// backend directly). The delta is the dispatch overhead this refactor
+// removed from every mining algorithm's inner loop.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/backends.hpp"
 #include "core/bloom_filter.hpp"
 #include "core/intersect.hpp"
 #include "core/minhash.hpp"
+#include "graph/generators.hpp"
 #include "util/bitvector.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +113,74 @@ BENCHMARK(BM_CsrGallop)->Apply(shapes);
 BENCHMARK(BM_BloomAnd)->Apply(shapes);
 BENCHMARK(BM_OneHash)->Apply(shapes);
 BENCHMARK(BM_KHash)->Apply(shapes);
+
+// --- Per-call dispatch vs. hoisted-backend dispatch over an edge sweep. ---
+
+const pb::CsrGraph& dispatch_graph() {
+  static const pb::CsrGraph g = pb::gen::kronecker(13, 16.0, 42);
+  return g;
+}
+
+const pb::ProbGraph& dispatch_pg(pb::SketchKind kind) {
+  static std::vector<std::unique_ptr<pb::ProbGraph>> cache(4);
+  const auto idx = static_cast<std::size_t>(kind);
+  if (!cache[idx]) {
+    pb::ProbGraphConfig cfg;
+    cfg.kind = kind;
+    cfg.storage_budget = 0.25;
+    cache[idx] = std::make_unique<pb::ProbGraph>(dispatch_graph(), cfg);
+  }
+  return *cache[idx];
+}
+
+/// Legacy path: the kind/estimator switch re-runs on every edge.
+void BM_PgEdgeSweepPerCallDispatch(benchmark::State& state) {
+  const auto kind = static_cast<pb::SketchKind>(state.range(0));
+  const pb::CsrGraph& g = dispatch_graph();
+  const pb::ProbGraph& pg = dispatch_pg(kind);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (pb::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const pb::VertexId u : g.neighbors(v)) {
+        if (u > v) total += pg.est_intersection(v, u);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+/// Refactored path: dispatch once, monomorphic estimator in the loop.
+void BM_PgEdgeSweepHoistedBackend(benchmark::State& state) {
+  const auto kind = static_cast<pb::SketchKind>(state.range(0));
+  const pb::CsrGraph& g = dispatch_graph();
+  const pb::ProbGraph& pg = dispatch_pg(kind);
+  for (auto _ : state) {
+    const double total = pg.visit_backend([&](const auto be) {
+      double acc = 0.0;
+      for (pb::VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (const pb::VertexId u : g.neighbors(v)) {
+          if (u > v) acc += be.est_intersection(v, u);
+        }
+      }
+      return acc;
+    });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+void dispatch_kinds(benchmark::internal::Benchmark* b) {
+  b->Arg(static_cast<int>(pb::SketchKind::kBloomFilter))
+      ->Arg(static_cast<int>(pb::SketchKind::kKHash))
+      ->Arg(static_cast<int>(pb::SketchKind::kOneHash))
+      ->Arg(static_cast<int>(pb::SketchKind::kKmv));
+}
+
+BENCHMARK(BM_PgEdgeSweepPerCallDispatch)->Apply(dispatch_kinds)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PgEdgeSweepHoistedBackend)->Apply(dispatch_kinds)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

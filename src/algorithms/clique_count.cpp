@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "core/backends.hpp"
 #include "core/estimators.hpp"
 #include "core/intersect.hpp"
 #include "graph/orientation.hpp"
@@ -38,19 +40,17 @@ std::uint64_t four_clique_count_exact(const CsrGraph& g) {
 
 namespace {
 
-double four_clique_bf(const ProbGraph& pg) {
-  const CsrGraph& dag = pg.graph();
+template <typename Backend>
+double four_clique_bf(const CsrGraph& dag, const Backend be) {
   const VertexId n = dag.num_vertices();
-  const std::uint64_t bits = pg.bf_bits();
-  const std::uint32_t b = pg.config().bf_hashes;
   double total = 0.0;
 #pragma omp parallel reduction(+ : total)
   {
     std::vector<VertexId> c3;
 #pragma omp for schedule(dynamic, 32)
     for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
-      const auto bf_u = pg.bf(static_cast<VertexId>(u));
-      const auto wu = pg.bf_words(static_cast<VertexId>(u));
+      const auto bf_u = be.bf(static_cast<VertexId>(u));
+      const auto wu = be.words(static_cast<VertexId>(u));
       for (const VertexId v : dag.neighbors(static_cast<VertexId>(u))) {
         // Approximate C3 membership list: elements of N+v inside BF(N+u).
         c3.clear();
@@ -58,10 +58,10 @@ double four_clique_bf(const ProbGraph& pg) {
           if (bf_u.contains(x)) c3.push_back(x);
         }
         if (c3.empty()) continue;
-        const auto wv = pg.bf_words(v);
+        const auto wv = be.words(v);
         for (const VertexId w : c3) {
-          const std::uint64_t ones = util::and3_popcount(wu, wv, pg.bf_words(w));
-          total += est::bf_intersection_and(ones, bits, b);
+          const std::uint64_t ones = util::and3_popcount(wu, wv, be.words(w));
+          total += est::bf_intersection_and(ones, be.bits, be.hashes);
         }
       }
     }
@@ -69,39 +69,8 @@ double four_clique_bf(const ProbGraph& pg) {
   return total;
 }
 
-/// Extract the enumerable sampled common elements of two MinHash sketches
-/// plus the Jaccard estimate. Returns the estimate of |N+u ∩ N+v|.
-double sampled_common(const ProbGraph& pg, VertexId u, VertexId v,
-                      std::vector<VertexId>& out) {
-  const CsrGraph& g = pg.graph();
-  out.clear();
-  double j = 0.0;
-  if (pg.kind() == SketchKind::kOneHash) {
-    const auto a = pg.onehash_entries(u);
-    const auto b = pg.onehash_entries(v);
-    OneHashSketch::intersect_elements(a, b, pg.minhash_k(), out);
-    j = OneHashSketch::jaccard_from_spans(a, b, pg.minhash_k());
-  } else {  // kKHash
-    const auto a = pg.khash_signature(u);
-    const auto bsig = pg.khash_signature(v);
-    std::uint32_t matches = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      if (a[i] != kEmptySlot && a[i] == bsig[i]) {
-        ++matches;
-        out.push_back(static_cast<VertexId>(a[i]));
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    j = static_cast<double>(matches) / static_cast<double>(pg.minhash_k());
-  }
-  std::sort(out.begin(), out.end());
-  return est::mh_intersection(j, static_cast<double>(g.degree(u)),
-                              static_cast<double>(g.degree(v)));
-}
-
-double four_clique_mh(const ProbGraph& pg) {
-  const CsrGraph& dag = pg.graph();
+template <typename Backend>
+double four_clique_mh(const CsrGraph& dag, const Backend be) {
   const VertexId n = dag.num_vertices();
   double total = 0.0;
 #pragma omp parallel reduction(+ : total)
@@ -110,7 +79,7 @@ double four_clique_mh(const ProbGraph& pg) {
 #pragma omp for schedule(dynamic, 32)
     for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
       for (const VertexId v : dag.neighbors(static_cast<VertexId>(u))) {
-        const double est_c3 = sampled_common(pg, static_cast<VertexId>(u), v, c3s);
+        const double est_c3 = be.sampled_intersection(static_cast<VertexId>(u), v, c3s);
         if (c3s.empty() || est_c3 <= 0.0) continue;
         // Inverse sampling fraction; C3s can exceed the estimate on small
         // sets, in which case the sample is effectively exhaustive.
@@ -131,18 +100,19 @@ double four_clique_mh(const ProbGraph& pg) {
 }  // namespace
 
 double four_clique_count_probgraph(const ProbGraph& pg) {
-  switch (pg.kind()) {
-    case SketchKind::kBloomFilter:
-      return four_clique_bf(pg);
-    case SketchKind::kKHash:
-    case SketchKind::kOneHash:
-      return four_clique_mh(pg);
-    case SketchKind::kKmv:
+  return pg.visit_backend([&](const auto& be) -> double {
+    using Backend = std::decay_t<decltype(be)>;
+    if constexpr (Backend::kKind == SketchKind::kBloomFilter) {
+      return four_clique_bf(pg.graph(), be);
+    } else if constexpr (Backend::kKind == SketchKind::kKHash ||
+                         Backend::kKind == SketchKind::kOneHash) {
+      return four_clique_mh(pg.graph(), be);
+    } else {
       throw std::invalid_argument(
           "four_clique_count_probgraph: KMV sketches cannot enumerate C3 "
           "(store hash values, not elements); use BF or MinHash");
-  }
-  return 0.0;
+    }
+  });
 }
 
 }  // namespace probgraph::algo

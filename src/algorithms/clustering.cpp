@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "algorithms/connected_components.hpp"
+#include "algorithms/similarity_kernels.hpp"
 
 namespace probgraph::algo {
 
@@ -55,8 +56,12 @@ ClusteringResult jarvis_patrick_exact(const CsrGraph& g, SimilarityMeasure measu
 
 ClusteringResult jarvis_patrick_probgraph(const ProbGraph& pg, SimilarityMeasure measure,
                                           double tau) {
-  return cluster_with(pg.graph(), tau, [&](VertexId v, VertexId u) {
-    return similarity_probgraph(pg, v, u, measure);
+  // One dispatch for the whole edge sweep: the per-edge sim() call chain is
+  // monomorphic in the concrete backend.
+  return pg.visit_backend([&](const auto& be) {
+    return cluster_with(pg.graph(), tau, [&](VertexId v, VertexId u) {
+      return similarity_backend(be, v, u, measure);
+    });
   });
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/backends.hpp"
 #include "core/intersect.hpp"
 
 namespace probgraph::algo {
@@ -39,8 +40,10 @@ std::vector<double> local_clustering_exact(const CsrGraph& g) {
   return cc;
 }
 
-std::vector<double> local_clustering_probgraph(const ProbGraph& pg) {
-  const CsrGraph& g = pg.graph();
+namespace {
+
+template <typename Backend>
+std::vector<double> local_clustering_loop(const CsrGraph& g, const Backend be) {
   const VertexId n = g.num_vertices();
   std::vector<double> cc(n, 0.0);
 #pragma omp parallel for schedule(dynamic, 64)
@@ -50,11 +53,18 @@ std::vector<double> local_clustering_probgraph(const ProbGraph& pg) {
     if (d < 2.0) continue;
     double closed = 0.0;
     for (const VertexId u : nv) {
-      closed += pg.est_intersection(static_cast<VertexId>(v), u);
+      closed += be.est_intersection(static_cast<VertexId>(v), u);
     }
     cc[v] = std::clamp(closed / (d * (d - 1.0)), 0.0, 1.0);
   }
   return cc;
+}
+
+}  // namespace
+
+std::vector<double> local_clustering_probgraph(const ProbGraph& pg) {
+  return pg.visit_backend(
+      [&](const auto& be) { return local_clustering_loop(pg.graph(), be); });
 }
 
 }  // namespace probgraph::algo

@@ -1,8 +1,10 @@
 #include "algorithms/kclique.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "core/backends.hpp"
 #include "core/estimators.hpp"
 #include "core/intersect.hpp"
 #include "graph/orientation.hpp"
@@ -58,47 +60,41 @@ namespace {
 
 /// BF recursion: `cand` is the approximate common-neighbor list (membership
 /// filtered), `and_words` the running bitwise AND of the chosen filters.
-double bf_rec(const ProbGraph& pg, const CsrGraph& dag, std::span<const VertexId> cand,
+/// Monomorphic in the bloom backend; the closing estimate is always the AND
+/// estimator (the chained popcount *is* the AND statistic — Limit/OR have
+/// no chained analogue).
+template <typename Backend>
+double bf_rec(const Backend& be, std::span<const VertexId> cand,
               std::span<const std::uint64_t> and_words, unsigned remaining,
               std::vector<std::vector<VertexId>>& cand_scratch,
               std::vector<std::vector<std::uint64_t>>& word_scratch, unsigned depth) {
   if (remaining == 0) {
-    return est::bf_intersection_and(util::popcount(and_words), pg.bf_bits(),
-                                    pg.config().bf_hashes);
+    return est::bf_intersection_and(util::popcount(and_words), be.bits, be.hashes);
   }
   double total = 0.0;
   auto& next_cand = cand_scratch[depth];
   auto& next_words = word_scratch[depth];
   for (const VertexId u : cand) {
-    const auto wu = pg.bf_words(u);
+    const auto wu = be.words(u);
     // Fold u's filter into the running AND.
     next_words.assign(and_words.begin(), and_words.end());
     for (std::size_t i = 0; i < next_words.size(); ++i) next_words[i] &= wu[i];
     // Approximate candidate refinement via membership in the chain so far:
     // x stays iff its bits are set in the AND (i.e. x "in" every chosen BF).
-    const BloomFilterView chain(next_words, pg.bf_bits(), pg.config().bf_hashes,
-                                util::HashFamily(pg.config().seed));
+    const BloomFilterView chain(next_words, be.bits, be.hashes, be.family);
     next_cand.clear();
     for (const VertexId x : cand) {
       if (x != u && chain.contains(x)) next_cand.push_back(x);
     }
     if (next_cand.empty() && remaining > 1) continue;
-    total += bf_rec(pg, dag, next_cand, next_words, remaining - 1, cand_scratch,
+    total += bf_rec(be, next_cand, next_words, remaining - 1, cand_scratch,
                     word_scratch, depth + 1);
   }
   return total;
 }
 
-}  // namespace
-
-double kclique_count_probgraph(const ProbGraph& pg, unsigned k) {
-  if (k < 3) throw std::invalid_argument("kclique_count: k must be at least 3");
-  if (pg.kind() != SketchKind::kBloomFilter) {
-    throw std::invalid_argument(
-        "kclique_count_probgraph: only Bloom-filter ProbGraphs support chained "
-        "intersection for general k (use four_clique_count_probgraph for MinHash)");
-  }
-  const CsrGraph& dag = pg.graph();
+template <typename Backend>
+double kclique_bf(const Backend be, const CsrGraph& dag, unsigned k) {
   const VertexId n = dag.num_vertices();
   double total = 0.0;
 #pragma omp parallel reduction(+ : total)
@@ -109,11 +105,27 @@ double kclique_count_probgraph(const ProbGraph& pg, unsigned k) {
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
       const auto nv = dag.neighbors(static_cast<VertexId>(v));
       if (nv.empty()) continue;
-      total += bf_rec(pg, dag, nv, pg.bf_words(static_cast<VertexId>(v)), k - 2,
-                      cand_scratch, word_scratch, 0);
+      total += bf_rec(be, nv, be.words(static_cast<VertexId>(v)), k - 2, cand_scratch,
+                      word_scratch, 0);
     }
   }
   return total;
+}
+
+}  // namespace
+
+double kclique_count_probgraph(const ProbGraph& pg, unsigned k) {
+  if (k < 3) throw std::invalid_argument("kclique_count: k must be at least 3");
+  return pg.visit_backend([&](const auto& be) -> double {
+    using Backend = std::decay_t<decltype(be)>;
+    if constexpr (Backend::kKind == SketchKind::kBloomFilter) {
+      return kclique_bf(be, pg.graph(), k);
+    } else {
+      throw std::invalid_argument(
+          "kclique_count_probgraph: only Bloom-filter ProbGraphs support chained "
+          "intersection for general k (use four_clique_count_probgraph for MinHash)");
+    }
+  });
 }
 
 }  // namespace probgraph::algo

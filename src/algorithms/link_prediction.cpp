@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "algorithms/similarity_kernels.hpp"
 #include "graph/builder.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -109,8 +110,11 @@ LinkPredictionResult link_prediction_probgraph(const CsrGraph& g,
                                                const ProbGraphConfig& pg_config) {
   const Split split = split_graph(g, config.removal_fraction, config.seed);
   const ProbGraph pg(split.sparse, pg_config);
-  return run(split.sparse, split.removed, [&](VertexId a, VertexId b) {
-    return similarity_probgraph(pg, a, b, config.measure);
+  // Resolve the sketch backend once for the whole candidate-scoring sweep.
+  return pg.visit_backend([&](const auto& be) {
+    return run(split.sparse, split.removed, [&](VertexId a, VertexId b) {
+      return similarity_backend(be, a, b, config.measure);
+    });
   });
 }
 

@@ -1,5 +1,6 @@
 #include "algorithms/triangle_count.hpp"
 
+#include "core/backends.hpp"
 #include "core/intersect.hpp"
 #include "graph/orientation.hpp"
 
@@ -42,8 +43,12 @@ std::uint64_t triangle_count_exact(const CsrGraph& g, ExactIntersect kernel) {
   return triangle_count_exact_oriented(degree_orient(g), kernel);
 }
 
-double triangle_count_probgraph(const ProbGraph& pg, TcMode mode) {
-  const CsrGraph& g = pg.graph();
+namespace {
+
+/// Sketch-estimated node-iterator sum, monomorphized per backend: the inner
+/// loop is a direct call into the concrete estimator, no sketch dispatch.
+template <typename Backend>
+double tc_estimate_loop(const CsrGraph& g, const Backend be, TcMode mode) {
   const VertexId n = g.num_vertices();
   double total = 0.0;
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : total)
@@ -51,11 +56,18 @@ double triangle_count_probgraph(const ProbGraph& pg, TcMode mode) {
     double local = 0.0;
     for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
       if (mode == TcMode::kFull && u <= static_cast<VertexId>(v)) continue;
-      local += pg.est_intersection(static_cast<VertexId>(v), u);
+      local += be.est_intersection(static_cast<VertexId>(v), u);
     }
     total += local;
   }
   return mode == TcMode::kFull ? total / 3.0 : total;
+}
+
+}  // namespace
+
+double triangle_count_probgraph(const ProbGraph& pg, TcMode mode) {
+  return pg.visit_backend(
+      [&](const auto& be) { return tc_estimate_loop(pg.graph(), be, mode); });
 }
 
 }  // namespace probgraph::algo

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "algorithms/similarity_kernels.hpp"
 #include "core/intersect.hpp"
 
 namespace probgraph::algo {
@@ -86,88 +87,12 @@ double similarity_exact(const CsrGraph& g, VertexId u, VertexId v,
   return 0.0;
 }
 
-namespace {
-
-/// Weighted common-neighbor sum under a ProbGraph: BF filters the smaller
-/// exact neighborhood through the other side's membership query; MinHash
-/// enumerates the sampled common elements and rescales by the inverse
-/// sampling fraction.
-template <typename WeightFn>
-double weighted_common_pg(const ProbGraph& pg, VertexId u, VertexId v, WeightFn&& weight) {
-  const CsrGraph& g = pg.graph();
-  switch (pg.kind()) {
-    case SketchKind::kBloomFilter: {
-      // Iterate the smaller exact neighborhood, test against the other BF.
-      const VertexId small = g.degree(u) <= g.degree(v) ? u : v;
-      const VertexId large = small == u ? v : u;
-      const auto bf_large = pg.bf(large);
-      double acc = 0.0;
-      for (const VertexId w : g.neighbors(small)) {
-        if (bf_large.contains(w)) acc += weight(w);
-      }
-      return acc;
-    }
-    case SketchKind::kOneHash: {
-      std::vector<VertexId> common;
-      OneHashSketch::intersect_elements(pg.onehash_entries(u), pg.onehash_entries(v),
-                                        pg.minhash_k(), common);
-      if (common.empty()) return 0.0;
-      const double est_inter = pg.est_intersection(u, v);
-      const double inv_p = std::max(1.0, est_inter / static_cast<double>(common.size()));
-      double acc = 0.0;
-      for (const VertexId w : common) acc += weight(w);
-      return inv_p * acc;
-    }
-    case SketchKind::kKHash: {
-      const auto a = pg.khash_signature(u);
-      const auto b = pg.khash_signature(v);
-      std::vector<VertexId> common;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i] != kEmptySlot && a[i] == b[i]) common.push_back(static_cast<VertexId>(a[i]));
-      }
-      std::sort(common.begin(), common.end());
-      common.erase(std::unique(common.begin(), common.end()), common.end());
-      if (common.empty()) return 0.0;
-      const double est_inter = pg.est_intersection(u, v);
-      const double inv_p = std::max(1.0, est_inter / static_cast<double>(common.size()));
-      double acc = 0.0;
-      for (const VertexId w : common) acc += weight(w);
-      return inv_p * acc;
-    }
-    case SketchKind::kKmv:
-      // KMV cannot enumerate elements; approximate with the mean weight of
-      // the two endpoint neighborhoods times the estimated intersection.
-      return pg.est_intersection(u, v) * 0.0;
-  }
-  return 0.0;
-}
-
-}  // namespace
-
 double similarity_probgraph(const ProbGraph& pg, VertexId u, VertexId v,
                             SimilarityMeasure measure) {
-  const CsrGraph& g = pg.graph();
-  switch (measure) {
-    case SimilarityMeasure::kJaccard:
-      return pg.est_jaccard(u, v);
-    case SimilarityMeasure::kOverlap:
-      return pg.est_overlap(u, v);
-    case SimilarityMeasure::kCommonNeighbors:
-      return pg.est_intersection(u, v);
-    case SimilarityMeasure::kTotalNeighbors:
-      return pg.est_total_neighbors(u, v);
-    case SimilarityMeasure::kAdamicAdar:
-      return weighted_common_pg(pg, u, v, [&](VertexId w) {
-        const double d = static_cast<double>(g.degree(w));
-        return d > 1.0 ? 1.0 / std::log(d) : 0.0;
-      });
-    case SimilarityMeasure::kResourceAllocation:
-      return weighted_common_pg(pg, u, v, [&](VertexId w) {
-        const double d = static_cast<double>(g.degree(w));
-        return d > 0.0 ? 1.0 / d : 0.0;
-      });
-  }
-  return 0.0;
+  // Per-pair convenience entry point; the pair-loop algorithms (clustering,
+  // link prediction) hoist the visit out of their loops instead.
+  return pg.visit_backend(
+      [&](const auto& be) { return similarity_backend(be, u, v, measure); });
 }
 
 }  // namespace probgraph::algo

@@ -37,8 +37,11 @@ double partial_processing_tc(const CsrGraph& g, double fraction, std::uint64_t s
   const VertexId n = dag.num_vertices();
   // Per-endpoint independent subsampling: neighbor x survives in v's view
   // iff hash(v, x) <= fraction (independently per endpoint).
-  const auto threshold = static_cast<std::uint64_t>(
-      fraction * static_cast<double>(~std::uint64_t{0}));
+  // fraction == 1.0 would overflow the uint64 cast (2^64 is unrepresentable,
+  // and the out-of-range conversion is UB that lands on 0 here), so saturate.
+  const std::uint64_t threshold =
+      fraction >= 1.0 ? ~std::uint64_t{0}
+                      : static_cast<std::uint64_t>(fraction * 0x1p64);
   auto survives = [&](VertexId owner, VertexId x) {
     return util::hash64((static_cast<std::uint64_t>(owner) << 32) | x, seed) <= threshold;
   };
@@ -62,7 +65,6 @@ double partial_processing_tc(const CsrGraph& g, double fraction, std::uint64_t s
       }
     }
   }
-  (void)fraction;
   return total;  // raw partial count, as in the original heuristic
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/backends.hpp"
 #include "core/estimators.hpp"
 #include "core/kmv.hpp"
 #include "util/bitvector.hpp"
@@ -18,7 +19,7 @@ const char* to_string(SketchKind kind) noexcept {
     case SketchKind::kOneHash: return "1H";
     case SketchKind::kKmv: return "KMV";
   }
-  return "?";
+  return "invalid(SketchKind)";
 }
 
 const char* to_string(BfEstimator e) noexcept {
@@ -27,7 +28,44 @@ const char* to_string(BfEstimator e) noexcept {
     case BfEstimator::kLimit: return "L";
     case BfEstimator::kOr: return "OR";
   }
-  return "?";
+  return "invalid(BfEstimator)";
+}
+
+namespace {
+
+/// ASCII-case-insensitive comparison (flag values are short ASCII tokens).
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto lower = [](char c) {
+      return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    };
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<SketchKind> parse_sketch_kind(std::string_view s) noexcept {
+  for (const SketchKind kind : {SketchKind::kBloomFilter, SketchKind::kKHash,
+                                SketchKind::kOneHash, SketchKind::kKmv}) {
+    if (iequals(s, to_string(kind))) return kind;
+  }
+  // Long-form aliases; the short CLI spellings ("bf", "kh", "1h", "kmv")
+  // already match the to_string loop above case-insensitively.
+  if (iequals(s, "bloom")) return SketchKind::kBloomFilter;
+  if (iequals(s, "khash") || iequals(s, "k-hash")) return SketchKind::kKHash;
+  if (iequals(s, "onehash") || iequals(s, "1-hash")) return SketchKind::kOneHash;
+  return std::nullopt;
+}
+
+std::optional<BfEstimator> parse_bf_estimator(std::string_view s) noexcept {
+  for (const BfEstimator e : {BfEstimator::kAnd, BfEstimator::kLimit, BfEstimator::kOr}) {
+    if (iequals(s, to_string(e))) return e;
+  }
+  if (iequals(s, "limit")) return BfEstimator::kLimit;
+  return std::nullopt;
 }
 
 ProbGraph::ProbGraph(const CsrGraph& g, ProbGraphConfig config)
@@ -184,100 +222,26 @@ void ProbGraph::build_kmv() {
   }
 }
 
+// The est_* public API is a thin per-call wrapper over the static-dispatch
+// visitor. Each call pays the kind/estimator switch once; hot loops should
+// instead visit once and reuse the concrete backend (core/backends.hpp).
+
 double ProbGraph::est_intersection(VertexId u, VertexId v) const noexcept {
-  const CsrGraph& g = *graph_;
-  switch (config_.kind) {
-    case SketchKind::kBloomFilter: {
-      const auto wu = bf_words(u);
-      const auto wv = bf_words(v);
-      switch (config_.bf_estimator) {
-        case BfEstimator::kAnd:
-          return est::bf_intersection_and(util::and_popcount(wu, wv), bf_bits_,
-                                          config_.bf_hashes);
-        case BfEstimator::kLimit:
-          return est::bf_intersection_limit(util::and_popcount(wu, wv), config_.bf_hashes);
-        case BfEstimator::kOr:
-          return est::bf_intersection_or(static_cast<double>(g.degree(u)),
-                                         static_cast<double>(g.degree(v)),
-                                         util::or_popcount(wu, wv), bf_bits_,
-                                         config_.bf_hashes);
-      }
-      return 0.0;
-    }
-    case SketchKind::kKHash: {
-      const std::uint32_t matches =
-          KHashSketch::matching_slots(khash_signature(u), khash_signature(v));
-      const double j = static_cast<double>(matches) / static_cast<double>(k_);
-      return est::mh_intersection(j, static_cast<double>(g.degree(u)),
-                                  static_cast<double>(g.degree(v)));
-    }
-    case SketchKind::kOneHash: {
-      const double j =
-          OneHashSketch::jaccard_from_spans(onehash_entries(u), onehash_entries(v), k_);
-      return est::mh_intersection(j, static_cast<double>(g.degree(u)),
-                                  static_cast<double>(g.degree(v)));
-    }
-    case SketchKind::kKmv: {
-      const auto vu = kmv_values(u);
-      const auto vv = kmv_values(v);
-      // Inline union-of-sorted-lists with k smallest, then Eq. (41).
-      const std::uint32_t k = k_;
-      std::size_t i = 0, j = 0;
-      std::uint32_t taken = 0;
-      double last = 0.0;
-      while (taken < k && (i < vu.size() || j < vv.size())) {
-        if (j >= vv.size() || (i < vu.size() && vu[i] < vv[j])) {
-          last = vu[i++];
-        } else if (i < vu.size() && vu[i] == vv[j]) {
-          last = vu[i++];
-          ++j;
-        } else {
-          last = vv[j++];
-        }
-        ++taken;
-      }
-      const double est_union =
-          (taken < k) ? static_cast<double>(taken) : static_cast<double>(k - 1) / last;
-      return std::max(0.0, static_cast<double>(g.degree(u)) +
-                               static_cast<double>(g.degree(v)) - est_union);
-    }
-  }
-  return 0.0;
+  return visit_backend([&](const auto& be) { return be.est_intersection(u, v); });
 }
 
 double ProbGraph::est_jaccard(VertexId u, VertexId v) const noexcept {
-  // MinHash sketches estimate J directly; BF/KMV go through |X∩Y| and the
-  // identity J = |X∩Y| / (|X| + |Y| − |X∩Y|) of Listing 6.
-  const CsrGraph& g = *graph_;
-  const double du = static_cast<double>(g.degree(u));
-  const double dv = static_cast<double>(g.degree(v));
-  if (du + dv == 0.0) return 0.0;
-  switch (config_.kind) {
-    case SketchKind::kKHash:
-      return static_cast<double>(
-                 KHashSketch::matching_slots(khash_signature(u), khash_signature(v))) /
-             static_cast<double>(k_);
-    case SketchKind::kOneHash:
-      return OneHashSketch::jaccard_from_spans(onehash_entries(u), onehash_entries(v), k_);
-    default: {
-      const double inter = std::min(est_intersection(u, v), du + dv);
-      const double uni = du + dv - inter;
-      return uni <= 0.0 ? 1.0 : inter / uni;
-    }
-  }
+  // MinHash backends estimate J directly; BF/KMV go through the clamped
+  // |X∩Y| and the identity J = |X∩Y| / (|X| + |Y| − |X∩Y|) of Listing 6.
+  return visit_backend([&](const auto& be) { return be.est_jaccard(u, v); });
 }
 
 double ProbGraph::est_overlap(VertexId u, VertexId v) const noexcept {
-  const CsrGraph& g = *graph_;
-  const double denom = static_cast<double>(std::min(g.degree(u), g.degree(v)));
-  if (denom == 0.0) return 0.0;
-  return est_intersection(u, v) / denom;
+  return visit_backend([&](const auto& be) { return be.est_overlap(u, v); });
 }
 
 double ProbGraph::est_total_neighbors(VertexId u, VertexId v) const noexcept {
-  const CsrGraph& g = *graph_;
-  return static_cast<double>(g.degree(u)) + static_cast<double>(g.degree(v)) -
-         est_intersection(u, v);
+  return visit_backend([&](const auto& be) { return be.est_total_neighbors(u, v); });
 }
 
 std::size_t ProbGraph::memory_bytes() const noexcept {

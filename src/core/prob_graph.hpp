@@ -22,7 +22,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/bloom_filter.hpp"
@@ -50,6 +52,12 @@ enum class BfEstimator : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SketchKind kind) noexcept;
 [[nodiscard]] const char* to_string(BfEstimator e) noexcept;
+
+/// Inverse of to_string, also accepting the CLI spellings used by pgtool
+/// ("bf", "1h", "kh", "kmv" / "and", "limit", "or"), case-insensitively.
+/// Returns nullopt on anything else — callers decide how to fail.
+[[nodiscard]] std::optional<SketchKind> parse_sketch_kind(std::string_view s) noexcept;
+[[nodiscard]] std::optional<BfEstimator> parse_bf_estimator(std::string_view s) noexcept;
 
 struct ProbGraphConfig {
   SketchKind kind = SketchKind::kBloomFilter;
@@ -103,7 +111,25 @@ class ProbGraph {
 
   // --- The |N_u ∩ N_v| estimator (the blue operation of Listings 1–5). ---
 
+  /// Per-call dispatch convenience wrapper over visit_backend. Inside a hot
+  /// loop, prefer hoisting the dispatch: visit once, then call the concrete
+  /// backend's est_intersection per edge (see core/backends.hpp).
   [[nodiscard]] double est_intersection(VertexId u, VertexId v) const noexcept;
+
+  // --- Static backend dispatch (core/backends.hpp defines these). ---
+
+  /// Resolve (kind, bf_estimator) exactly once and invoke `f` with the
+  /// matching concrete backend (BloomAndBackend, ..., KmvBackend). All
+  /// algorithm kernels are templates instantiated through this visitor so
+  /// their parallel inner loops are free of sketch dispatch.
+  template <typename F>
+  decltype(auto) visit_backend(F&& f) const;
+
+  /// Construct a specific backend view over this ProbGraph's arenas. The
+  /// caller must pick the type matching kind()/config().bf_estimator;
+  /// visit_backend does that automatically.
+  template <typename Backend>
+  [[nodiscard]] Backend backend() const noexcept;
 
   // --- Derived similarity estimators (Listing 3). ---
 

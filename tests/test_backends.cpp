@@ -1,0 +1,189 @@
+// The static-dispatch backend layer (core/backends.hpp).
+//
+// The load-bearing guarantee: hoisting the sketch dispatch out of the inner
+// loops must not change a single bit of any estimate. Golden values below
+// were captured from the pre-refactor ProbGraph::est_intersection (the
+// per-call nested switch) on a fixed-seed Kronecker graph and are asserted
+// bit-identically against the visit_backend path for every SketchKind ×
+// BfEstimator combination.
+#include "core/backends.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace probgraph {
+namespace {
+
+struct Combo {
+  SketchKind kind;
+  BfEstimator estimator;  // only meaningful for kBloomFilter
+};
+
+std::vector<Combo> all_combos() {
+  return {{SketchKind::kBloomFilter, BfEstimator::kAnd},
+          {SketchKind::kBloomFilter, BfEstimator::kLimit},
+          {SketchKind::kBloomFilter, BfEstimator::kOr},
+          {SketchKind::kKHash, BfEstimator::kAnd},
+          {SketchKind::kOneHash, BfEstimator::kAnd},
+          {SketchKind::kKmv, BfEstimator::kAnd}};
+}
+
+std::string combo_name(const Combo& c) {
+  std::string name = to_string(c.kind);
+  if (c.kind == SketchKind::kBloomFilter) {
+    name += "_";
+    name += to_string(c.estimator);
+  }
+  return name;
+}
+
+// The golden fixture: gen::kronecker(9, 24.0, 123), storage budget 0.75,
+// bf_hashes 2, sketch seed 7; pairs are the first 8 (v < u) edges.
+CsrGraph golden_graph() { return gen::kronecker(9, 24.0, 123); }
+
+ProbGraphConfig golden_config(const Combo& c) {
+  ProbGraphConfig cfg;
+  cfg.kind = c.kind;
+  cfg.bf_estimator = c.estimator;
+  cfg.storage_budget = 0.75;
+  cfg.bf_hashes = 2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+constexpr std::pair<VertexId, VertexId> kGoldenPairs[] = {
+    {0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}};
+
+struct GoldenRow {
+  Combo combo;
+  double values[8];
+};
+
+// Captured from the pre-refactor per-call-switch est_intersection.
+const GoldenRow kGolden[] = {
+    {{SketchKind::kBloomFilter, BfEstimator::kAnd},
+     {0x1.6767c37b79befp+7, 0x1.606e061b4ef34p+7, 0x1.8de8607a19c9cp+6,
+      0x1.63e875f8dbd34p+7, 0x1.830983df5563bp+6, 0x1.961f24b84e78fp+6,
+      0x1.5effe4fbeae2fp+5, 0x1.5101e18971ad9p+7}},
+    {{SketchKind::kBloomFilter, BfEstimator::kLimit},
+     {0x1.13p+7, 0x1.0fp+7, 0x1.56p+6, 0x1.11p+7, 0x1.4ep+6, 0x1.5cp+6, 0x1.48p+5,
+      0x1.06p+7}},
+    {{SketchKind::kBloomFilter, BfEstimator::kOr},
+     {0x1.80ee2efe66102p+7, 0x1.6b07f7cc3d12cp+7, 0x1.9e8270841ac28p+6,
+      0x1.7210dd9323948p+7, 0x1.8aee65fdc919p+6, 0x1.b025254a6a338p+6,
+      0x1.abcd0ddbbdbbp+5, 0x1.5107f7cc3d12cp+7}},
+    {{SketchKind::kKHash, BfEstimator::kAnd},
+     {0x1.7abffffffffffp+7, 0x1.22db6db6db6dcp+7, 0x1.77b13b13b13b1p+6,
+      0x1.7c3ffffffffffp+7, 0x1.0eaaaaaaaaaabp+6, 0x1.1400000000001p+6,
+      0x1.d6aaaaaaaaaacp+5, 0x1.1b6db6db6db6ep+7}},
+    {{SketchKind::kOneHash, BfEstimator::kAnd},
+     {0x1.7abffffffffffp+7, 0x1.7dbffffffffffp+7, 0x1.d124924924926p+6,
+      0x1.c2aaaaaaaaaabp+7, 0x1.0eaaaaaaaaaabp+6, 0x1.7p+7, 0x0p+0,
+      0x1.73fffffffffffp+7}},
+    {{SketchKind::kKmv, BfEstimator::kAnd},
+     {0x1.b00e8e2c3034p+5, 0x1.d00e8e2c3034p+5, 0x0p+0, 0x1.c00e8e2c3034p+5, 0x0p+0,
+      0x0p+0, 0x0p+0, 0x1.680e8e2c3034p+5}},
+};
+
+TEST(Backends, GoldenValuesMatchPreRefactorDispatch) {
+  const CsrGraph g = golden_graph();
+  for (const GoldenRow& row : kGolden) {
+    const ProbGraph pg(g, golden_config(row.combo));
+    for (std::size_t i = 0; i < std::size(kGoldenPairs); ++i) {
+      const auto [u, v] = kGoldenPairs[i];
+      // Bit-identical: the refactor relocated the arithmetic, it must not
+      // have changed it.
+      EXPECT_EQ(pg.est_intersection(u, v), row.values[i])
+          << combo_name(row.combo) << " pair (" << u << ", " << v << ")";
+    }
+  }
+}
+
+TEST(Backends, VisitorMatchesWrapperOnEveryEdge) {
+  const CsrGraph g = golden_graph();
+  for (const Combo& c : all_combos()) {
+    const ProbGraph pg(g, golden_config(c));
+    pg.visit_backend([&](const auto& be) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (const VertexId u : g.neighbors(v)) {
+          if (u <= v) continue;
+          ASSERT_EQ(be.est_intersection(v, u), pg.est_intersection(v, u))
+              << combo_name(c) << " edge (" << v << ", " << u << ")";
+        }
+      }
+    });
+  }
+}
+
+TEST(Backends, VisitorSelectsMatchingBackendType) {
+  const CsrGraph g = gen::complete(16);
+  for (const Combo& c : all_combos()) {
+    const ProbGraph pg(g, golden_config(c));
+    pg.visit_backend([&](const auto& be) {
+      using Backend = std::decay_t<decltype(be)>;
+      EXPECT_EQ(Backend::kKind, c.kind);
+      if constexpr (Backend::kKind == SketchKind::kBloomFilter) {
+        EXPECT_EQ(Backend::kEstimator, c.estimator);
+      }
+    });
+  }
+}
+
+TEST(Backends, TypedAccessorMatchesVisitor) {
+  const CsrGraph g = gen::complete(32);
+  ProbGraphConfig cfg;
+  cfg.storage_budget = 0.5;
+  const ProbGraph pg(g, cfg);
+  const auto be = pg.backend<BloomAndBackend>();
+  EXPECT_EQ(be.est_intersection(0, 1), pg.est_intersection(0, 1));
+  EXPECT_EQ(be.bits, pg.bf_bits());
+}
+
+TEST(Backends, ClampedEstimateStaysFeasible) {
+  const CsrGraph g = golden_graph();
+  for (const Combo& c : all_combos()) {
+    ProbGraphConfig cfg = golden_config(c);
+    cfg.storage_budget = 0.1;  // tight budget: raw estimates stray the most
+    const ProbGraph pg(g, cfg);
+    pg.visit_backend([&](const auto& be) {
+      for (VertexId v = 0; v < std::min<VertexId>(g.num_vertices(), 64); ++v) {
+        for (const VertexId u : g.neighbors(v)) {
+          const double clamped = be.est_intersection_clamped(v, u);
+          EXPECT_GE(clamped, 0.0) << combo_name(c);
+          EXPECT_LE(clamped, be.degree(v) + be.degree(u)) << combo_name(c);
+          const double j = be.est_jaccard(v, u);
+          EXPECT_GE(j, 0.0) << combo_name(c);
+          // Direct MinHash Jaccard is a ratio in [0, 1]; the BF/KMV route
+          // through |X∩Y| can overshoot 1 when the estimator overshoots.
+          if (c.kind == SketchKind::kKHash || c.kind == SketchKind::kOneHash) {
+            EXPECT_LE(j, 1.0) << combo_name(c);
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(Backends, RelativeMemoryStaysWithinBudgetForEveryKind) {
+  const CsrGraph g = gen::kronecker(11, 16.0, 42);
+  for (const Combo& c : all_combos()) {
+    ProbGraphConfig cfg;
+    cfg.kind = c.kind;
+    cfg.bf_estimator = c.estimator;
+    cfg.storage_budget = 0.25;
+    const ProbGraph pg(g, cfg);
+    // Rounding (word-size floor for BF, k >= 1 or 2 floor for MH/KMV) may
+    // push slightly past the budget on small graphs; 30% slack covers it.
+    EXPECT_LE(pg.relative_memory(), 0.25 * 1.3) << combo_name(c);
+    EXPECT_GT(pg.memory_bytes(), 0u) << combo_name(c);
+  }
+}
+
+}  // namespace
+}  // namespace probgraph

@@ -31,6 +31,36 @@ TEST(ProbGraph, ToStringCoversAllKinds) {
   EXPECT_STREQ(to_string(BfEstimator::kOr), "OR");
 }
 
+TEST(ProbGraph, EnumsRoundTripThroughToStringAndParse) {
+  for (const SketchKind kind : {SketchKind::kBloomFilter, SketchKind::kKHash,
+                                SketchKind::kOneHash, SketchKind::kKmv}) {
+    const auto parsed = parse_sketch_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (const BfEstimator e : {BfEstimator::kAnd, BfEstimator::kLimit, BfEstimator::kOr}) {
+    const auto parsed = parse_bf_estimator(to_string(e));
+    ASSERT_TRUE(parsed.has_value()) << to_string(e);
+    EXPECT_EQ(*parsed, e);
+  }
+}
+
+TEST(ProbGraph, ParseAcceptsCliSpellingsAndRejectsJunk) {
+  EXPECT_EQ(parse_sketch_kind("bf"), SketchKind::kBloomFilter);
+  EXPECT_EQ(parse_sketch_kind("1h"), SketchKind::kOneHash);
+  EXPECT_EQ(parse_sketch_kind("kh"), SketchKind::kKHash);
+  EXPECT_EQ(parse_sketch_kind("kmv"), SketchKind::kKmv);
+  EXPECT_EQ(parse_sketch_kind("KMV"), SketchKind::kKmv);
+  EXPECT_EQ(parse_bf_estimator("and"), BfEstimator::kAnd);
+  EXPECT_EQ(parse_bf_estimator("limit"), BfEstimator::kLimit);
+  EXPECT_EQ(parse_bf_estimator("or"), BfEstimator::kOr);
+  EXPECT_FALSE(parse_sketch_kind("").has_value());
+  EXPECT_FALSE(parse_sketch_kind("exact").has_value());
+  EXPECT_FALSE(parse_sketch_kind("bloomy").has_value());
+  EXPECT_FALSE(parse_bf_estimator("xor").has_value());
+  EXPECT_FALSE(parse_bf_estimator("").has_value());
+}
+
 class ProbGraphKindTest : public ::testing::TestWithParam<SketchKind> {};
 
 TEST_P(ProbGraphKindTest, RespectsStorageBudget) {

@@ -12,6 +12,7 @@
 // <graph> is a path, or "kron:SCALE:EDGEFACTOR" for a generated graph.
 // Options:
 //   --sketch bf|1h|kh|kmv   representation (default bf; "exact" disables PG)
+//   --estimator and|limit|or  BF intersection estimator (default and)
 //   --budget S              storage budget in [0,1] (default 0.25)
 //   --bf-hashes B           BF hash functions (default 2)
 //   --k K                   explicit MinHash/KMV k (overrides budget)
@@ -42,6 +43,7 @@ struct Options {
   std::string command;
   std::string graph;
   bool exact = false;
+  bool estimator_set = false;
   ProbGraphConfig pg;
   double tau = 0.1;
   unsigned kclique = 5;
@@ -51,7 +53,8 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: pgtool tc|4cc|kclique|cluster|stats <graph.el|graph.mtx|kron:S:E>\n"
-               "       [--sketch bf|1h|kh|kmv|exact] [--budget S] [--bf-hashes B]\n"
+               "       [--sketch bf|1h|kh|kmv|exact] [--estimator and|limit|or]\n"
+               "       [--budget S] [--bf-hashes B]\n"
                "       [--k K] [--k-clique K] [--tau T] [--measure jaccard|overlap|common|total]\n"
                "       [--threads N] [--seed S]\n");
   std::exit(2);
@@ -83,12 +86,18 @@ Options parse(int argc, char** argv) {
     };
     if (flag == "--sketch") {
       const std::string v = value();
-      if (v == "bf") opt.pg.kind = SketchKind::kBloomFilter;
-      else if (v == "1h") opt.pg.kind = SketchKind::kOneHash;
-      else if (v == "kh") opt.pg.kind = SketchKind::kKHash;
-      else if (v == "kmv") opt.pg.kind = SketchKind::kKmv;
-      else if (v == "exact") opt.exact = true;
-      else usage();
+      if (v == "exact") {
+        opt.exact = true;
+      } else if (const auto kind = parse_sketch_kind(v)) {
+        opt.pg.kind = *kind;
+      } else {
+        usage();
+      }
+    } else if (flag == "--estimator") {
+      const auto e = parse_bf_estimator(value());
+      if (!e) usage();
+      opt.pg.bf_estimator = *e;
+      opt.estimator_set = true;
     } else if (flag == "--budget") {
       opt.pg.storage_budget = std::atof(value());
     } else if (flag == "--bf-hashes") {
@@ -113,6 +122,10 @@ Options parse(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+  if (opt.estimator_set && (opt.exact || opt.pg.kind != SketchKind::kBloomFilter)) {
+    std::fprintf(stderr,
+                 "pgtool: warning: --estimator only applies to --sketch bf; ignored\n");
   }
   return opt;
 }
