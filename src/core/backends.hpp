@@ -20,6 +20,11 @@
 //
 // Backends are cheap to copy (a few pointers and scalars); capture them by
 // value inside parallel regions.
+//
+// The arena pointers are memory-source agnostic: they may point into heap
+// arenas owned by the ProbGraph or straight into an mmap'ed .pgs snapshot
+// (util::ArenaRef / src/io/snapshot.hpp), so every algorithm kernel serves
+// zero-copy from either source without change.
 #pragma once
 
 #include <algorithm>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/backends.hpp"
 #include "core/estimators.hpp"
@@ -129,14 +130,77 @@ ProbGraph::ProbGraph(const CsrGraph& g, ProbGraphConfig config)
   construction_seconds_ = timer.seconds();
 }
 
+ProbGraph ProbGraph::from_parts(const CsrGraph& g, ProbGraphParts parts) {
+  ProbGraph pg;
+  pg.graph_ = &g;
+  pg.config_ = parts.config;
+  pg.family_ = util::HashFamily(parts.config.seed);
+  pg.bf_bits_ = parts.bf_bits;
+  pg.bf_words_per_vertex_ = parts.bf_words_per_vertex;
+  pg.k_ = parts.minhash_k;
+  pg.bf_arena_ = std::move(parts.bf_arena);
+  pg.kh_arena_ = std::move(parts.kh_arena);
+  pg.oh_arena_ = std::move(parts.oh_arena);
+  pg.kmv_arena_ = std::move(parts.kmv_arena);
+  pg.sketch_sizes_ = std::move(parts.sketch_sizes);
+  pg.construction_seconds_ = parts.construction_seconds;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (n == 0) throw std::invalid_argument("ProbGraph: empty graph");
+  const auto expect = [](std::size_t got, std::size_t want, const char* what) {
+    if (got != want) {
+      throw std::invalid_argument(std::string("ProbGraph: ") + what +
+                                  " arena size mismatch: got " + std::to_string(got) +
+                                  ", expected " + std::to_string(want));
+    }
+  };
+  // Per-vertex fills index the arenas as `v * k + sizes[v]`; a fill beyond
+  // k would send the span accessors past the arena (or the mapping behind
+  // it), so reject it here rather than trusting the producer.
+  const auto check_fills = [&] {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (pg.sketch_sizes_[v] > pg.k_) {
+        throw std::invalid_argument("ProbGraph: sketch size exceeds k at vertex " +
+                                    std::to_string(v));
+      }
+    }
+  };
+  switch (pg.config_.kind) {
+    case SketchKind::kBloomFilter:
+      if (pg.bf_bits_ == 0 || pg.config_.bf_hashes == 0 ||
+          pg.bf_words_per_vertex_ != util::words_for_bits(pg.bf_bits_)) {
+        throw std::invalid_argument("ProbGraph: invalid Bloom-filter parameters");
+      }
+      expect(pg.bf_arena_.size(), n * pg.bf_words_per_vertex_, "Bloom-filter");
+      break;
+    case SketchKind::kKHash:
+      if (pg.k_ == 0) throw std::invalid_argument("ProbGraph: invalid k-hash k");
+      expect(pg.kh_arena_.size(), n * pg.k_, "k-hash");
+      break;
+    case SketchKind::kOneHash:
+      if (pg.k_ == 0) throw std::invalid_argument("ProbGraph: invalid 1-hash k");
+      expect(pg.oh_arena_.size(), n * pg.k_, "1-hash");
+      expect(pg.sketch_sizes_.size(), n, "sketch-size");
+      check_fills();
+      break;
+    case SketchKind::kKmv:
+      if (pg.k_ < 2) throw std::invalid_argument("ProbGraph: invalid KMV k");
+      expect(pg.kmv_arena_.size(), n * pg.k_, "KMV");
+      expect(pg.sketch_sizes_.size(), n, "sketch-size");
+      check_fills();
+      break;
+  }
+  return pg;
+}
+
 void ProbGraph::build_bloom() {
   const CsrGraph& g = *graph_;
   const VertexId n = g.num_vertices();
   bf_arena_.assign(static_cast<std::size_t>(n) * bf_words_per_vertex_, 0);
   const std::uint32_t b = config_.bf_hashes;
+  std::uint64_t* const arena = bf_arena_.mutable_data();
 #pragma omp parallel for schedule(dynamic, 128)
   for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    std::uint64_t* words = bf_arena_.data() + static_cast<std::size_t>(v) * bf_words_per_vertex_;
+    std::uint64_t* words = arena + static_cast<std::size_t>(v) * bf_words_per_vertex_;
     for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
       for (std::uint32_t i = 0; i < b; ++i) {
         const std::uint64_t pos = family_(i, x) % bf_bits_;
@@ -150,12 +214,13 @@ void ProbGraph::build_khash() {
   const CsrGraph& g = *graph_;
   const VertexId n = g.num_vertices();
   kh_arena_.assign(static_cast<std::size_t>(n) * k_, kEmptySlot);
+  std::uint64_t* const arena = kh_arena_.mutable_data();
 #pragma omp parallel
   {
     std::vector<std::uint64_t> best(k_);
 #pragma omp for schedule(dynamic, 128)
     for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-      std::uint64_t* slots = kh_arena_.data() + static_cast<std::size_t>(v) * k_;
+      std::uint64_t* slots = arena + static_cast<std::size_t>(v) * k_;
       std::fill(best.begin(), best.end(), ~std::uint64_t{0});
       for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
         for (std::uint32_t i = 0; i < k_; ++i) {
@@ -175,9 +240,11 @@ void ProbGraph::build_onehash() {
   const VertexId n = g.num_vertices();
   oh_arena_.assign(static_cast<std::size_t>(n) * k_, BottomKEntry{~std::uint64_t{0}, 0});
   sketch_sizes_.assign(n, 0);
+  BottomKEntry* const arena = oh_arena_.mutable_data();
+  std::uint32_t* const sizes = sketch_sizes_.mutable_data();
 #pragma omp parallel for schedule(dynamic, 128)
   for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    BottomKEntry* entries = oh_arena_.data() + static_cast<std::size_t>(v) * k_;
+    BottomKEntry* entries = arena + static_cast<std::size_t>(v) * k_;
     const auto nv = g.neighbors(static_cast<VertexId>(v));
     std::uint32_t fill = 0;
     auto heap_cmp = [](const BottomKEntry& a, const BottomKEntry& b) { return a < b; };
@@ -193,7 +260,7 @@ void ProbGraph::build_onehash() {
       }
     }
     std::sort(entries, entries + fill);
-    sketch_sizes_[v] = fill;
+    sizes[v] = fill;
   }
 }
 
@@ -202,9 +269,11 @@ void ProbGraph::build_kmv() {
   const VertexId n = g.num_vertices();
   kmv_arena_.assign(static_cast<std::size_t>(n) * k_, 2.0);
   sketch_sizes_.assign(n, 0);
+  double* const arena = kmv_arena_.mutable_data();
+  std::uint32_t* const sizes = sketch_sizes_.mutable_data();
 #pragma omp parallel for schedule(dynamic, 128)
   for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    double* values = kmv_arena_.data() + static_cast<std::size_t>(v) * k_;
+    double* values = arena + static_cast<std::size_t>(v) * k_;
     std::uint32_t fill = 0;
     for (const VertexId x : g.neighbors(static_cast<VertexId>(v))) {
       const double h = util::hash_to_unit(family_(0, x));
@@ -218,7 +287,7 @@ void ProbGraph::build_kmv() {
       }
     }
     std::sort(values, values + fill);
-    sketch_sizes_[v] = fill;
+    sizes[v] = fill;
   }
 }
 

@@ -30,6 +30,7 @@
 #include "core/bloom_filter.hpp"
 #include "core/minhash.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/arena_ref.hpp"
 #include "util/hash.hpp"
 #include "util/types.hpp"
 
@@ -92,11 +93,34 @@ struct ProbGraphConfig {
   std::uint64_t seed = 42;
 };
 
+/// Fully-built ProbGraph state — config, derived parameters, and arenas —
+/// as independent pieces. The snapshot layer (src/io/snapshot.cpp)
+/// deserializes into this and rebuilds a ProbGraph without re-sketching;
+/// the arenas may view an mmap'ed file (zero-copy serving).
+struct ProbGraphParts {
+  ProbGraphConfig config;
+  std::uint64_t bf_bits = 0;
+  std::size_t bf_words_per_vertex = 0;
+  std::uint32_t minhash_k = 0;
+  util::ArenaRef<std::uint64_t> bf_arena;
+  util::ArenaRef<std::uint64_t> kh_arena;
+  util::ArenaRef<BottomKEntry> oh_arena;
+  util::ArenaRef<double> kmv_arena;
+  util::ArenaRef<std::uint32_t> sketch_sizes;
+  double construction_seconds = 0.0;
+};
+
 class ProbGraph {
  public:
   /// Build sketches for every vertex neighborhood of `g`. The graph must
   /// outlive the ProbGraph (sketch estimates use exact degrees).
   ProbGraph(const CsrGraph& g, ProbGraphConfig config);
+
+  /// Adopt prebuilt state (the snapshot load path) — no re-sketching. Arena
+  /// sizes are checked against `g` and the derived parameters; throws
+  /// std::invalid_argument on mismatch. As above, `g` must outlive the
+  /// ProbGraph.
+  [[nodiscard]] static ProbGraph from_parts(const CsrGraph& g, ProbGraphParts parts);
 
   [[nodiscard]] const CsrGraph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const ProbGraphConfig& config() const noexcept { return config_; }
@@ -166,6 +190,31 @@ class ProbGraph {
     return {kmv_arena_.data() + static_cast<std::size_t>(v) * k_, sketch_sizes_[v]};
   }
 
+  // --- Whole-arena views (the snapshot writer serializes these). ---
+
+  [[nodiscard]] std::span<const std::uint64_t> bf_arena() const noexcept {
+    return bf_arena_.span();
+  }
+  [[nodiscard]] std::span<const std::uint64_t> kh_arena() const noexcept {
+    return kh_arena_.span();
+  }
+  [[nodiscard]] std::span<const BottomKEntry> oh_arena() const noexcept {
+    return oh_arena_.span();
+  }
+  [[nodiscard]] std::span<const double> kmv_arena() const noexcept {
+    return kmv_arena_.span();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> sketch_sizes() const noexcept {
+    return sketch_sizes_.span();
+  }
+
+  /// True when the sketch arenas view an external mapping (snapshot-served)
+  /// rather than owned heap storage.
+  [[nodiscard]] bool is_mapped() const noexcept {
+    return bf_arena_.is_mapped() || kh_arena_.is_mapped() || oh_arena_.is_mapped() ||
+           kmv_arena_.is_mapped() || sketch_sizes_.is_mapped();
+  }
+
   // --- Memory accounting (the relative-memory axis of Figs. 4–7). ---
 
   /// Bytes of sketch storage (arena + per-vertex sizes).
@@ -178,12 +227,14 @@ class ProbGraph {
   [[nodiscard]] double construction_seconds() const noexcept { return construction_seconds_; }
 
  private:
+  ProbGraph() = default;  // from_parts fills every member
+
   void build_bloom();
   void build_khash();
   void build_onehash();
   void build_kmv();
 
-  const CsrGraph* graph_;
+  const CsrGraph* graph_ = nullptr;
   ProbGraphConfig config_;
   util::HashFamily family_;
 
@@ -191,11 +242,12 @@ class ProbGraph {
   std::size_t bf_words_per_vertex_ = 0;
   std::uint32_t k_ = 0;
 
-  std::vector<std::uint64_t> bf_arena_;      // n * bf_words_per_vertex_
-  std::vector<std::uint64_t> kh_arena_;      // n * k signature slots
-  std::vector<BottomKEntry> oh_arena_;       // n * k entries
-  std::vector<double> kmv_arena_;            // n * k values
-  std::vector<std::uint32_t> sketch_sizes_;  // per-vertex fill (1-hash/KMV)
+  // Owned by the build path, mmap-backed views on the snapshot load path.
+  util::ArenaRef<std::uint64_t> bf_arena_;      // n * bf_words_per_vertex_
+  util::ArenaRef<std::uint64_t> kh_arena_;      // n * k signature slots
+  util::ArenaRef<BottomKEntry> oh_arena_;       // n * k entries
+  util::ArenaRef<double> kmv_arena_;            // n * k values
+  util::ArenaRef<std::uint32_t> sketch_sizes_;  // per-vertex fill (1-hash/KMV)
 
   double construction_seconds_ = 0.0;
 };

@@ -8,8 +8,14 @@
 namespace probgraph {
 
 CsrGraph::CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(offsets.empty() ? std::vector<EdgeId>{0} : std::move(offsets)),
+      neighbors_(std::move(neighbors)) {}
+
+CsrGraph::CsrGraph(util::ArenaRef<EdgeId> offsets, util::ArenaRef<VertexId> neighbors)
     : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
-  if (offsets_.empty()) offsets_.push_back(0);
+  if (offsets_.empty()) {
+    throw std::invalid_argument("CsrGraph: arena offsets must have at least one entry");
+  }
 }
 
 bool CsrGraph::has_edge(VertexId v, VertexId u) const noexcept {

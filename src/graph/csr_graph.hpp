@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "util/arena_ref.hpp"
 #include "util/types.hpp"
 
 namespace probgraph {
@@ -27,6 +28,12 @@ class CsrGraph {
   /// every neighborhood must be sorted ascending. GraphBuilder guarantees
   /// these invariants; `validate()` checks them.
   CsrGraph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  /// Construct over owned-or-mapped arenas — the snapshot load path
+  /// (src/io/snapshot.cpp) serves graphs zero-copy out of an mmap'ed file
+  /// through this. Same invariants as the vector constructor; `offsets`
+  /// must be non-empty.
+  CsrGraph(util::ArenaRef<EdgeId> offsets, util::ArenaRef<VertexId> neighbors);
 
   /// Number of vertices n.
   [[nodiscard]] VertexId num_vertices() const noexcept {
@@ -73,16 +80,24 @@ class CsrGraph {
     return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(VertexId);
   }
 
-  [[nodiscard]] std::span<const EdgeId> offsets() const noexcept { return offsets_; }
-  [[nodiscard]] std::span<const VertexId> adjacency() const noexcept { return neighbors_; }
+  [[nodiscard]] std::span<const EdgeId> offsets() const noexcept { return offsets_.span(); }
+  [[nodiscard]] std::span<const VertexId> adjacency() const noexcept {
+    return neighbors_.span();
+  }
+
+  /// True when the arrays view an external mapping (snapshot-served graph)
+  /// rather than owned heap storage.
+  [[nodiscard]] bool is_mapped() const noexcept {
+    return offsets_.is_mapped() || neighbors_.is_mapped();
+  }
 
   /// Check structural invariants (monotone offsets, sorted neighborhoods,
   /// in-range IDs). Throws std::invalid_argument on violation.
   void validate() const;
 
  private:
-  std::vector<EdgeId> offsets_;      // n+1 entries
-  std::vector<VertexId> neighbors_;  // offsets_[n] entries, sorted per vertex
+  util::ArenaRef<EdgeId> offsets_;      // n+1 entries
+  util::ArenaRef<VertexId> neighbors_;  // offsets_[n] entries, sorted per vertex
 };
 
 }  // namespace probgraph

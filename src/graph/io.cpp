@@ -24,7 +24,9 @@ CsrGraph read_edge_list(const std::string& path) {
   std::vector<Edge> edges;
   std::string line;
   VertexId declared_n = 0;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') {
       // Honor vertex counts declared in comments so that trailing isolated
       // vertices survive a round trip. Recognized: our own "n=<count>"
@@ -42,7 +44,8 @@ CsrGraph read_edge_list(const std::string& path) {
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
     if (!(ls >> u >> v)) {
-      throw std::runtime_error("malformed edge-list line in " + path + ": " + line);
+      throw std::runtime_error("malformed edge-list line at " + path + ":" +
+                               std::to_string(lineno) + ": " + line);
     }
     edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
   }
@@ -63,29 +66,35 @@ void write_edge_list(const CsrGraph& g, const std::string& path) {
 CsrGraph read_matrix_market(const std::string& path) {
   std::ifstream in = open_or_throw(path);
   std::string line;
+  std::size_t lineno = 1;
   if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
     throw std::runtime_error("not a MatrixMarket file: " + path);
   }
   // Skip comment lines, then read the size line.
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] != '%') break;
   }
   std::istringstream hs(line);
   std::uint64_t rows = 0, cols = 0, nnz = 0;
   if (!(hs >> rows >> cols >> nnz)) {
-    throw std::runtime_error("malformed MatrixMarket size line in " + path);
+    throw std::runtime_error("malformed MatrixMarket size line at " + path + ":" +
+                             std::to_string(lineno));
   }
   std::vector<Edge> edges;
   edges.reserve(nnz);
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ls(line);
     std::uint64_t r = 0, c = 0;
     if (!(ls >> r >> c)) {
-      throw std::runtime_error("malformed MatrixMarket entry in " + path + ": " + line);
+      throw std::runtime_error("malformed MatrixMarket entry at " + path + ":" +
+                               std::to_string(lineno) + ": " + line);
     }
     if (r == 0 || c == 0) {
-      throw std::runtime_error("MatrixMarket indices must be 1-based: " + path);
+      throw std::runtime_error("MatrixMarket indices must be 1-based at " + path + ":" +
+                               std::to_string(lineno) + ": " + line);
     }
     edges.emplace_back(static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1));
   }

@@ -1,0 +1,79 @@
+#include "io/mmap_file.hpp"
+
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace probgraph::io {
+
+#if !defined(_WIN32)
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open snapshot file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat snapshot file: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw std::runtime_error("snapshot file is empty: " + path);
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (base == MAP_FAILED) {
+    throw std::runtime_error("cannot mmap snapshot file: " + path);
+  }
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const std::byte*>(base), size, /*mapped=*/true));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ == nullptr) return;
+  if (mapped_) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  } else {
+    delete[] data_;
+  }
+}
+
+#else  // _WIN32 fallback: read the whole file into an owned buffer.
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  // 64-bit size via std::filesystem — ftell's long is 32-bit here and would
+  // misreport snapshots over 2 GiB.
+  std::error_code ec;
+  const auto fs_size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("cannot stat snapshot file: " + path);
+  if (fs_size == 0) throw std::runtime_error("snapshot file is empty: " + path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open snapshot file: " + path);
+  const auto size = static_cast<std::size_t>(fs_size);
+  auto* buf = new std::byte[size];
+  const std::size_t got = std::fread(buf, 1, size, f);
+  std::fclose(f);
+  if (got != size) {
+    delete[] buf;
+    throw std::runtime_error("short read on snapshot file: " + path);
+  }
+  return std::shared_ptr<const MappedFile>(new MappedFile(buf, size, /*mapped=*/false));
+}
+
+MappedFile::~MappedFile() {
+  if (!mapped_) delete[] data_;
+}
+
+#endif
+
+}  // namespace probgraph::io

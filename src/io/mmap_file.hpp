@@ -1,0 +1,40 @@
+// Read-only memory-mapped file.
+//
+// The substrate of the zero-copy snapshot serving path: load_snapshot maps
+// a .pgs file once and hands out ArenaRef views into the mapping, so sketch
+// estimates are served directly from the page cache with no deserialization
+// copy (the build-once / map-many model of far-memory graph systems).
+//
+// On POSIX this is mmap(PROT_READ, MAP_PRIVATE); elsewhere it degrades to
+// reading the file into an owned buffer (same interface, one copy).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace probgraph::io {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. Throws std::runtime_error on open/map failure
+  /// (including empty files, which can never be a valid snapshot).
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size, bool mapped) noexcept
+      : data_(data), size_(size), mapped_(mapped) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // false: heap fallback buffer (non-POSIX)
+};
+
+}  // namespace probgraph::io

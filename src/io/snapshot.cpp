@@ -1,0 +1,481 @@
+#include "io/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "io/mmap_file.hpp"
+#include "util/hash.hpp"
+
+namespace probgraph::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'G', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
+constexpr std::size_t kSectionAlign = 64;
+constexpr std::uint32_t kFlagDegreeOriented = 1u << 0;
+
+/// Payload section ids, in file order.
+enum SectionId : std::uint32_t {
+  kSecCsrOffsets = 1,
+  kSecCsrAdjacency = 2,
+  kSecBfArena = 3,
+  kSecKhArena = 4,
+  kSecOhArena = 5,
+  kSecKmvArena = 6,
+  kSecSketchSizes = 7,
+};
+constexpr std::uint32_t kSectionCount = 7;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint64_t file_bytes;
+  std::uint64_t payload_offset;
+  /// Over the ENTIRE file with this field read as zero — header corruption
+  /// (a flipped flags bit, a changed seed) must be rejected, not served.
+  std::uint64_t file_checksum;
+  std::uint32_t section_count;
+  std::uint32_t flags;
+  // Graph shape.
+  std::uint32_t num_vertices;
+  std::uint32_t bf_hashes;
+  std::uint64_t num_directed_edges;
+  // ProbGraphConfig (field-by-field, never a struct memcpy, so the file
+  // layout survives config evolution).
+  std::uint8_t kind;
+  std::uint8_t bf_estimator;
+  std::uint8_t reserved[6];
+  double storage_budget;
+  std::uint64_t cfg_bf_bits;
+  std::uint64_t budget_reference_bytes;
+  std::uint64_t seed;
+  std::uint32_t cfg_minhash_k;
+  // Derived parameters (what the build computed from the budget).
+  std::uint32_t minhash_k;
+  std::uint64_t bf_bits;
+  std::uint64_t bf_words_per_vertex;
+  double construction_seconds;
+};
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+static_assert(sizeof(FileHeader) == 136, ".pgs header layout is frozen at version 1");
+
+struct SectionEntry {
+  std::uint32_t id;
+  std::uint32_t elem_bytes;
+  std::uint64_t offset;  // absolute, kSectionAlign-aligned
+  std::uint64_t bytes;
+};
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+static_assert(sizeof(SectionEntry) == 24);
+
+// BottomKEntry has 4 tail-padding bytes; the writer zeroes them (see
+// packed_oh_bytes) so files are byte-deterministic, and the reader serves
+// the mapped array directly.
+static_assert(std::is_trivially_copyable_v<BottomKEntry>);
+static_assert(sizeof(BottomKEntry) == 16, ".pgs 1-hash section layout is frozen");
+
+constexpr std::size_t align_up(std::size_t x) {
+  return (x + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+// --- File checksum: block-parallel word-wise mixing. ---
+//
+// Loads must checksum the whole file before serving, so the checksum IS
+// the load critical path — a byte-at-a-time FNV would cap loading at under
+// a GB/s and erase the mmap win. Version 1 therefore fixes the checksum to:
+// hash each 1 MiB block independently (8 bytes per fmix64 step, so the
+// blocks parallelize across cores and saturate memory bandwidth), then mix
+// the block digests together in order. The hashed stream is the file with
+// the header's file_checksum field read as zero, so every header bit is
+// covered as well. Any flipped bit changes its block's digest and thus the
+// total. Not cryptographic — this guards against truncation and bit rot,
+// not adversaries.
+
+constexpr std::size_t kChecksumBlock = std::size_t{1} << 20;
+
+std::uint64_t hash_block(const std::byte* p, std::size_t n) noexcept {
+  // Four independent lanes, 32 bytes per step: a single xor-multiply chain
+  // is serially dependent on the multiply latency and caps out near 2 GB/s
+  // on one core, while independent lanes pipeline to memory bandwidth.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;  // the FNV-1a prime
+  std::uint64_t lane[4] = {0x9e3779b97f4a7c15ULL ^ n, 0xbf58476d1ce4e5b9ULL,
+                           0x94d049bb133111ebULL, 0x2545f4914f6cdd1dULL};
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t w[4];
+    std::memcpy(w, p + i, 32);
+    lane[0] = (lane[0] ^ w[0]) * kPrime;
+    lane[1] = (lane[1] ^ w[1]) * kPrime;
+    lane[2] = (lane[2] ^ w[2]) * kPrime;
+    lane[3] = (lane[3] ^ w[3]) * kPrime;
+  }
+  std::uint64_t h = util::murmur3_fmix64(lane[0]) ^ util::murmur3_fmix64(lane[1]) ^
+                    util::murmur3_fmix64(lane[2]) ^ util::murmur3_fmix64(lane[3]);
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = util::murmur3_fmix64(h ^ w);
+  }
+  if (i < n) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = util::murmur3_fmix64(h ^ w);
+  }
+  return h;
+}
+
+std::uint64_t combine_digests(const std::vector<std::uint64_t>& digests, std::size_t n) {
+  std::uint64_t h = 0x27d4eb2f165667c5ULL ^ n;
+  for (const std::uint64_t d : digests) h = util::murmur3_fmix64(h ^ d);
+  return h;
+}
+
+/// Load-side checksum: hash a mapped file whose first sizeof(FileHeader)
+/// bytes are replaced by `patched` (the header with file_checksum zeroed).
+/// Only block 0 needs staging for the patch; every later block hashes
+/// straight from the mapping, in parallel.
+std::uint64_t checksum_mapped_file(const FileHeader& patched, const std::byte* base,
+                                   std::size_t size) {
+  const std::size_t blocks = (size + kChecksumBlock - 1) / kChecksumBlock;
+  std::vector<std::uint64_t> digests(blocks);
+  {
+    const std::size_t len = std::min(kChecksumBlock, size);
+    std::vector<std::byte> staged(len);
+    std::memcpy(staged.data(), base, len);
+    std::memcpy(staged.data(), &patched, sizeof patched);
+    digests[0] = hash_block(staged.data(), len);
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 1; b < static_cast<std::int64_t>(blocks); ++b) {
+    const std::size_t off = static_cast<std::size_t>(b) * kChecksumBlock;
+    digests[static_cast<std::size_t>(b)] =
+        hash_block(base + off, std::min(kChecksumBlock, size - off));
+  }
+  return combine_digests(digests, size);
+}
+
+/// Save-side incremental producer of the same checksum over the bytes fed
+/// to update(). Full aligned blocks hash straight from the source; only
+/// chunks straddling a block boundary go through the 1 MiB staging buffer,
+/// so streaming arbitrarily large payloads needs no second copy.
+class BlockChecksum {
+ public:
+  void update(const std::byte* p, std::size_t n) {
+    total_ += n;
+    while (n > 0) {
+      if (fill_ == 0 && n >= kChecksumBlock) {
+        digests_.push_back(hash_block(p, kChecksumBlock));
+        p += kChecksumBlock;
+        n -= kChecksumBlock;
+        continue;
+      }
+      const std::size_t take = std::min(n, kChecksumBlock - fill_);
+      std::memcpy(buf_.data() + fill_, p, take);
+      fill_ += take;
+      p += take;
+      n -= take;
+      if (fill_ == kChecksumBlock) {
+        digests_.push_back(hash_block(buf_.data(), kChecksumBlock));
+        fill_ = 0;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t finish() {
+    if (fill_ > 0) digests_.push_back(hash_block(buf_.data(), fill_));
+    fill_ = 0;
+    return combine_digests(digests_, total_);
+  }
+
+ private:
+  std::vector<std::byte> buf_ = std::vector<std::byte>(kChecksumBlock);
+  std::size_t fill_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> digests_;
+};
+
+struct SectionDesc {
+  std::uint32_t id;
+  std::uint32_t elem_bytes;
+  const std::byte* data;  // null for the re-packed 1-hash section
+  std::uint64_t bytes;
+};
+
+/// Stream the 1-hash arena re-serialized with its struct padding zeroed
+/// (layout: hash u64, element u32, zero pad — so written bytes, and thus
+/// checksums and golden fixtures, are deterministic) in bounded chunks,
+/// never materializing a packed copy of the whole arena.
+template <typename Sink>
+void emit_packed_oh(std::span<const BottomKEntry> entries, Sink&& sink) {
+  constexpr std::size_t kChunkEntries = 4096;
+  // The pad bytes stay zero across chunk reuses: entry writes below touch
+  // only the hash and element fields.
+  std::vector<std::byte> chunk(
+      std::min(kChunkEntries, entries.size()) * sizeof(BottomKEntry), std::byte{0});
+  for (std::size_t i = 0; i < entries.size();) {
+    const std::size_t take = std::min(kChunkEntries, entries.size() - i);
+    std::byte* p = chunk.data();
+    for (std::size_t j = 0; j < take; ++j, p += sizeof(BottomKEntry)) {
+      const BottomKEntry& e = entries[i + j];
+      std::memcpy(p, &e.hash, sizeof e.hash);
+      std::memcpy(p + sizeof e.hash, &e.element, sizeof e.element);
+    }
+    sink(chunk.data(), take * sizeof(BottomKEntry));
+    i += take;
+  }
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("snapshot " + path + ": " + why);
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta meta) {
+  const CsrGraph& g = pg.graph();
+  const ProbGraphConfig& cfg = pg.config();
+
+  const auto bytes_of = [](const auto& span) {
+    return std::span<const std::byte>{reinterpret_cast<const std::byte*>(span.data()),
+                                      span.size_bytes()};
+  };
+  const SectionDesc sections[kSectionCount] = {
+      {kSecCsrOffsets, sizeof(EdgeId), bytes_of(g.offsets()).data(),
+       g.offsets().size_bytes()},
+      {kSecCsrAdjacency, sizeof(VertexId), bytes_of(g.adjacency()).data(),
+       g.adjacency().size_bytes()},
+      {kSecBfArena, sizeof(std::uint64_t), bytes_of(pg.bf_arena()).data(),
+       pg.bf_arena().size_bytes()},
+      {kSecKhArena, sizeof(std::uint64_t), bytes_of(pg.kh_arena()).data(),
+       pg.kh_arena().size_bytes()},
+      {kSecOhArena, sizeof(BottomKEntry), nullptr, pg.oh_arena().size_bytes()},
+      {kSecKmvArena, sizeof(double), bytes_of(pg.kmv_arena()).data(),
+       pg.kmv_arena().size_bytes()},
+      {kSecSketchSizes, sizeof(std::uint32_t), bytes_of(pg.sketch_sizes()).data(),
+       pg.sketch_sizes().size_bytes()},
+  };
+
+  // Lay out the payload: every section starts kSectionAlign-aligned and is
+  // followed by zero padding up to the next boundary (EOF included, so the
+  // checksummed range is exactly [payload_offset, file_bytes)).
+  const std::uint64_t payload_offset =
+      align_up(sizeof(FileHeader) + kSectionCount * sizeof(SectionEntry));
+  SectionEntry table[kSectionCount];
+  std::uint64_t cursor = payload_offset;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    table[i] = {sections[i].id, sections[i].elem_bytes, cursor, sections[i].bytes};
+    cursor = align_up(cursor + sections[i].bytes);
+  }
+  const std::uint64_t file_bytes = cursor;
+
+  FileHeader h;
+  std::memset(&h, 0, sizeof h);  // deterministic bytes incl. struct padding
+  std::memcpy(h.magic, kMagic, sizeof kMagic);
+  h.version = kSnapshotVersion;
+  h.endian_tag = kEndianTag;
+  h.file_bytes = file_bytes;
+  h.payload_offset = payload_offset;
+  h.section_count = kSectionCount;
+  h.flags = meta.degree_oriented ? kFlagDegreeOriented : 0;
+  h.num_vertices = g.num_vertices();
+  h.bf_hashes = cfg.bf_hashes;
+  h.num_directed_edges = g.num_directed_edges();
+  h.kind = static_cast<std::uint8_t>(cfg.kind);
+  h.bf_estimator = static_cast<std::uint8_t>(cfg.bf_estimator);
+  h.storage_budget = cfg.storage_budget;
+  h.cfg_bf_bits = cfg.bf_bits;
+  h.budget_reference_bytes = cfg.budget_reference_bytes;
+  h.seed = cfg.seed;
+  h.cfg_minhash_k = cfg.minhash_k;
+  h.minhash_k = pg.minhash_k();
+  h.bf_bits = pg.bf_bits();
+  h.bf_words_per_vertex =
+      pg.bf_bits() == 0 ? 0 : pg.bf_arena().size() / g.num_vertices();
+  h.construction_seconds = pg.construction_seconds();
+
+  // Stream header + table + payload twice — once into the checksum (with
+  // h.file_checksum still zero, matching how loads re-hash the file), once
+  // into the file — so saving never materializes a second arena-sized
+  // buffer. Padding is zeros (deterministic bytes, included in the
+  // checksum).
+  static constexpr std::byte kZeros[kSectionAlign] = {};
+  const auto emit_file = [&](auto&& sink) {
+    sink(reinterpret_cast<const std::byte*>(&h), sizeof h);
+    sink(reinterpret_cast<const std::byte*>(table), sizeof table);
+    sink(kZeros, payload_offset - sizeof h - sizeof table);
+    for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+      if (sections[i].id == kSecOhArena) {
+        emit_packed_oh(pg.oh_arena(), sink);
+      } else if (sections[i].bytes > 0) {  // unused arenas have no data pointer
+        sink(sections[i].data, sections[i].bytes);
+      }
+      const std::uint64_t end = table[i].offset + table[i].bytes;
+      sink(kZeros, align_up(end) - end);
+    }
+  };
+  BlockChecksum streamed;
+  emit_file([&](const std::byte* p, std::size_t n) { streamed.update(p, n); });
+  h.file_checksum = streamed.finish();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  emit_file([&](const std::byte* p, std::size_t n) {
+    out.write(reinterpret_cast<const char*>(p), static_cast<std::streamsize>(n));
+  });
+  if (!out) fail(path, "write failed");
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::shared_ptr<const MappedFile> file = MappedFile::open(path);
+  const std::byte* base = file->data();
+  const std::size_t size = file->size();
+
+  if (size < sizeof(FileHeader)) fail(path, "truncated (smaller than the header)");
+  FileHeader h;
+  std::memcpy(&h, base, sizeof h);
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    fail(path, "bad magic (not a .pgs snapshot)");
+  }
+  if (h.endian_tag != kEndianTag) fail(path, "endianness mismatch");
+  if (h.version != kSnapshotVersion) {
+    fail(path, "unsupported format version " + std::to_string(h.version) + " (expected " +
+                   std::to_string(kSnapshotVersion) + ")");
+  }
+  if (h.file_bytes != size) {
+    fail(path, "size mismatch: header says " + std::to_string(h.file_bytes) +
+                   " bytes, file has " + std::to_string(size) + " (truncated?)");
+  }
+  if (h.section_count != kSectionCount) fail(path, "unexpected section count");
+  const std::uint64_t table_end =
+      sizeof(FileHeader) + h.section_count * sizeof(SectionEntry);
+  if (h.payload_offset < table_end || h.payload_offset > size ||
+      h.payload_offset % kSectionAlign != 0) {
+    fail(path, "invalid payload offset");
+  }
+
+  FileHeader patched = h;
+  patched.file_checksum = 0;
+  if (checksum_mapped_file(patched, base, size) != h.file_checksum) {
+    fail(path, "checksum mismatch (corrupted file)");
+  }
+
+  // Sections: fixed order, validated offsets, typed zero-copy views.
+  SectionEntry table[kSectionCount];
+  std::memcpy(table, base + sizeof(FileHeader), sizeof table);
+  const auto section = [&](std::uint32_t index, SectionId id,
+                           std::uint32_t elem_bytes) -> std::span<const std::byte> {
+    const SectionEntry& e = table[index];
+    if (e.id != id) fail(path, "section table order mismatch");
+    if (e.elem_bytes != elem_bytes) {
+      fail(path, "section element size mismatch (id " + std::to_string(id) + ")");
+    }
+    if (e.offset % kSectionAlign != 0 || e.offset < h.payload_offset || e.offset > size ||
+        e.bytes > size - e.offset || e.bytes % elem_bytes != 0) {
+      fail(path, "section out of bounds (id " + std::to_string(id) + ")");
+    }
+    return {base + e.offset, e.bytes};
+  };
+  const auto typed = [&]<typename T>(std::span<const std::byte> raw,
+                                     std::type_identity<T>) -> std::span<const T> {
+    return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
+  };
+  const auto offsets =
+      typed(section(0, kSecCsrOffsets, sizeof(EdgeId)), std::type_identity<EdgeId>{});
+  const auto adjacency = typed(section(1, kSecCsrAdjacency, sizeof(VertexId)),
+                               std::type_identity<VertexId>{});
+  const auto bf = typed(section(2, kSecBfArena, sizeof(std::uint64_t)),
+                        std::type_identity<std::uint64_t>{});
+  const auto kh = typed(section(3, kSecKhArena, sizeof(std::uint64_t)),
+                        std::type_identity<std::uint64_t>{});
+  const auto oh = typed(section(4, kSecOhArena, sizeof(BottomKEntry)),
+                        std::type_identity<BottomKEntry>{});
+  const auto kmv =
+      typed(section(5, kSecKmvArena, sizeof(double)), std::type_identity<double>{});
+  const auto sizes = typed(section(6, kSecSketchSizes, sizeof(std::uint32_t)),
+                           std::type_identity<std::uint32_t>{});
+
+  // Graph shape checks — cheap O(n) guards so a consistent-but-wrong header
+  // cannot send algorithm kernels out of the adjacency section.
+  if (offsets.size() != static_cast<std::size_t>(h.num_vertices) + 1) {
+    fail(path, "offset section does not match the vertex count");
+  }
+  if (adjacency.size() != h.num_directed_edges) {
+    fail(path, "adjacency section does not match the edge count");
+  }
+  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+    fail(path, "CSR offsets do not span the adjacency section");
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    if (offsets[v - 1] > offsets[v]) fail(path, "CSR offsets not monotone");
+  }
+  if (!adjacency.empty()) {
+    // Branch-free max-reduction in four independent accumulators: a single
+    // max chain is serially dependent and this scan covers most of the file
+    // a second time, so it must run at memory bandwidth like the checksum.
+    VertexId m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= adjacency.size(); i += 4) {
+      m0 = std::max(m0, adjacency[i]);
+      m1 = std::max(m1, adjacency[i + 1]);
+      m2 = std::max(m2, adjacency[i + 2]);
+      m3 = std::max(m3, adjacency[i + 3]);
+    }
+    for (; i < adjacency.size(); ++i) m0 = std::max(m0, adjacency[i]);
+    if (std::max(std::max(m0, m1), std::max(m2, m3)) >= h.num_vertices) {
+      fail(path, "adjacency entry out of vertex range");
+    }
+  }
+  if (h.kind > static_cast<std::uint8_t>(SketchKind::kKmv)) {
+    fail(path, "invalid sketch kind " + std::to_string(h.kind));
+  }
+  if (h.bf_estimator > static_cast<std::uint8_t>(BfEstimator::kOr)) {
+    fail(path, "invalid BF estimator " + std::to_string(h.bf_estimator));
+  }
+
+  Snapshot snap;
+  snap.file_ = file;
+  snap.graph_ = std::make_unique<const CsrGraph>(
+      util::ArenaRef<EdgeId>(offsets, file), util::ArenaRef<VertexId>(adjacency, file));
+
+  ProbGraphParts parts;
+  parts.config.kind = static_cast<SketchKind>(h.kind);
+  parts.config.bf_estimator = static_cast<BfEstimator>(h.bf_estimator);
+  parts.config.storage_budget = h.storage_budget;
+  parts.config.bf_hashes = h.bf_hashes;
+  parts.config.bf_bits = h.cfg_bf_bits;
+  parts.config.minhash_k = h.cfg_minhash_k;
+  parts.config.budget_reference_bytes = h.budget_reference_bytes;
+  parts.config.seed = h.seed;
+  parts.bf_bits = h.bf_bits;
+  parts.bf_words_per_vertex = h.bf_words_per_vertex;
+  parts.minhash_k = h.minhash_k;
+  parts.bf_arena = util::ArenaRef<std::uint64_t>(bf, file);
+  parts.kh_arena = util::ArenaRef<std::uint64_t>(kh, file);
+  parts.oh_arena = util::ArenaRef<BottomKEntry>(oh, file);
+  parts.kmv_arena = util::ArenaRef<double>(kmv, file);
+  parts.sketch_sizes = util::ArenaRef<std::uint32_t>(sizes, file);
+  parts.construction_seconds = h.construction_seconds;
+  try {
+    snap.pg_ = std::make_unique<const ProbGraph>(
+        ProbGraph::from_parts(*snap.graph_, std::move(parts)));
+  } catch (const std::invalid_argument& e) {
+    fail(path, e.what());
+  }
+
+  snap.info_.version = h.version;
+  snap.info_.degree_oriented = (h.flags & kFlagDegreeOriented) != 0;
+  snap.info_.num_vertices = h.num_vertices;
+  snap.info_.num_directed_edges = h.num_directed_edges;
+  snap.info_.kind = static_cast<SketchKind>(h.kind);
+  snap.info_.construction_seconds = h.construction_seconds;
+  snap.info_.file_bytes = size;
+  return snap;
+}
+
+}  // namespace probgraph::io

@@ -1,0 +1,97 @@
+// Sketch snapshot persistence: the .pgs format.
+//
+// ProbGraph's premise is cheap queries over non-trivially-built sketches
+// (Table V), yet a fresh process had to re-read the edge list and re-hash
+// every neighborhood before answering its first query. A .pgs snapshot
+// persists a fully-built ProbGraph — the CSR graph, the configuration, the
+// derived parameters, and every sketch arena — in one versioned,
+// checksummed binary file whose payload sections are 64-byte aligned, so
+// that:
+//
+//   * save_snapshot writes the file once after an expensive build, and
+//   * load_snapshot mmaps it and serves estimates **zero-copy**: the
+//     returned CsrGraph and ProbGraph hold ArenaRef views straight into
+//     the mapping, no deserialization pass, warm-up limited to page faults.
+//
+// Format (all integers little-endian, native IEEE-754 doubles):
+//
+//   [FileHeader]      fixed-size POD: magic "PGSNAP01", version, endianness
+//                     tag, total size, file checksum (a block-parallel
+//                     word-wise hash over the ENTIRE file with the checksum
+//                     field read as zero, padding included, so header
+//                     corruption is rejected too — see snapshot.cpp;
+//                     verifying it is the load critical path, so it is
+//                     built to saturate memory bandwidth), flags, graph
+//                     shape, full ProbGraphConfig, derived parameters
+//   [SectionEntry×7]  id, element size, absolute offset, byte length —
+//                     CSR offsets, CSR adjacency, and the four sketch
+//                     arenas + per-vertex fill sizes (unused arenas have
+//                     zero length)
+//   [payload]         the section bytes, each section 64-byte aligned,
+//                     zero padding between sections
+//
+// Loads reject wrong magic/version/endianness, size mismatches (truncation)
+// and checksum mismatches (corruption) with descriptive std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/prob_graph.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace probgraph::io {
+
+/// Current .pgs format version. Bumped on any layout change; loaders refuse
+/// other versions outright (no migration shims at this stage).
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Caller-provided provenance recorded in the header.
+struct SnapshotMeta {
+  /// True when the sketched graph is the degree-oriented DAG (the counting
+  /// algorithms' substrate) rather than the symmetric input graph. pgtool
+  /// refuses to run a command over a snapshot of the wrong orientation.
+  bool degree_oriented = false;
+};
+
+/// Header facts surfaced to callers (pgtool prints these; tests pin them).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  bool degree_oriented = false;
+  VertexId num_vertices = 0;
+  EdgeId num_directed_edges = 0;
+  SketchKind kind = SketchKind::kBloomFilter;
+  double construction_seconds = 0.0;  // of the original sketch build
+  std::size_t file_bytes = 0;
+};
+
+/// Serialize `pg` (and the graph it was built over) to `path`. Throws
+/// std::runtime_error on I/O failure.
+void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta meta = {});
+
+/// A loaded snapshot: owns the mapping plus the graph/ProbGraph views over
+/// it. Movable; keep it alive as long as estimates are being served.
+class Snapshot {
+ public:
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const ProbGraph& prob_graph() const noexcept { return *pg_; }
+  [[nodiscard]] const SnapshotInfo& info() const noexcept { return info_; }
+
+ private:
+  friend Snapshot load_snapshot(const std::string& path);
+  Snapshot() = default;
+
+  SnapshotInfo info_{};
+  std::shared_ptr<const void> file_;  // the MappedFile keepalive
+  // unique_ptr members give the graph a stable address (the ProbGraph holds
+  // a pointer to it) while keeping Snapshot movable.
+  std::unique_ptr<const CsrGraph> graph_;
+  std::unique_ptr<const ProbGraph> pg_;
+};
+
+/// Map `path` and validate magic, version, endianness, size, and payload
+/// checksum. Throws std::runtime_error naming the failed check.
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+}  // namespace probgraph::io

@@ -1,0 +1,91 @@
+// ArenaRef: an owned-or-mapped contiguous arena.
+//
+// The sketch arenas of ProbGraph and the offset/adjacency arrays of
+// CsrGraph used to be plain std::vector members, which forced every load
+// path to copy data into fresh heap allocations. The snapshot subsystem
+// (src/io/) instead serves estimates straight out of an mmap'ed .pgs file,
+// so the storage layer needs one type that can be either:
+//
+//   * owned   — a std::vector filled by the normal build path, or
+//   * mapped  — a read-only view into externally owned memory (an mmap
+//               region), kept alive by a type-erased shared handle.
+//
+// Reads go through the same data()/size()/operator[] regardless of source,
+// so the backend structs in core/backends.hpp and all algorithm kernels are
+// oblivious to where the bytes live. Mutation (assign / mutable_data) is
+// only meaningful for owned arenas; the build paths reset to owned storage
+// before writing.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace probgraph::util {
+
+template <typename T>
+class ArenaRef {
+ public:
+  ArenaRef() = default;
+
+  /// Take ownership of a prebuilt vector.
+  explicit ArenaRef(std::vector<T> v) noexcept : owned_(std::move(v)) {}
+
+  /// View externally owned memory. `keepalive` (typically the
+  /// shared_ptr<MappedFile> of the snapshot the view points into) is held
+  /// for the lifetime of this ArenaRef and every copy of it.
+  ArenaRef(std::span<const T> view, std::shared_ptr<const void> keepalive) noexcept
+      : mapped_data_(view.data()),
+        mapped_size_(view.size()),
+        keepalive_(std::move(keepalive)) {}
+
+  /// True when the arena views external (e.g. mmap'ed) memory.
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_data_ != nullptr; }
+
+  [[nodiscard]] const T* data() const noexcept {
+    return is_mapped() ? mapped_data_ : owned_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return is_mapped() ? mapped_size_ : owned_.size();
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size() * sizeof(T); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] const T& front() const noexcept { return data()[0]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size() - 1]; }
+
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data(), size()}; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size(); }
+
+  /// Reset to an owned arena of n copies of `value` (drops any mapping).
+  void assign(std::size_t n, const T& value) {
+    mapped_data_ = nullptr;
+    mapped_size_ = 0;
+    keepalive_.reset();
+    owned_.assign(n, value);
+  }
+
+  /// Writable pointer into the owned storage. Calling this on a mapped
+  /// arena is a programming error (the build paths always assign() first).
+  [[nodiscard]] T* mutable_data() noexcept {
+    assert(!is_mapped() && "ArenaRef: cannot mutate a mapped arena");
+    return owned_.data();
+  }
+
+ private:
+  // Exactly one source is active: owned_ when mapped_data_ is null, the
+  // (mapped_data_, mapped_size_, keepalive_) view otherwise. Keeping the
+  // discriminant implicit in mapped_data_ lets the defaulted copy/move
+  // special members do the right thing for both states.
+  std::vector<T> owned_;
+  const T* mapped_data_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace probgraph::util

@@ -1,0 +1,91 @@
+// util::ArenaRef — the owned-or-mapped arena underneath CsrGraph and the
+// ProbGraph sketch storage. The properties that matter: reads are identical
+// for both memory sources, mapped views keep their backing memory alive
+// through the type-erased keepalive, and copies of owned arenas are
+// independent (a copy must never alias the source vector's heap buffer).
+#include "util/arena_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace probgraph::util {
+namespace {
+
+TEST(ArenaRef, DefaultConstructedIsEmptyAndOwned) {
+  const ArenaRef<std::uint64_t> a;
+  EXPECT_FALSE(a.is_mapped());
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.size_bytes(), 0u);
+}
+
+TEST(ArenaRef, OwnedVectorReads) {
+  ArenaRef<int> a(std::vector<int>{3, 1, 4, 1, 5});
+  EXPECT_FALSE(a.is_mapped());
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0], 3);
+  EXPECT_EQ(a.front(), 3);
+  EXPECT_EQ(a.back(), 5);
+  EXPECT_EQ(a.span().size(), 5u);
+  int sum = 0;
+  for (const int x : a) sum += x;
+  EXPECT_EQ(sum, 14);
+}
+
+TEST(ArenaRef, AssignProducesWritableOwnedStorage) {
+  ArenaRef<int> a;
+  a.assign(4, 7);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[2], 7);
+  a.mutable_data()[2] = 9;
+  EXPECT_EQ(a[2], 9);
+}
+
+TEST(ArenaRef, MappedViewKeepsBackingMemoryAlive) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{10, 20, 30});
+  ArenaRef<int> a(std::span<const int>(backing->data(), backing->size()), backing);
+  EXPECT_TRUE(a.is_mapped());
+  EXPECT_EQ(backing.use_count(), 2);
+
+  ArenaRef<int> copy = a;  // copies share the keepalive, not the data
+  EXPECT_EQ(backing.use_count(), 3);
+  EXPECT_EQ(copy.data(), a.data());
+
+  backing.reset();  // the views alone must keep the buffer alive
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 10);
+  EXPECT_EQ(copy[2], 30);
+}
+
+TEST(ArenaRef, AssignDropsMapping) {
+  auto backing = std::make_shared<std::vector<int>>(std::vector<int>{1, 2});
+  ArenaRef<int> a(std::span<const int>(backing->data(), backing->size()), backing);
+  a.assign(1, 42);
+  EXPECT_FALSE(a.is_mapped());
+  EXPECT_EQ(backing.use_count(), 1);  // keepalive released
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(ArenaRef, CopiesOfOwnedArenasAreIndependent) {
+  ArenaRef<int> a(std::vector<int>{1, 2, 3});
+  ArenaRef<int> b = a;
+  ASSERT_NE(a.data(), b.data());
+  a.mutable_data()[1] = 99;
+  EXPECT_EQ(a[1], 99);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(ArenaRef, MoveTransfersOwnedStorageWithoutCopying) {
+  ArenaRef<int> a(std::vector<int>{5, 6, 7});
+  const int* const before = a.data();
+  const ArenaRef<int> b = std::move(a);
+  EXPECT_EQ(b.data(), before);  // vector move: same heap buffer
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 7);
+}
+
+}  // namespace
+}  // namespace probgraph::util

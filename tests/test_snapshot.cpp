@@ -1,0 +1,267 @@
+// The .pgs snapshot subsystem (src/io/).
+//
+// Three guarantees under test:
+//   1. Round trip: for every SketchKind, a loaded snapshot serves
+//      est_intersection / est_jaccard BIT-IDENTICAL to the in-memory build
+//      it was saved from, zero-copy out of the mapping.
+//   2. Integrity: wrong magic, wrong version, wrong endianness tag,
+//      truncation, and payload corruption are all rejected with a
+//      descriptive error naming the failed check.
+//   3. Format stability: tests/data/golden.pgs (built from
+//      tests/data/golden.el with the default config — see
+//      GoldenFixture.MatchesFreshBuild for the exact regeneration command)
+//      must keep loading with pinned header bytes and unchanged estimates.
+#include "io/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/orientation.hpp"
+
+namespace probgraph {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-deleting temp file path, unique per test.
+struct TempFile {
+  explicit TempFile(const std::string& tag)
+      : path((fs::temp_directory_path() / ("probgraph_test_" + tag + ".pgs")).string()) {}
+  ~TempFile() { std::error_code ec; fs::remove(path, ec); }
+  std::string path;
+};
+
+CsrGraph test_graph() { return gen::kronecker(8, 8.0, 3); }
+
+ProbGraphConfig config_for(SketchKind kind) {
+  ProbGraphConfig cfg;
+  cfg.kind = kind;
+  cfg.storage_budget = 0.3;
+  cfg.bf_hashes = 2;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<std::byte> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::vector<std::byte>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_load_fails_with(const std::string& path, const std::string& substr) {
+  try {
+    (void)io::load_snapshot(path);
+    FAIL() << "expected load_snapshot(" << path << ") to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "error message '" << e.what() << "' does not mention '" << substr << "'";
+  }
+}
+
+void expect_bit_identical(const CsrGraph& g, const ProbGraph& built,
+                          const ProbGraph& loaded) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      ASSERT_EQ(built.est_intersection(u, v), loaded.est_intersection(u, v))
+          << "est_intersection diverges at edge (" << u << ", " << v << ")";
+      ASSERT_EQ(built.est_jaccard(u, v), loaded.est_jaccard(u, v))
+          << "est_jaccard diverges at edge (" << u << ", " << v << ")";
+    }
+  }
+}
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<SketchKind> {};
+
+TEST_P(SnapshotRoundTrip, ServesBitIdenticalEstimatesZeroCopy) {
+  const CsrGraph g = test_graph();
+  const ProbGraph built(g, config_for(GetParam()));
+  TempFile file(std::string("roundtrip_") + to_string(GetParam()));
+  io::save_snapshot(file.path, built);
+
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  const ProbGraph& loaded = snap.prob_graph();
+
+  // The served graph and sketches view the mapping, not copies.
+  EXPECT_TRUE(snap.graph().is_mapped());
+  EXPECT_TRUE(loaded.is_mapped());
+
+  // Structure round-trips exactly.
+  ASSERT_EQ(snap.graph().num_vertices(), g.num_vertices());
+  ASSERT_TRUE(std::equal(g.offsets().begin(), g.offsets().end(),
+                         snap.graph().offsets().begin(), snap.graph().offsets().end()));
+  ASSERT_TRUE(std::equal(g.adjacency().begin(), g.adjacency().end(),
+                         snap.graph().adjacency().begin(),
+                         snap.graph().adjacency().end()));
+  EXPECT_EQ(loaded.kind(), built.kind());
+  EXPECT_EQ(loaded.bf_bits(), built.bf_bits());
+  EXPECT_EQ(loaded.minhash_k(), built.minhash_k());
+  EXPECT_EQ(loaded.memory_bytes(), built.memory_bytes());
+  EXPECT_EQ(loaded.config().seed, built.config().seed);
+  EXPECT_EQ(snap.info().kind, GetParam());
+  EXPECT_EQ(snap.info().version, io::kSnapshotVersion);
+  EXPECT_FALSE(snap.info().degree_oriented);
+
+  expect_bit_identical(g, built, loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SnapshotRoundTrip,
+                         ::testing::Values(SketchKind::kBloomFilter, SketchKind::kKHash,
+                                           SketchKind::kOneHash, SketchKind::kKmv),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(Snapshot, DegreeOrientedFlagRoundTrips) {
+  const CsrGraph g = test_graph();
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig cfg = config_for(SketchKind::kBloomFilter);
+  cfg.budget_reference_bytes = g.memory_bytes();
+  const ProbGraph built(dag, cfg);
+  TempFile file("oriented");
+  io::save_snapshot(file.path, built, {.degree_oriented = true});
+
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  EXPECT_TRUE(snap.info().degree_oriented);
+  EXPECT_EQ(snap.prob_graph().config().budget_reference_bytes, g.memory_bytes());
+  expect_bit_identical(dag, built, snap.prob_graph());
+}
+
+TEST(Snapshot, RelativeMemoryMatchesAfterLoad) {
+  const CsrGraph g = test_graph();
+  const ProbGraph built(g, config_for(SketchKind::kOneHash));
+  TempFile file("relmem");
+  io::save_snapshot(file.path, built);
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  EXPECT_EQ(snap.prob_graph().relative_memory(), built.relative_memory());
+}
+
+// --- Integrity rejection. All mutations start from a freshly saved file. ---
+
+class SnapshotIntegrity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const CsrGraph g = test_graph();
+    const ProbGraph pg(g, config_for(SketchKind::kBloomFilter));
+    io::save_snapshot(source_.path, pg);
+    bytes_ = read_bytes(source_.path);
+    ASSERT_GT(bytes_.size(), 320u);
+  }
+
+  TempFile source_{"integrity_source"};
+  TempFile mutated_{"integrity_mutated"};
+  std::vector<std::byte> bytes_;
+};
+
+TEST_F(SnapshotIntegrity, AcceptsThePristineFile) {
+  EXPECT_NO_THROW((void)io::load_snapshot(source_.path));
+}
+
+TEST_F(SnapshotIntegrity, RejectsBadMagic) {
+  bytes_[0] = std::byte{'X'};
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "magic");
+}
+
+TEST_F(SnapshotIntegrity, RejectsUnknownVersion) {
+  bytes_[8] = std::byte{0x7f};  // version u32 lives at offset 8
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "version");
+}
+
+TEST_F(SnapshotIntegrity, RejectsForeignEndianness) {
+  std::swap(bytes_[12], bytes_[15]);  // endianness tag u32 lives at offset 12
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "endianness");
+}
+
+TEST_F(SnapshotIntegrity, RejectsTruncation) {
+  bytes_.resize(bytes_.size() - 64);
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "size mismatch");
+}
+
+TEST_F(SnapshotIntegrity, RejectsTruncationBelowHeader) {
+  bytes_.resize(32);
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "truncated");
+}
+
+TEST_F(SnapshotIntegrity, RejectsPayloadCorruption) {
+  bytes_.back() = bytes_.back() ^ std::byte{0x01};  // flip one payload bit
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "checksum");
+}
+
+TEST_F(SnapshotIntegrity, RejectsHeaderCorruption) {
+  // The checksum covers the header too: a flipped degree_oriented flag
+  // (flags u32 at offset 44) must be rejected, not silently served.
+  bytes_[44] = bytes_[44] ^ std::byte{0x01};
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "checksum");
+}
+
+TEST_F(SnapshotIntegrity, RejectsSeedCorruption) {
+  bytes_[96] = bytes_[96] ^ std::byte{0x01};  // seed u64 lives at offset 96
+  write_bytes(mutated_.path, bytes_);
+  expect_load_fails_with(mutated_.path, "checksum");
+}
+
+TEST_F(SnapshotIntegrity, RejectsEmptyFile) {
+  write_bytes(mutated_.path, {});
+  EXPECT_THROW((void)io::load_snapshot(mutated_.path), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsMissingFile) {
+  EXPECT_THROW((void)io::load_snapshot("/nonexistent/probgraph.pgs"), std::runtime_error);
+}
+
+// --- Golden fixture: pins the on-disk format across refactors. ---
+
+std::string data_path(const char* name) {
+  return std::string(PROBGRAPH_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(GoldenFixture, HeaderBytesArePinned) {
+  const std::vector<std::byte> bytes = read_bytes(data_path("golden.pgs"));
+  ASSERT_GE(bytes.size(), 16u);
+  EXPECT_EQ(std::memcmp(bytes.data(), "PGSNAP01", 8), 0);
+  const unsigned char version_le[4] = {1, 0, 0, 0};
+  EXPECT_EQ(std::memcmp(bytes.data() + 8, version_le, 4), 0);
+  const unsigned char endian_le[4] = {0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(std::memcmp(bytes.data() + 12, endian_le, 4), 0);
+}
+
+TEST(GoldenFixture, MatchesFreshBuild) {
+  // Regenerate (only on a deliberate format bump) with:
+  //   pgtool build tests/data/golden.el -o tests/data/golden.pgs
+  // i.e. the default config: BF sketches, budget 0.25, b = 2, seed 42.
+  const io::Snapshot snap = io::load_snapshot(data_path("golden.pgs"));
+  EXPECT_EQ(snap.info().version, io::kSnapshotVersion);
+  EXPECT_EQ(snap.info().kind, SketchKind::kBloomFilter);
+  EXPECT_FALSE(snap.info().degree_oriented);
+
+  const CsrGraph g = io::read_edge_list(data_path("golden.el"));
+  ASSERT_EQ(snap.graph().num_vertices(), g.num_vertices());
+  ASSERT_EQ(snap.graph().num_directed_edges(), g.num_directed_edges());
+  const ProbGraph fresh(g, ProbGraphConfig{});
+  expect_bit_identical(g, fresh, snap.prob_graph());
+}
+
+}  // namespace
+}  // namespace probgraph

@@ -8,8 +8,17 @@
 //   pgtool kclique   <graph> --k-clique K [options]
 //   pgtool cluster   <graph> [options]    Jarvis-Patrick clustering
 //   pgtool stats     <graph>              basic graph statistics
+//   pgtool build     <graph> -o <file.pgs> [--orient] [options]
+//                                         persist CSR + sketches to a
+//                                         snapshot (build once, map many)
 //
 // <graph> is a path, or "kron:SCALE:EDGEFACTOR" for a generated graph.
+// Every command except build also accepts `--snapshot <file.pgs>` in place
+// of <graph>: the snapshot is mmap'ed and estimates are served zero-copy
+// out of the mapping (sketch options then come from the file, not flags).
+// Counting commands need a snapshot built with --orient (they run on the
+// degree-oriented DAG); clustering needs one built without it.
+//
 // Options:
 //   --sketch bf|1h|kh|kmv   representation (default bf; "exact" disables PG)
 //   --estimator and|limit|or  BF intersection estimator (default and)
@@ -20,9 +29,14 @@
 //   --measure M             jaccard|overlap|common|total (default jaccard)
 //   --threads N             OpenMP thread count
 //   --seed S                sketch seed (default 42)
+//   --snapshot FILE         serve from a .pgs snapshot instead of <graph>
+//   -o, --output FILE       (build) snapshot output path
+//   --orient                (build) sketch the degree-oriented DAG
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "algorithms/clustering.hpp"
@@ -32,6 +46,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/orientation.hpp"
+#include "io/snapshot.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
@@ -41,22 +56,36 @@ namespace {
 
 struct Options {
   std::string command;
-  std::string graph;
+  std::string graph;     // edge-list/mtx path or kron:S:E spec
+  std::string snapshot;  // .pgs input (serving commands)
+  std::string output;    // .pgs output (build)
+  bool orient = false;
   bool exact = false;
   bool estimator_set = false;
+  bool sketch_flags_set = false;
   ProbGraphConfig pg;
   double tau = 0.1;
   unsigned kclique = 5;
   algo::SimilarityMeasure measure = algo::SimilarityMeasure::kJaccard;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: pgtool tc|4cc|kclique|cluster|stats <graph.el|graph.mtx|kron:S:E>\n"
+               "       pgtool tc|4cc|kclique|cluster|stats --snapshot <file.pgs>\n"
+               "       pgtool build <graph> -o <file.pgs> [--orient]\n"
                "       [--sketch bf|1h|kh|kmv|exact] [--estimator and|limit|or]\n"
                "       [--budget S] [--bf-hashes B]\n"
                "       [--k K] [--k-clique K] [--tau T] [--measure jaccard|overlap|common|total]\n"
-               "       [--threads N] [--seed S]\n");
+               "       [--threads N] [--seed S]\n"
+               "build persists the CSR graph plus fully-built sketches; --snapshot mmaps\n"
+               "such a file and serves estimates zero-copy. Counting commands (tc, 4cc,\n"
+               "kclique) need a snapshot built with --orient; cluster needs one without.\n");
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  std::fprintf(stderr, "pgtool: error: %s\n\n", msg.c_str());
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -64,7 +93,9 @@ CsrGraph load_graph(const std::string& spec) {
   if (spec.rfind("kron:", 0) == 0) {
     unsigned scale = 0;
     double ef = 0;
-    if (std::sscanf(spec.c_str(), "kron:%u:%lf", &scale, &ef) != 2) usage();
+    if (std::sscanf(spec.c_str(), "kron:%u:%lf", &scale, &ef) != 2) {
+      fail("malformed Kronecker spec '" + spec + "' (expected kron:SCALE:EDGEFACTOR)");
+    }
     return gen::kronecker(scale, ef, 42);
   }
   if (spec.size() > 4 && spec.substr(spec.size() - 4) == ".mtx") {
@@ -74,36 +105,46 @@ CsrGraph load_graph(const std::string& spec) {
 }
 
 Options parse(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) fail("missing command");
   Options opt;
   opt.command = argv[1];
-  opt.graph = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  const bool known_command = opt.command == "tc" || opt.command == "4cc" ||
+                             opt.command == "kclique" || opt.command == "cluster" ||
+                             opt.command == "stats" || opt.command == "build";
+  if (!known_command) fail("unknown command '" + opt.command + "'");
+
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) fail("flag " + flag + " requires a value");
       return argv[++i];
     };
     if (flag == "--sketch") {
+      opt.sketch_flags_set = true;
       const std::string v = value();
       if (v == "exact") {
         opt.exact = true;
       } else if (const auto kind = parse_sketch_kind(v)) {
         opt.pg.kind = *kind;
       } else {
-        usage();
+        fail("unknown sketch kind '" + v + "' (expected bf, 1h, kh, kmv, or exact)");
       }
     } else if (flag == "--estimator") {
-      const auto e = parse_bf_estimator(value());
-      if (!e) usage();
+      const std::string v = value();
+      const auto e = parse_bf_estimator(v);
+      if (!e) fail("unknown BF estimator '" + v + "' (expected and, limit, or or)");
       opt.pg.bf_estimator = *e;
       opt.estimator_set = true;
+      opt.sketch_flags_set = true;
     } else if (flag == "--budget") {
       opt.pg.storage_budget = std::atof(value());
+      opt.sketch_flags_set = true;
     } else if (flag == "--bf-hashes") {
       opt.pg.bf_hashes = static_cast<std::uint32_t>(std::atoi(value()));
+      opt.sketch_flags_set = true;
     } else if (flag == "--k") {
       opt.pg.minhash_k = static_cast<std::uint32_t>(std::atoi(value()));
+      opt.sketch_flags_set = true;
     } else if (flag == "--k-clique") {
       opt.kclique = static_cast<unsigned>(std::atoi(value()));
     } else if (flag == "--tau") {
@@ -114,13 +155,47 @@ Options parse(int argc, char** argv) {
       else if (v == "overlap") opt.measure = algo::SimilarityMeasure::kOverlap;
       else if (v == "common") opt.measure = algo::SimilarityMeasure::kCommonNeighbors;
       else if (v == "total") opt.measure = algo::SimilarityMeasure::kTotalNeighbors;
-      else usage();
+      else fail("unknown measure '" + v + "' (expected jaccard, overlap, common, or total)");
     } else if (flag == "--threads") {
       util::set_threads(std::atoi(value()));
     } else if (flag == "--seed") {
       opt.pg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      opt.sketch_flags_set = true;
+    } else if (flag == "--snapshot") {
+      opt.snapshot = value();
+    } else if (flag == "-o" || flag == "--output") {
+      opt.output = value();
+    } else if (flag == "--orient") {
+      opt.orient = true;
+    } else if (flag.rfind("-", 0) == 0) {
+      fail("unknown flag '" + flag + "'");
+    } else if (opt.graph.empty()) {
+      opt.graph = flag;
     } else {
-      usage();
+      fail("unexpected positional argument '" + flag + "' (graph already given: '" +
+           opt.graph + "')");
+    }
+  }
+
+  if (opt.command == "build") {
+    if (!opt.snapshot.empty()) fail("build reads a graph, not a snapshot (--snapshot)");
+    if (opt.graph.empty()) fail("build requires an input <graph>");
+    if (opt.output.empty()) fail("build requires an output path (-o <file.pgs>)");
+    if (opt.exact) fail("--sketch exact has no sketches to persist");
+  } else {
+    if (!opt.output.empty()) fail("-o/--output only applies to the build command");
+    if (opt.orient) fail("--orient only applies to the build command");
+    if (!opt.graph.empty() && !opt.snapshot.empty()) {
+      fail("give either <graph> or --snapshot, not both ('" + opt.graph + "' and '" +
+           opt.snapshot + "')");
+    }
+    if (opt.graph.empty() && opt.snapshot.empty()) {
+      fail("missing input: give <graph> or --snapshot <file.pgs>");
+    }
+    if (!opt.snapshot.empty() && opt.sketch_flags_set && !opt.exact) {
+      std::fprintf(stderr,
+                   "pgtool: warning: sketch flags are ignored with --snapshot; the "
+                   "representation comes from the file\n");
     }
   }
   if (opt.estimator_set && (opt.exact || opt.pg.kind != SketchKind::kBloomFilter)) {
@@ -130,31 +205,92 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  const CsrGraph g = load_graph(opt.graph);
+void print_graph_line(const CsrGraph& g) {
   std::printf("graph: n=%u, m=%llu, d_max=%llu, d_avg=%.1f\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
               static_cast<unsigned long long>(g.max_degree()), g.avg_degree());
+}
+
+int run_build(const Options& opt) {
+  const CsrGraph g = load_graph(opt.graph);
+  print_graph_line(g);
+
+  ProbGraphConfig cfg = opt.pg;
+  io::SnapshotMeta meta;
+  std::optional<CsrGraph> oriented;
+  const CsrGraph* sketch_graph = &g;
+  if (opt.orient) {
+    meta.degree_oriented = true;
+    // Keep the §V-A budget meaning of "additional memory on top of the
+    // CSR of G" — exactly what the serving commands do locally.
+    cfg.budget_reference_bytes = g.memory_bytes();
+    oriented.emplace(degree_orient(g));
+    sketch_graph = &*oriented;
+  }
+  const ProbGraph pg(*sketch_graph, cfg);
+  util::Timer timer;
+  io::save_snapshot(opt.output, pg, meta);
+  std::printf("wrote %s: %s sketches%s, %.2f MB sketch arena (relmem %.2f), "
+              "construction %.4fs, save %.4fs\n",
+              opt.output.c_str(), to_string(pg.kind()),
+              meta.degree_oriented ? " over the degree-oriented DAG" : "",
+              static_cast<double>(pg.memory_bytes()) / 1e6, pg.relative_memory(),
+              pg.construction_seconds(), timer.seconds());
+  return 0;
+}
+
+int run_command(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.command == "build") return run_build(opt);
+
+  // Serving path: the graph (and, with --snapshot, the prebuilt sketches)
+  // come either from a file/generator or zero-copy out of a .pgs mapping.
+  std::optional<io::Snapshot> snap;
+  std::optional<CsrGraph> owned_graph;
+  const CsrGraph* g = nullptr;
+  if (!opt.snapshot.empty()) {
+    util::Timer load_timer;
+    snap.emplace(io::load_snapshot(opt.snapshot));
+    const io::SnapshotInfo& info = snap->info();
+    std::printf("snapshot: %s, %s sketches%s, %.2f MB file, loaded in %.4fs "
+                "(original construction %.4fs)\n",
+                opt.snapshot.c_str(), to_string(info.kind),
+                info.degree_oriented ? " (degree-oriented)" : "",
+                static_cast<double>(info.file_bytes) / 1e6, load_timer.seconds(),
+                info.construction_seconds);
+    g = &snap->graph();
+  } else {
+    owned_graph.emplace(load_graph(opt.graph));
+    g = &*owned_graph;
+  }
+  print_graph_line(*g);
 
   if (opt.command == "stats") {
-    std::printf("degree moments: sum d^2 = %.3e, sum d^3 = %.3e\n", g.degree_moment(2),
-                g.degree_moment(3));
-    std::printf("CSR memory: %.2f MB\n", static_cast<double>(g.memory_bytes()) / 1e6);
+    std::printf("degree moments: sum d^2 = %.3e, sum d^3 = %.3e\n", g->degree_moment(2),
+                g->degree_moment(3));
+    std::printf("CSR memory: %.2f MB%s\n", static_cast<double>(g->memory_bytes()) / 1e6,
+                g->is_mapped() ? " (mmap-served)" : "");
     return 0;
   }
 
   util::Timer timer;
   if (opt.command == "cluster") {
+    // A content (not CLI-syntax) problem: throw so the top-level handler
+    // prints a clean error and exits 1 without the usage dump.
+    if (snap && snap->info().degree_oriented) {
+      throw std::runtime_error(
+          "snapshot '" + opt.snapshot +
+          "' sketches the degree-oriented DAG; cluster needs one built without --orient");
+    }
     if (opt.exact) {
-      const auto r = algo::jarvis_patrick_exact(g, opt.measure, opt.tau);
+      const auto r = algo::jarvis_patrick_exact(*g, opt.measure, opt.tau);
       std::printf("exact clustering: %zu clusters, %llu kept edges, %.4fs\n",
                   r.num_clusters, static_cast<unsigned long long>(r.kept_edges),
                   timer.seconds());
     } else {
-      const ProbGraph pg(g, opt.pg);
+      std::optional<ProbGraph> local_pg;
+      if (!snap) local_pg.emplace(*g, opt.pg);
+      const ProbGraph& pg = snap ? snap->prob_graph() : *local_pg;
       timer.reset();
       const auto r = algo::jarvis_patrick_probgraph(pg, opt.measure, opt.tau);
       std::printf("%s clustering: %zu clusters, %llu kept edges, %.4fs "
@@ -166,53 +302,84 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // The counting commands run on the degree-oriented DAG.
-  const CsrGraph dag = degree_orient(g);
+  // The counting commands run on the degree-oriented DAG. A snapshot must
+  // already contain it (pgtool build --orient); the edge-list path orients
+  // here as before.
+  std::optional<CsrGraph> owned_dag;
+  const CsrGraph* dag = nullptr;
+  if (snap) {
+    if (!snap->info().degree_oriented) {
+      throw std::runtime_error("snapshot '" + opt.snapshot +
+                               "' sketches the symmetric graph; " + opt.command +
+                               " needs one built with --orient");
+    }
+    dag = g;
+  } else {
+    owned_dag.emplace(degree_orient(*g));
+    dag = &*owned_dag;
+  }
   ProbGraphConfig dag_cfg = opt.pg;
-  dag_cfg.budget_reference_bytes = g.memory_bytes();
+  dag_cfg.budget_reference_bytes = g->memory_bytes();
+  std::optional<ProbGraph> local_pg;
+  const auto pg = [&]() -> const ProbGraph& {
+    if (snap) return snap->prob_graph();
+    if (!local_pg) local_pg.emplace(*dag, dag_cfg);
+    return *local_pg;
+  };
 
   if (opt.command == "tc") {
     if (opt.exact) {
       timer.reset();
-      const auto tc = algo::triangle_count_exact_oriented(dag);
+      const auto tc = algo::triangle_count_exact_oriented(*dag);
       std::printf("exact TC = %llu (%.4fs)\n", static_cast<unsigned long long>(tc),
                   timer.seconds());
     } else {
-      const ProbGraph pg(dag, dag_cfg);
+      const ProbGraph& p = pg();
       timer.reset();
-      const double tc = algo::triangle_count_probgraph(pg);
+      const double tc = algo::triangle_count_probgraph(p);
       std::printf("%s TC ≈ %.0f (%.4fs, +%.4fs construction, relmem %.2f)\n",
-                  to_string(pg.kind()), tc, timer.seconds(), pg.construction_seconds(),
-                  pg.relative_memory());
+                  to_string(p.kind()), tc, timer.seconds(), p.construction_seconds(),
+                  p.relative_memory());
     }
   } else if (opt.command == "4cc") {
     if (opt.exact) {
       timer.reset();
-      const auto ck = algo::four_clique_count_exact_oriented(dag);
+      const auto ck = algo::four_clique_count_exact_oriented(*dag);
       std::printf("exact 4CC = %llu (%.4fs)\n", static_cast<unsigned long long>(ck),
                   timer.seconds());
     } else {
-      const ProbGraph pg(dag, dag_cfg);
+      const ProbGraph& p = pg();
       timer.reset();
-      const double ck = algo::four_clique_count_probgraph(pg);
-      std::printf("%s 4CC ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(pg.kind()), ck,
-                  timer.seconds(), pg.relative_memory());
+      const double ck = algo::four_clique_count_probgraph(p);
+      std::printf("%s 4CC ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(p.kind()), ck,
+                  timer.seconds(), p.relative_memory());
     }
-  } else if (opt.command == "kclique") {
+  } else {  // kclique (the command set is validated in parse)
     if (opt.exact) {
       timer.reset();
-      const auto ck = algo::kclique_count_exact_oriented(dag, opt.kclique);
+      const auto ck = algo::kclique_count_exact_oriented(*dag, opt.kclique);
       std::printf("exact %u-clique count = %llu (%.4fs)\n", opt.kclique,
                   static_cast<unsigned long long>(ck), timer.seconds());
     } else {
-      const ProbGraph pg(dag, dag_cfg);
+      const ProbGraph& p = pg();
       timer.reset();
-      const double ck = algo::kclique_count_probgraph(pg, opt.kclique);
-      std::printf("%s %u-clique count ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(pg.kind()),
-                  opt.kclique, ck, timer.seconds(), pg.relative_memory());
+      const double ck = algo::kclique_count_probgraph(p, opt.kclique);
+      std::printf("%s %u-clique count ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(p.kind()),
+                  opt.kclique, ck, timer.seconds(), p.relative_memory());
     }
-  } else {
-    usage();
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_command(argc, argv);
+  } catch (const std::exception& e) {
+    // I/O and format errors (unreadable graphs, rejected snapshots, ...)
+    // surface here as clean diagnostics rather than std::terminate.
+    std::fprintf(stderr, "pgtool: error: %s\n", e.what());
+    return 1;
+  }
 }
