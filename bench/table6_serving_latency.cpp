@@ -1,0 +1,122 @@
+// Serving latency: `pgtool serve` sessions vs one-shot invocations.
+//
+// The engine layer (src/engine/) exists so that a query pays neither
+// process start nor snapshot map + checksum: `pgtool serve` maps the .pgs
+// once and answers arbitrarily many queries over the live mapping. This
+// bench quantifies the per-query win on the golden snapshot, reported like
+// the table5 snapshot column:
+//
+//   * cold one-shot  — Engine::from_snapshot + one query per request, the
+//     per-invocation floor of the old CLI (a real process one-shot adds
+//     exec + dynamic-loader time on top, so the reported speedup is a
+//     lower bound);
+//   * warm session   — one Engine, many queries (the serve mode), split by
+//     query type;
+//   * protocol loop  — full serve_session round trips (parse + execute +
+//     format) driven through in-memory streams, i.e. what a scripted
+//     `pgtool serve` session measures minus the pipe itself.
+//
+// Usage: table6_serving_latency [snapshot.pgs]
+// Without an argument it looks for tests/data/golden.pgs (cwd or parent)
+// and falls back to building a kron:12:8 snapshot in a temp file.
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/prob_graph.hpp"
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/query.hpp"
+#include "graph/generators.hpp"
+#include "io/snapshot.hpp"
+#include "util/timer.hpp"
+
+namespace pb = probgraph;
+
+namespace {
+
+std::string locate_snapshot(int argc, char** argv, std::optional<std::string>& temp) {
+  if (argc > 1) return argv[1];
+  for (const char* candidate : {"tests/data/golden.pgs", "../tests/data/golden.pgs"}) {
+    if (std::filesystem::exists(candidate)) return candidate;
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "table6_serving.tmp.pgs").string();
+  std::printf("golden.pgs not found; building a kron:12:8 snapshot at %s\n", path.c_str());
+  const pb::CsrGraph g = pb::gen::kronecker(12, 8.0, 7);
+  const pb::ProbGraph pg(g, pb::ProbGraphConfig{});
+  pb::io::save_snapshot(path, pg);
+  temp = path;
+  return path;
+}
+
+double seconds_per_iter(int iters, const auto& body) {
+  pb::util::Timer timer;
+  for (int i = 0; i < iters; ++i) body();
+  return timer.seconds() / iters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> temp;
+  const std::string path = locate_snapshot(argc, argv, temp);
+
+  namespace eng = pb::engine;
+  eng::Engine warm = eng::Engine::from_snapshot(path);
+  const pb::VertexId n = warm.graph().num_vertices();
+  std::printf("snapshot: %s — n=%u, %s sketches, %.2f MB file\n", path.c_str(), n,
+              pb::to_string(warm.snapshot_info()->kind),
+              static_cast<double>(warm.snapshot_info()->file_bytes) / 1e6);
+
+  const eng::Query pair_query =
+      eng::PairEstimate{eng::EstimateKind::kIntersection, {{0, 1 % n}, {2 % n, 3 % n}}, false};
+
+  constexpr int kCold = 200;
+  constexpr int kWarmPair = 20000;
+  constexpr int kWarmScan = 50;
+
+  // Cold one-shot: map + checksum + query, every time — what each CLI
+  // invocation used to pay after process start.
+  const double cold = seconds_per_iter(kCold, [&] {
+    eng::Engine e = eng::Engine::from_snapshot(path);
+    (void)e.run(pair_query);
+  });
+
+  // Warm session: the mapping is live, a query is just the algorithm.
+  const double warm_pair = seconds_per_iter(kWarmPair, [&] { (void)warm.run(pair_query); });
+  const double warm_stats = seconds_per_iter(kWarmPair, [&] { (void)warm.run(eng::GraphStats{}); });
+  const double warm_tc =
+      seconds_per_iter(kWarmScan, [&] { (void)warm.run(eng::TriangleCount{}); });
+
+  // Protocol round trips: parse one request line, execute, format a reply.
+  std::string script;
+  for (int i = 0; i < kWarmPair; ++i) script += "pair intersection 0 1\n";
+  script += "quit\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  pb::util::Timer proto_timer;
+  const std::size_t answered = eng::serve_session(warm, in, out);
+  const double proto = proto_timer.seconds() / static_cast<double>(answered);
+
+  std::printf("\n--- per-query latency: serve session vs one-shot (cold map) ---\n");
+  std::printf("cold one-shot (map+checksum+pair) %10.1f us/query\n", cold * 1e6);
+  std::printf("warm session, pair estimate       %10.3f us/query | %8.1fx vs cold\n",
+              warm_pair * 1e6, cold / warm_pair);
+  std::printf("warm session, stats               %10.3f us/query | %8.1fx vs cold\n",
+              warm_stats * 1e6, cold / warm_stats);
+  std::printf("warm session, tc (full scan)      %10.1f us/query\n", warm_tc * 1e6);
+  std::printf("serve protocol round trip (pair)  %10.3f us/query (parse+execute+format)\n",
+              proto * 1e6);
+  std::printf("\nA real one-shot also pays process start (exec + loader), so the\n"
+              "session speedup is a lower bound; scan-type queries (tc) amortize the\n"
+              "map less since the algorithm dominates.\n");
+
+  if (temp) {
+    std::error_code ec;
+    std::filesystem::remove(*temp, ec);
+  }
+  return 0;
+}

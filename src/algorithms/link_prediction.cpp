@@ -53,8 +53,53 @@ struct ScoredPair {
   double score;
 };
 
-/// Enumerate distance-2 non-adjacent candidate pairs of `sparse` and score
-/// them with `score_fn`. Returns the result assembled per Listing 5.
+/// First element of N_a ∩ N_b (sorted merge); `g.num_vertices()` if none.
+VertexId first_common_neighbor(const CsrGraph& g, VertexId a, VertexId b) noexcept {
+  const auto na = g.neighbors(a);
+  const auto nb = g.neighbors(b);
+  std::size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) ++i;
+    else if (nb[j] < na[i]) ++j;
+    else return na[i];
+  }
+  return g.num_vertices();
+}
+
+/// Enumerate the distance-2 non-adjacent pairs of `g` — wedges a - v - b
+/// with {a, b} not an edge, each pair visited once (a < b since
+/// neighborhoods are sorted) — and invoke `fn(a, b)` on each. The shared
+/// candidate sweep of the Listing-5 harness and the serving-shaped top-k
+/// variant.
+///
+/// Dedup strategy (a pair is reachable through every common neighbor):
+///   * kStructuralDedup = false — an O(#candidates) hash set. Right when
+///     the caller materializes a score per candidate anyway (Listing 5).
+///   * kStructuralDedup = true — emit only from the pair's SMALLEST common
+///     neighbor: O(1) extra memory at the cost of a first-common-neighbor
+///     merge per wedge. Right for bounded-answer serving sweeps (top-k).
+template <bool kStructuralDedup, typename Fn>
+void for_each_distance2_candidate(const CsrGraph& g, Fn&& fn) {
+  std::unordered_set<std::uint64_t> seen;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nv = g.neighbors(v);
+    for (std::size_t i = 0; i < nv.size(); ++i) {
+      for (std::size_t j = i + 1; j < nv.size(); ++j) {
+        const VertexId a = nv[i], b = nv[j];
+        if constexpr (kStructuralDedup) {
+          if (first_common_neighbor(g, a, b) != v) continue;  // v is common, so one exists
+        } else {
+          if (!seen.insert(pack_pair(a, b)).second) continue;
+        }
+        if (g.has_edge(a, b)) continue;
+        fn(a, b);
+      }
+    }
+  }
+}
+
+/// Score every distance-2 candidate pair of `sparse` with `score_fn` and
+/// assemble the result per Listing 5.
 template <typename ScoreFn>
 LinkPredictionResult run(const CsrGraph& sparse,
                          const std::unordered_set<std::uint64_t>& removed,
@@ -63,22 +108,11 @@ LinkPredictionResult run(const CsrGraph& sparse,
   result.num_removed = removed.size();
   if (removed.empty()) return result;
 
-  // Candidate generation: wedges a - v - b with {a,b} not an edge.
-  std::unordered_set<std::uint64_t> seen;
   std::vector<ScoredPair> scored;
   util::Timer timer;
-  for (VertexId v = 0; v < sparse.num_vertices(); ++v) {
-    const auto nv = sparse.neighbors(v);
-    for (std::size_t i = 0; i < nv.size(); ++i) {
-      for (std::size_t j = i + 1; j < nv.size(); ++j) {
-        const VertexId a = nv[i], b = nv[j];
-        const std::uint64_t key = pack_pair(a, b);
-        if (!seen.insert(key).second) continue;
-        if (sparse.has_edge(a, b)) continue;
-        scored.push_back({key, score_fn(a, b)});
-      }
-    }
-  }
+  for_each_distance2_candidate<false>(sparse, [&](VertexId a, VertexId b) {
+    scored.push_back({pack_pair(a, b), score_fn(a, b)});
+  });
   result.scoring_seconds = timer.seconds();
   result.num_candidates = scored.size();
 
@@ -114,6 +148,62 @@ LinkPredictionResult link_prediction_probgraph(const CsrGraph& g,
   return pg.visit_backend([&](const auto& be) {
     return run(split.sparse, split.removed, [&](VertexId a, VertexId b) {
       return similarity_backend(be, a, b, config.measure);
+    });
+  });
+}
+
+namespace {
+
+/// Serving-shaped sweep: enumerate the distance-2 candidates with the
+/// structural (memory-free) dedup, score them, and keep only the top_k
+/// best in a bounded heap — the candidate space is O(Σ_v d_v²), so
+/// materializing scores or a dedup set would dwarf the k-element answer on
+/// large graphs; this path's memory is O(top_k). The heap's front is the
+/// worst kept link, ties broken by (u, v) so the output is deterministic
+/// regardless of enumeration order.
+template <typename ScoreFn>
+std::vector<ScoredLink> top_k_links(const CsrGraph& g, std::size_t top_k,
+                                    ScoreFn&& score_fn) {
+  const auto better = [](const ScoredLink& x, const ScoredLink& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.u != y.u) return x.u < y.u;
+    return x.v < y.v;
+  };
+  std::vector<ScoredLink> heap;  // max-heap by "worseness": front = worst kept
+  if (top_k == 0) return heap;
+  // top_k is a caller-supplied request value (CLI/protocol); don't commit
+  // O(top_k) memory before a single candidate justifies it.
+  heap.reserve(std::min<std::size_t>(top_k, 1024));
+  for_each_distance2_candidate<true>(g, [&](VertexId a, VertexId b) {
+    const ScoredLink link{a, b, score_fn(a, b)};
+    if (heap.size() < top_k) {
+      heap.push_back(link);
+      std::push_heap(heap.begin(), heap.end(), better);
+    } else if (better(link, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), better);
+      heap.back() = link;
+      std::push_heap(heap.begin(), heap.end(), better);
+    }
+  });
+  std::sort_heap(heap.begin(), heap.end(), better);  // best-first output
+  return heap;
+}
+
+}  // namespace
+
+std::vector<ScoredLink> top_k_links_exact(const CsrGraph& g, SimilarityMeasure measure,
+                                          std::size_t top_k) {
+  return top_k_links(g, top_k, [&](VertexId a, VertexId b) {
+    return similarity_exact(g, a, b, measure);
+  });
+}
+
+std::vector<ScoredLink> top_k_links_probgraph(const ProbGraph& pg,
+                                              SimilarityMeasure measure,
+                                              std::size_t top_k) {
+  return pg.visit_backend([&](const auto& be) {
+    return top_k_links(pg.graph(), top_k, [&](VertexId a, VertexId b) {
+      return similarity_backend(be, a, b, measure);
     });
   });
 }

@@ -11,7 +11,9 @@
 // Σ_v d_v² instead of n²).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "algorithms/vertex_similarity.hpp"
 #include "core/prob_graph.hpp"
@@ -43,5 +45,26 @@ struct LinkPredictionResult {
 [[nodiscard]] LinkPredictionResult link_prediction_probgraph(
     const CsrGraph& g, const LinkPredictionConfig& config,
     const ProbGraphConfig& pg_config);
+
+/// A candidate link (u < v) with its similarity score.
+struct ScoredLink {
+  VertexId u = 0;
+  VertexId v = 0;
+  double score = 0.0;
+};
+
+/// Serving-shaped link prediction (the engine's LinkPredict query): score
+/// every distance-2 non-adjacent pair of `g` under `measure` and return
+/// the `top_k` highest-scored candidates, ordered by (score desc, u asc,
+/// v asc) — deterministic ties for reproducible serving transcripts.
+[[nodiscard]] std::vector<ScoredLink> top_k_links_exact(const CsrGraph& g,
+                                                        SimilarityMeasure measure,
+                                                        std::size_t top_k);
+
+/// Sketch-scored variant: `pg` must be built over `g` itself (full
+/// neighborhoods). The backend dispatch is hoisted once for the sweep.
+[[nodiscard]] std::vector<ScoredLink> top_k_links_probgraph(const ProbGraph& pg,
+                                                            SimilarityMeasure measure,
+                                                            std::size_t top_k);
 
 }  // namespace probgraph::algo

@@ -6,6 +6,7 @@
 
 #include "algorithms/similarity_kernels.hpp"
 #include "core/intersect.hpp"
+#include "util/ascii.hpp"
 
 namespace probgraph::algo {
 
@@ -19,6 +20,25 @@ const char* to_string(SimilarityMeasure m) noexcept {
     case SimilarityMeasure::kResourceAllocation: return "ResourceAllocation";
   }
   return "?";
+}
+
+std::optional<SimilarityMeasure> parse_similarity_measure(std::string_view s) noexcept {
+  using util::iequals;
+  if (iequals(s, "jaccard")) return SimilarityMeasure::kJaccard;
+  if (iequals(s, "overlap")) return SimilarityMeasure::kOverlap;
+  if (iequals(s, "common") || iequals(s, "commonneighbors") || iequals(s, "cn")) {
+    return SimilarityMeasure::kCommonNeighbors;
+  }
+  if (iequals(s, "total") || iequals(s, "totalneighbors")) {
+    return SimilarityMeasure::kTotalNeighbors;
+  }
+  if (iequals(s, "adamic") || iequals(s, "adamicadar") || iequals(s, "aa")) {
+    return SimilarityMeasure::kAdamicAdar;
+  }
+  if (iequals(s, "resource") || iequals(s, "resourceallocation") || iequals(s, "ra")) {
+    return SimilarityMeasure::kResourceAllocation;
+  }
+  return std::nullopt;
 }
 
 namespace {

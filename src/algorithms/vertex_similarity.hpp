@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "core/prob_graph.hpp"
 #include "graph/csr_graph.hpp"
@@ -25,6 +27,12 @@ enum class SimilarityMeasure : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(SimilarityMeasure m) noexcept;
+
+/// Inverse of to_string, also accepting the CLI/protocol spellings used by
+/// pgtool ("jaccard", "overlap", "common", "total", "adamic"/"aa",
+/// "resource"/"ra"), case-insensitively. nullopt on anything else.
+[[nodiscard]] std::optional<SimilarityMeasure> parse_similarity_measure(
+    std::string_view s) noexcept;
 
 /// Exact similarity of two vertices under `measure`.
 [[nodiscard]] double similarity_exact(const CsrGraph& g, VertexId u, VertexId v,

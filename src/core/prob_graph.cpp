@@ -8,6 +8,7 @@
 #include "core/backends.hpp"
 #include "core/estimators.hpp"
 #include "core/kmv.hpp"
+#include "util/ascii.hpp"
 #include "util/bitvector.hpp"
 #include "util/timer.hpp"
 
@@ -32,21 +33,7 @@ const char* to_string(BfEstimator e) noexcept {
   return "invalid(BfEstimator)";
 }
 
-namespace {
-
-/// ASCII-case-insensitive comparison (flag values are short ASCII tokens).
-bool iequals(std::string_view a, std::string_view b) noexcept {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const auto lower = [](char c) {
-      return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-    };
-    if (lower(a[i]) != lower(b[i])) return false;
-  }
-  return true;
-}
-
-}  // namespace
+using util::iequals;
 
 std::optional<SketchKind> parse_sketch_kind(std::string_view s) noexcept {
   for (const SketchKind kind : {SketchKind::kBloomFilter, SketchKind::kKHash,

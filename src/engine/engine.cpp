@@ -1,0 +1,423 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "algorithms/clique_count.hpp"
+#include "algorithms/clustering.hpp"
+#include "algorithms/clustering_coefficient.hpp"
+#include "algorithms/kclique.hpp"
+#include "algorithms/link_prediction.hpp"
+#include "algorithms/triangle_count.hpp"
+#include "algorithms/vertex_similarity.hpp"
+#include "core/backends.hpp"
+#include "core/bounds.hpp"
+#include "graph/orientation.hpp"
+#include "util/timer.hpp"
+
+namespace probgraph::engine {
+
+namespace {
+
+/// Map an EstimateKind to the SimilarityMeasure computing the same number
+/// exactly (kIntersection and kCommonNeighbors coincide).
+algo::SimilarityMeasure exact_measure(EstimateKind kind) noexcept {
+  switch (kind) {
+    case EstimateKind::kIntersection:
+    case EstimateKind::kCommonNeighbors: return algo::SimilarityMeasure::kCommonNeighbors;
+    case EstimateKind::kJaccard: return algo::SimilarityMeasure::kJaccard;
+    case EstimateKind::kOverlap: return algo::SimilarityMeasure::kOverlap;
+    case EstimateKind::kTotalNeighbors: return algo::SimilarityMeasure::kTotalNeighbors;
+  }
+  return algo::SimilarityMeasure::kCommonNeighbors;
+}
+
+/// Per-pair estimate under a concrete backend — the monomorphic core of
+/// the batched PairEstimate sweep. Matches ProbGraph::est_* bit for bit
+/// (those wrappers resolve to the same backend calls).
+template <typename Backend>
+double estimate_backend(const Backend& be, VertexId u, VertexId v,
+                        EstimateKind kind) noexcept {
+  switch (kind) {
+    case EstimateKind::kIntersection: return be.est_intersection(u, v);
+    case EstimateKind::kJaccard: return be.est_jaccard(u, v);
+    case EstimateKind::kOverlap: return be.est_overlap(u, v);
+    case EstimateKind::kCommonNeighbors: return be.est_common_neighbors(u, v);
+    case EstimateKind::kTotalNeighbors: return be.est_total_neighbors(u, v);
+  }
+  return 0.0;
+}
+
+/// Theorem VII.1 deviation bound for a triangle-count estimate, evaluated
+/// at t = 10% of the estimate (floored at one triangle). `num_edges` is
+/// the m of the estimator's sum (DAG arcs for the oriented mode, |E| for
+/// the full mode). nullopt where the paper provides no bound (KMV, the
+/// non-AND BF estimators, or outside the BF bound's applicability range).
+std::optional<BoundInfo> tc_bound(const ProbGraph& pg, double num_edges, double est) {
+  const CsrGraph& g = pg.graph();
+  const double t = std::max(1.0, 0.10 * std::abs(est));
+  switch (pg.kind()) {
+    case SketchKind::kBloomFilter: {
+      if (pg.config().bf_estimator != BfEstimator::kAnd) return std::nullopt;
+      const double bits = static_cast<double>(pg.bf_bits());
+      const double b = pg.config().bf_hashes;
+      const double delta = static_cast<double>(g.max_degree());
+      if (!bounds::bf_and_bound_applicable(delta, bits, b)) return std::nullopt;
+      const double p = bounds::tc_bf_deviation_bound(num_edges, delta, bits, b, t);
+      return BoundInfo{"Thm VII.1 (BF-AND)", t, std::min(1.0, p)};
+    }
+    case SketchKind::kKHash:
+    case SketchKind::kOneHash: {
+      const double p = bounds::tc_mh_deviation_bound(g.degree_moment(2), pg.minhash_k(), t);
+      return BoundInfo{"Thm VII.1 (MinHash)", t, std::min(1.0, p)};
+    }
+    case SketchKind::kKmv: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Per-pair intersection deviation bound (§IV / Appendix A) at threshold
+/// t = 10% of the estimate, floored at 1.
+std::optional<double> pair_bound_probability(const ProbGraph& pg, VertexId u, VertexId v,
+                                             double est) {
+  const CsrGraph& g = pg.graph();
+  const double t = std::max(1.0, 0.10 * std::abs(est));
+  const double du = static_cast<double>(g.degree(u));
+  const double dv = static_cast<double>(g.degree(v));
+  switch (pg.kind()) {
+    case SketchKind::kBloomFilter: {
+      if (pg.config().bf_estimator != BfEstimator::kAnd) return std::nullopt;
+      const double bits = static_cast<double>(pg.bf_bits());
+      const double b = pg.config().bf_hashes;
+      if (!bounds::bf_and_bound_applicable(est, bits, b)) return std::nullopt;
+      return bounds::bf_and_deviation_bound(est, bits, b, t);
+    }
+    case SketchKind::kKHash:
+    case SketchKind::kOneHash:
+      return bounds::mh_deviation_bound(du, dv, pg.minhash_k(), t);
+    case SketchKind::kKmv:
+      return bounds::kmv_intersection_deviation_bound(
+          du, dv, std::max(1.0, du + dv - est), pg.minhash_k(), t);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Engine::Engine(CsrGraph g, ProbGraphConfig config)
+    : owned_base_(std::make_unique<const CsrGraph>(std::move(g))),
+      base_(owned_base_.get()),
+      config_(config) {}
+
+Engine Engine::from_snapshot(const std::string& path) {
+  Engine e{CsrGraph{}, ProbGraphConfig{}};
+  e.owned_base_.reset();
+  e.snap_.emplace(io::load_snapshot(path));
+  e.base_ = &e.snap_->graph();
+  e.config_ = e.snap_->prob_graph().config();
+  return e;
+}
+
+const CsrGraph& Engine::symmetric_graph() const {
+  if (source_oriented()) {
+    throw std::runtime_error(
+        "snapshot sketches the degree-oriented DAG; this query needs the symmetric "
+        "graph (rebuild without --orient)");
+  }
+  return *base_;
+}
+
+const CsrGraph& Engine::dag() {
+  if (source_oriented()) return *base_;
+  if (!dag_) dag_ = std::make_unique<const CsrGraph>(degree_orient(*base_));
+  return *dag_;
+}
+
+const ProbGraph& Engine::symmetric_pg() {
+  if (snap_) {
+    if (snap_->info().degree_oriented) {
+      throw std::runtime_error(
+          "snapshot sketches the degree-oriented DAG; this query needs sketches of "
+          "the symmetric graph (rebuild without --orient)");
+    }
+    return snap_->prob_graph();
+  }
+  if (!sym_pg_) sym_pg_.emplace(*base_, config_);
+  return *sym_pg_;
+}
+
+const ProbGraph& Engine::oriented_pg() {
+  if (snap_) {
+    if (!snap_->info().degree_oriented) {
+      throw std::runtime_error(
+          "snapshot sketches the symmetric graph; this query needs one built with "
+          "--orient");
+    }
+    return snap_->prob_graph();
+  }
+  if (!dag_pg_) {
+    // Keep the §V-A budget meaning of "additional memory on top of the CSR
+    // of G" when sketching the DAG — same as pgtool build --orient.
+    ProbGraphConfig cfg = config_;
+    cfg.budget_reference_bytes = base_->memory_bytes();
+    dag_pg_.emplace(dag(), cfg);
+  }
+  return *dag_pg_;
+}
+
+void Engine::check_vertex(VertexId v) const {
+  if (v >= base_->num_vertices()) {
+    throw std::invalid_argument("vertex " + std::to_string(v) + " out of range (n = " +
+                                std::to_string(base_->num_vertices()) + ")");
+  }
+}
+
+void Engine::fill_sketch_meta(QueryResult& r, const ProbGraph& pg,
+                              bool degree_oriented) const {
+  r.sketch.used = true;
+  r.sketch.kind = pg.kind();
+  r.sketch.bf_estimator = pg.config().bf_estimator;
+  r.sketch.bf_bits = pg.bf_bits();
+  r.sketch.bf_hashes = pg.config().bf_hashes;
+  r.sketch.minhash_k = pg.minhash_k();
+  r.sketch.relative_memory = pg.relative_memory();
+  r.sketch.construction_seconds = pg.construction_seconds();
+  r.sketch.mapped = pg.is_mapped();
+  r.sketch.degree_oriented = degree_oriented;
+}
+
+QueryResult Engine::run(const Query& query) {
+  return std::visit([this](const auto& q) { return exec(q); }, query);
+}
+
+QueryResult Engine::exec(const TriangleCount& q) {
+  QueryResult r;
+  r.name = "tc";
+  r.exact = q.exact;
+  if (q.exact) {
+    const CsrGraph& d = dag();
+    util::Timer timer;
+    r.value = static_cast<double>(algo::triangle_count_exact_oriented(d));
+    r.elapsed_seconds = timer.seconds();
+    return r;
+  }
+  // Oriented sketches when the source carries or can build them; over a
+  // snapshot of the symmetric graph, the full-graph Thm-VII.1 estimator.
+  const bool full_mode = snap_ && !snap_->info().degree_oriented;
+  const ProbGraph& pg = full_mode ? symmetric_pg() : oriented_pg();
+  fill_sketch_meta(r, pg, !full_mode);
+  util::Timer timer;
+  r.value = algo::triangle_count_probgraph(
+      pg, full_mode ? algo::TcMode::kFull : algo::TcMode::kOriented);
+  r.elapsed_seconds = timer.seconds();
+  const double m = full_mode ? static_cast<double>(base_->num_edges())
+                             : static_cast<double>(pg.graph().num_directed_edges());
+  r.bound = tc_bound(pg, m, r.value);
+  return r;
+}
+
+QueryResult Engine::exec(const FourCliqueCount& q) {
+  QueryResult r;
+  r.name = "4cc";
+  r.exact = q.exact;
+  if (q.exact) {
+    const CsrGraph& d = dag();
+    util::Timer timer;
+    r.value = static_cast<double>(algo::four_clique_count_exact_oriented(d));
+    r.elapsed_seconds = timer.seconds();
+    return r;
+  }
+  const ProbGraph& pg = oriented_pg();
+  fill_sketch_meta(r, pg, true);
+  util::Timer timer;
+  r.value = algo::four_clique_count_probgraph(pg);
+  r.elapsed_seconds = timer.seconds();
+  return r;
+}
+
+QueryResult Engine::exec(const KCliqueCount& q) {
+  if (q.k < 3) {
+    throw std::invalid_argument("kclique needs k >= 3 (got " + std::to_string(q.k) + ")");
+  }
+  QueryResult r;
+  r.name = "kclique";
+  r.exact = q.exact;
+  r.value = 0.0;
+  if (q.exact) {
+    const CsrGraph& d = dag();
+    util::Timer timer;
+    r.value = static_cast<double>(algo::kclique_count_exact_oriented(d, q.k));
+    r.elapsed_seconds = timer.seconds();
+    return r;
+  }
+  const ProbGraph& pg = oriented_pg();
+  fill_sketch_meta(r, pg, true);
+  util::Timer timer;
+  r.value = algo::kclique_count_probgraph(pg, q.k);
+  r.elapsed_seconds = timer.seconds();
+  return r;
+}
+
+QueryResult Engine::exec(const ClusteringCoeff& q) {
+  const CsrGraph& g = symmetric_graph();  // wedge counts need true degrees
+  QueryResult r;
+  r.name = "cc";
+  r.exact = q.exact;
+  if (q.exact) {
+    const CsrGraph& d = dag();
+    util::Timer timer;
+    const double tc = static_cast<double>(algo::triangle_count_exact_oriented(d));
+    r.value = algo::global_clustering_coefficient(g, tc);
+    r.elapsed_seconds = timer.seconds();
+    return r;
+  }
+  const ProbGraph& pg = symmetric_pg();
+  fill_sketch_meta(r, pg, false);
+  util::Timer timer;
+  const double tc = algo::triangle_count_probgraph(pg, algo::TcMode::kFull);
+  r.value = algo::global_clustering_coefficient(g, tc);
+  r.elapsed_seconds = timer.seconds();
+  // cc = 3·TC/W is a fixed rescaling of TĈ, so the Thm-VII.1 bound carries
+  // over with its threshold mapped onto the coefficient scale.
+  const double wedges = (g.degree_moment(2) - static_cast<double>(g.num_directed_edges())) / 2.0;
+  if (wedges > 0.0) {
+    if (auto b = tc_bound(pg, static_cast<double>(g.num_edges()), tc)) {
+      r.bound = BoundInfo{b->name, 3.0 * b->t / wedges, b->probability};
+    }
+  }
+  return r;
+}
+
+QueryResult Engine::exec(const Cluster& q) {
+  const CsrGraph& g = symmetric_graph();
+  QueryResult r;
+  r.name = "cluster";
+  r.exact = q.exact;
+  if (q.exact) {
+    util::Timer timer;
+    const auto res = algo::jarvis_patrick_exact(g, q.measure, q.tau);
+    r.elapsed_seconds = timer.seconds();
+    r.cluster = ClusterInfo{res.num_clusters, res.kept_edges};
+    r.value = static_cast<double>(res.num_clusters);
+    return r;
+  }
+  const ProbGraph& pg = symmetric_pg();
+  fill_sketch_meta(r, pg, false);
+  util::Timer timer;
+  const auto res = algo::jarvis_patrick_probgraph(pg, q.measure, q.tau);
+  r.elapsed_seconds = timer.seconds();
+  r.cluster = ClusterInfo{res.num_clusters, res.kept_edges};
+  r.value = static_cast<double>(res.num_clusters);
+  return r;
+}
+
+QueryResult Engine::exec(const PairEstimate& q) {
+  if (q.pairs.empty()) {
+    throw std::invalid_argument("pair query needs at least one (u, v) pair");
+  }
+  for (const VertexPair& p : q.pairs) {
+    check_vertex(p.u);
+    check_vertex(p.v);
+  }
+  QueryResult r;
+  r.name = "pair";
+  r.exact = q.exact;
+  r.pairs.reserve(q.pairs.size());
+  if (q.exact) {
+    const CsrGraph& g = symmetric_graph();
+    const algo::SimilarityMeasure m = exact_measure(q.kind);
+    util::Timer timer;
+    for (const VertexPair& p : q.pairs) {
+      r.pairs.push_back({p.u, p.v, algo::similarity_exact(g, p.u, p.v, m)});
+    }
+    r.elapsed_seconds = timer.seconds();
+    return r;
+  }
+  // Pair estimates are defined over full neighborhoods (|N_u ∩ N_v|), so
+  // like cc/cluster/lp they refuse an --orient snapshot: N+ intersections
+  // are a different quantity and must not come back as an "ok" reply.
+  const ProbGraph& pg = symmetric_pg();
+  fill_sketch_meta(r, pg, false);
+  util::Timer timer;
+  pg.visit_backend([&](const auto& be) {
+    for (const VertexPair& p : q.pairs) {
+      r.pairs.push_back({p.u, p.v, estimate_backend(be, p.u, p.v, q.kind)});
+    }
+  });
+  r.elapsed_seconds = timer.seconds();
+  // Deviation-bound metadata for the cardinality kinds: a union bound over
+  // the batch, each pair at 10% of its own estimate.
+  if (q.kind == EstimateKind::kIntersection || q.kind == EstimateKind::kCommonNeighbors) {
+    double total_p = 0.0;
+    double max_t = 0.0;
+    bool have_all = true;
+    const char* name = nullptr;
+    for (const PairValue& pv : r.pairs) {
+      const auto p = pair_bound_probability(pg, pv.u, pv.v, pv.value);
+      if (!p) {
+        have_all = false;
+        break;
+      }
+      total_p += *p;
+      max_t = std::max(max_t, std::max(1.0, 0.10 * std::abs(pv.value)));
+    }
+    switch (pg.kind()) {
+      case SketchKind::kBloomFilter: name = "Eq. (3) union bound"; break;
+      case SketchKind::kKHash:
+      case SketchKind::kOneHash: name = "Prop. IV.2/IV.3 union bound"; break;
+      case SketchKind::kKmv: name = "Prop. A.8 union bound"; break;
+    }
+    if (have_all && name != nullptr) {
+      r.bound = BoundInfo{name, max_t, std::min(1.0, total_p)};
+    }
+  }
+  return r;
+}
+
+QueryResult Engine::exec(const LinkPredict& q) {
+  QueryResult r;
+  r.name = "lp";
+  r.exact = q.exact;
+  if (q.exact) {
+    const CsrGraph& g = symmetric_graph();
+    util::Timer timer;
+    const auto links = algo::top_k_links_exact(g, q.measure, q.topk);
+    r.elapsed_seconds = timer.seconds();
+    for (const auto& l : links) r.pairs.push_back({l.u, l.v, l.score});
+    return r;
+  }
+  const ProbGraph& pg = symmetric_pg();
+  fill_sketch_meta(r, pg, false);
+  util::Timer timer;
+  const auto links = algo::top_k_links_probgraph(pg, q.measure, q.topk);
+  r.elapsed_seconds = timer.seconds();
+  for (const auto& l : links) r.pairs.push_back({l.u, l.v, l.score});
+  return r;
+}
+
+QueryResult Engine::exec(const GraphStats&) {
+  QueryResult r;
+  r.name = "stats";
+  util::Timer timer;
+  GraphStatsInfo s;
+  s.num_vertices = base_->num_vertices();
+  // num_edges() halves the adjacency length, which is only right for a
+  // symmetric CSR; in an --orient snapshot every DAG arc IS one
+  // undirected edge of the original graph.
+  s.num_edges = source_oriented() ? base_->num_directed_edges() : base_->num_edges();
+  s.num_directed_edges = base_->num_directed_edges();
+  s.max_degree = base_->max_degree();
+  s.avg_degree = base_->avg_degree();
+  s.degree_moment2 = base_->degree_moment(2);
+  s.degree_moment3 = base_->degree_moment(3);
+  s.csr_bytes = base_->memory_bytes();
+  s.mapped = base_->is_mapped();
+  r.stats = s;
+  r.elapsed_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace probgraph::engine

@@ -1,0 +1,114 @@
+// The query engine: one loaded graph (+ sketches), many typed queries.
+//
+// An Engine owns a graph source — either an in-memory CsrGraph handed to
+// the constructor or an mmap'ed .pgs snapshot — and executes `Query`
+// requests against it (query.hpp). It resolves everything a query needs
+// exactly once:
+//
+//   * sketch sets are built lazily and cached: an in-memory Engine can
+//     answer both neighborhood queries (sketches over G) and counting
+//     queries (sketches over the degree-oriented DAG, budget-referenced to
+//     G's CSR as in §V-A) from the same instance, paying each construction
+//     at most once;
+//   * a snapshot-backed Engine serves the file's prebuilt sketches
+//     zero-copy and never re-sketches — queries whose substrate the file
+//     does not carry fail with a descriptive std::runtime_error instead
+//     (triangle counting is the exception: over a symmetric snapshot it
+//     falls back to the Theorem-VII.1 full-graph estimator);
+//   * the sketch-kind/estimator dispatch is hoisted per query via
+//     ProbGraph::visit_backend, so batched queries (PairEstimate,
+//     LinkPredict) score every pair through a monomorphic call chain.
+//
+// This is the substrate of `pgtool serve`: map the snapshot once, run an
+// Engine over it, answer arbitrarily many queries with zero per-query
+// setup. The one-shot pgtool commands are thin parsers producing a Query
+// for the same Engine, so one-shot and served results are bit-identical.
+//
+// Engines are single-threaded at the API level (run() may lazily build
+// caches); the algorithms underneath parallelize with OpenMP as before.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/prob_graph.hpp"
+#include "engine/query.hpp"
+#include "graph/csr_graph.hpp"
+#include "io/snapshot.hpp"
+
+namespace probgraph::engine {
+
+class Engine {
+ public:
+  /// Serve from an in-memory graph (edge list, generator, ...). `config`
+  /// parameterizes any sketches the queries require; they are built lazily
+  /// on first use. The graph is treated as symmetric (undirected).
+  explicit Engine(CsrGraph g, ProbGraphConfig config = {});
+
+  /// Serve zero-copy from a .pgs snapshot: the file is mmap'ed and
+  /// validated once, its prebuilt sketches answer every query with no
+  /// per-query setup. Throws std::runtime_error on a rejected file.
+  [[nodiscard]] static Engine from_snapshot(const std::string& path);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Execute one query. Throws std::invalid_argument on malformed requests
+  /// (out-of-range vertices, k < 3, empty pair batch) and
+  /// std::runtime_error when the source cannot answer the query (e.g. a
+  /// counting estimate over a snapshot of the symmetric graph).
+  [[nodiscard]] QueryResult run(const Query& query);
+
+  /// The source graph: the symmetric graph for in-memory engines and
+  /// unoriented snapshots, the degree-oriented DAG for `--orient` ones.
+  [[nodiscard]] const CsrGraph& graph() const noexcept { return *base_; }
+
+  /// Snapshot header facts, or nullptr for in-memory engines.
+  [[nodiscard]] const io::SnapshotInfo* snapshot_info() const noexcept {
+    return snap_ ? &snap_->info() : nullptr;
+  }
+
+  /// True when the source carries only the degree-oriented DAG (an
+  /// `--orient` snapshot): neighborhood queries are unanswerable.
+  [[nodiscard]] bool source_oriented() const noexcept {
+    return snap_ && snap_->info().degree_oriented;
+  }
+
+ private:
+  QueryResult exec(const TriangleCount& q);
+  QueryResult exec(const FourCliqueCount& q);
+  QueryResult exec(const KCliqueCount& q);
+  QueryResult exec(const ClusteringCoeff& q);
+  QueryResult exec(const Cluster& q);
+  QueryResult exec(const PairEstimate& q);
+  QueryResult exec(const LinkPredict& q);
+  QueryResult exec(const GraphStats& q);
+
+  /// The symmetric graph; throws when the source is an oriented snapshot.
+  const CsrGraph& symmetric_graph() const;
+  /// The degree-oriented DAG (the snapshot's graph when oriented, else
+  /// lazily built from the symmetric graph and cached).
+  const CsrGraph& dag();
+  /// Sketches over the symmetric graph (snapshot-served or lazily built).
+  const ProbGraph& symmetric_pg();
+  /// Sketches over the DAG, budget-referenced to the symmetric CSR
+  /// (snapshot-served or lazily built). Throws over a symmetric snapshot.
+  const ProbGraph& oriented_pg();
+
+  void check_vertex(VertexId v) const;
+  void fill_sketch_meta(QueryResult& r, const ProbGraph& pg, bool degree_oriented) const;
+
+  // unique_ptr members keep the graphs at stable addresses (the lazily
+  // built ProbGraphs hold pointers to them) while the Engine stays movable.
+  std::optional<io::Snapshot> snap_;
+  std::unique_ptr<const CsrGraph> owned_base_;
+  const CsrGraph* base_ = nullptr;
+  ProbGraphConfig config_;
+
+  std::unique_ptr<const CsrGraph> dag_;  // in-memory engines, lazily oriented
+  std::optional<ProbGraph> sym_pg_;      // lazily built (in-memory engines only)
+  std::optional<ProbGraph> dag_pg_;      // lazily built (in-memory engines only)
+};
+
+}  // namespace probgraph::engine

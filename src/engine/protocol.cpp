@@ -1,0 +1,264 @@
+#include "engine/protocol.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/ascii.hpp"
+
+namespace probgraph::engine {
+
+namespace {
+
+using util::iequals;
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != '\r') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Strict unsigned parse: the whole token must be digits.
+template <typename T>
+bool parse_unsigned(std::string_view s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+/// Pop a trailing "exact" token if present.
+bool take_exact(std::vector<std::string_view>& tokens) {
+  if (!tokens.empty() && iequals(tokens.back(), "exact")) {
+    tokens.pop_back();
+    return true;
+  }
+  return false;
+}
+
+ParsedRequest make_error(std::string message) {
+  ParsedRequest r;
+  r.error = std::move(message);
+  return r;
+}
+
+ParsedRequest make_query(Query q) {
+  ParsedRequest r;
+  r.query = std::move(q);
+  return r;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(std::string_view line) {
+  std::vector<std::string_view> tokens = tokenize(line);
+  if (tokens.empty() || tokens.front().front() == '#') {
+    ParsedRequest r;
+    r.ignored = true;
+    return r;
+  }
+  const std::string_view cmd = tokens.front();
+  tokens.erase(tokens.begin());
+
+  if (iequals(cmd, "quit") || iequals(cmd, "exit")) {
+    if (!tokens.empty()) return make_error("quit takes no arguments");
+    ParsedRequest r;
+    r.quit = true;
+    return r;
+  }
+  if (iequals(cmd, "help")) {
+    ParsedRequest r;
+    r.help = true;
+    return r;
+  }
+
+  const bool exact = take_exact(tokens);
+
+  if (iequals(cmd, "tc") || iequals(cmd, "4cc") || iequals(cmd, "cc") ||
+      iequals(cmd, "stats")) {
+    if (!tokens.empty()) {
+      return make_error(std::string(cmd) + " takes no arguments beyond 'exact' (got '" +
+                        std::string(tokens.front()) + "')");
+    }
+    if (iequals(cmd, "tc")) return make_query(TriangleCount{exact});
+    if (iequals(cmd, "4cc")) return make_query(FourCliqueCount{exact});
+    if (iequals(cmd, "cc")) return make_query(ClusteringCoeff{exact});
+    if (exact) return make_error("stats has no exact/sketch distinction");
+    return make_query(GraphStats{});
+  }
+
+  if (iequals(cmd, "kclique")) {
+    if (tokens.size() != 1) return make_error("usage: kclique K [exact]");
+    unsigned k = 0;
+    if (!parse_unsigned(tokens[0], k) || k < 3) {
+      return make_error("kclique K must be an integer >= 3 (got '" +
+                        std::string(tokens[0]) + "')");
+    }
+    return make_query(KCliqueCount{k, exact});
+  }
+
+  if (iequals(cmd, "cluster")) {
+    if (tokens.size() != 2) return make_error("usage: cluster MEASURE TAU [exact]");
+    const auto measure = algo::parse_similarity_measure(tokens[0]);
+    if (!measure) {
+      return make_error("unknown measure '" + std::string(tokens[0]) +
+                        "' (expected jaccard, overlap, common, total, adamic, or "
+                        "resource)");
+    }
+    double tau = 0.0;
+    if (!parse_double(tokens[1], tau)) {
+      return make_error("cluster TAU must be a number (got '" + std::string(tokens[1]) +
+                        "')");
+    }
+    return make_query(Cluster{*measure, tau, exact});
+  }
+
+  if (iequals(cmd, "pair")) {
+    if (tokens.empty()) return make_error("usage: pair KIND U V [U V ...] [exact]");
+    const auto kind = parse_estimate_kind(tokens[0]);
+    if (!kind) {
+      return make_error("unknown estimate kind '" + std::string(tokens[0]) +
+                        "' (expected intersection, jaccard, overlap, common, or total)");
+    }
+    tokens.erase(tokens.begin());
+    if (tokens.empty() || tokens.size() % 2 != 0) {
+      return make_error("pair needs an even, non-zero number of vertex ids (got " +
+                        std::to_string(tokens.size()) + ")");
+    }
+    PairEstimate q;
+    q.kind = *kind;
+    q.exact = exact;
+    for (std::size_t i = 0; i < tokens.size(); i += 2) {
+      VertexPair p;
+      if (!parse_unsigned(tokens[i], p.u) || !parse_unsigned(tokens[i + 1], p.v)) {
+        return make_error("pair vertex ids must be non-negative integers (got '" +
+                          std::string(tokens[i]) + " " + std::string(tokens[i + 1]) +
+                          "')");
+      }
+      q.pairs.push_back(p);
+    }
+    return make_query(std::move(q));
+  }
+
+  if (iequals(cmd, "lp")) {
+    if (tokens.empty() || tokens.size() > 2) {
+      return make_error("usage: lp K [MEASURE] [exact]");
+    }
+    LinkPredict q;
+    q.exact = exact;
+    if (!parse_unsigned(tokens[0], q.topk)) {
+      return make_error("lp K must be a non-negative integer (got '" +
+                        std::string(tokens[0]) + "')");
+    }
+    if (tokens.size() == 2) {
+      const auto measure = algo::parse_similarity_measure(tokens[1]);
+      if (!measure) {
+        return make_error("unknown measure '" + std::string(tokens[1]) +
+                          "' (expected jaccard, overlap, common, total, adamic, or "
+                          "resource)");
+      }
+      q.measure = *measure;
+    }
+    return make_query(q);
+  }
+
+  return make_error("unknown query '" + std::string(cmd) + "' (send 'help' for the grammar)");
+}
+
+std::string format_estimate(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string format_reply(const QueryResult& r) {
+  std::string reply = "ok\t";
+  reply += r.name;
+  const auto field = [&reply](const char* key, const std::string& value) {
+    reply += key;  // "\t<name>=" (or just "\t")
+    reply += value;
+  };
+  if (r.stats) {
+    const GraphStatsInfo& s = *r.stats;
+    field("\tn=", std::to_string(s.num_vertices));
+    field("\tm=", std::to_string(s.num_edges));
+    field("\tdmax=", std::to_string(s.max_degree));
+    field("\tdavg=", format_estimate(s.avg_degree));
+    field("\td2=", format_estimate(s.degree_moment2));
+    field("\td3=", format_estimate(s.degree_moment3));
+    return reply;
+  }
+  if (r.cluster) {
+    field("\tclusters=", std::to_string(r.cluster->num_clusters));
+    field("\tkept_edges=", std::to_string(r.cluster->kept_edges));
+    return reply;
+  }
+  if (std::string_view(r.name) == "pair" || std::string_view(r.name) == "lp") {
+    for (const PairValue& p : r.pairs) {
+      field("\t", std::to_string(p.u));
+      field(":", std::to_string(p.v));
+      field("=", format_estimate(p.value));
+    }
+    return reply;
+  }
+  field("\t", format_estimate(r.value));
+  return reply;
+}
+
+std::string format_error(std::string_view message) {
+  std::string reply = "err\t";
+  // Keep the one-reply-per-line invariant even for multi-line exception text.
+  for (const char c : message) reply += (c == '\n' || c == '\t') ? ' ' : c;
+  return reply;
+}
+
+std::string help_reply() {
+  return "ok\thelp\ttc [exact] | 4cc [exact] | kclique K [exact] | cc [exact] | "
+         "cluster MEASURE TAU [exact] | pair KIND U V [U V ...] [exact] | "
+         "lp K [MEASURE] [exact] | stats | quit";
+}
+
+std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out) {
+  std::string line;
+  std::size_t answered = 0;
+  while (std::getline(in, line)) {
+    ParsedRequest req = parse_request(line);
+    if (req.ignored) continue;
+    if (req.quit) {
+      out << "bye\n" << std::flush;
+      break;
+    }
+    if (req.help) {
+      out << help_reply() << "\n" << std::flush;
+      continue;
+    }
+    if (!req.query) {
+      out << format_error(req.error) << "\n" << std::flush;
+      continue;
+    }
+    try {
+      const QueryResult r = engine.run(*req.query);
+      out << format_reply(r) << "\n" << std::flush;
+      ++answered;
+    } catch (const std::exception& e) {
+      // Malformed-but-parseable requests (out-of-range vertices, KMV 4cc,
+      // wrong snapshot orientation, ...) answer with an error line; the
+      // session keeps serving.
+      out << format_error(e.what()) << "\n" << std::flush;
+    }
+  }
+  return answered;
+}
+
+}  // namespace probgraph::engine

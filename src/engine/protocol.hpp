@@ -1,0 +1,81 @@
+// The `pgtool serve` line protocol: one query per line, one reply per line.
+//
+// Request grammar (whitespace-separated tokens, keywords case-insensitive;
+// blank lines and lines starting with '#' are ignored):
+//
+//   tc [exact]                     triangle count
+//   4cc [exact]                    4-clique count
+//   kclique K [exact]              k-clique count, K >= 3
+//   cc [exact]                     global clustering coefficient
+//   cluster MEASURE TAU [exact]    Jarvis–Patrick clustering
+//   pair KIND U V [U V ...] [exact]  batched per-pair estimates
+//   lp K [MEASURE] [exact]         top-K predicted links
+//   stats                          graph facts
+//   help                           one-line grammar summary
+//   quit | exit                    end the session (replies "bye")
+//
+// KIND    ∈ intersection | jaccard | overlap | common | total
+// MEASURE ∈ jaccard | overlap | common | total | adamic | resource
+//
+// Reply grammar (exactly one line per non-ignored request, tab-separated):
+//
+//   ok<TAB>tc<TAB><value>                         scalar queries (tc, 4cc,
+//                                                 kclique, cc)
+//   ok<TAB>cluster<TAB>clusters=N<TAB>kept_edges=M
+//   ok<TAB>pair<TAB>U:V=<value><TAB>...           one field per pair, in
+//   ok<TAB>lp<TAB>U:V=<score><TAB>...             request/rank order
+//   ok<TAB>stats<TAB>n=..<TAB>m=..<TAB>dmax=..<TAB>davg=..<TAB>d2=..<TAB>d3=..
+//   err<TAB><message>                             malformed request or a
+//                                                 query the source cannot
+//                                                 answer — never a crash
+//   bye                                           reply to quit/exit
+//
+// Replies are deterministic for a fixed snapshot and thread count: no
+// timing or other run-varying data. Estimates print with 12 significant
+// digits — identical strings to the one-shot pgtool commands, which format
+// through the same helper, while staying stable across libm versions.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/engine.hpp"
+#include "engine/query.hpp"
+
+namespace probgraph::engine {
+
+/// Outcome of parsing one request line.
+struct ParsedRequest {
+  std::optional<Query> query;  ///< set iff the line is a well-formed query
+  std::string error;           ///< set iff malformed (the err reply text)
+  bool quit = false;           ///< "quit" / "exit"
+  bool help = false;           ///< "help"
+  bool ignored = false;        ///< blank line or '#' comment — no reply
+};
+
+[[nodiscard]] ParsedRequest parse_request(std::string_view line);
+
+/// The shared estimate formatter (12 significant digits) — one-shot pgtool
+/// output and serve replies both go through this, so their values are
+/// comparable as strings.
+[[nodiscard]] std::string format_estimate(double v);
+
+/// One "ok\t..." reply line for an executed query (no trailing newline).
+[[nodiscard]] std::string format_reply(const QueryResult& r);
+
+/// One "err\t..." reply line.
+[[nodiscard]] std::string format_error(std::string_view message);
+
+/// The "ok\thelp\t..." grammar summary line.
+[[nodiscard]] std::string help_reply();
+
+/// Run a serve session: read request lines from `in` until EOF or quit,
+/// write one reply line per request to `out` (flushed per line, so piped
+/// sessions interleave correctly). Engine errors become "err" replies, not
+/// crashes. Returns the number of successfully answered queries.
+std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out);
+
+}  // namespace probgraph::engine

@@ -1,0 +1,45 @@
+#include "engine/query.hpp"
+
+#include "util/ascii.hpp"
+
+namespace probgraph::engine {
+
+using util::iequals;
+
+const char* to_string(EstimateKind kind) noexcept {
+  switch (kind) {
+    case EstimateKind::kIntersection: return "intersection";
+    case EstimateKind::kJaccard: return "jaccard";
+    case EstimateKind::kOverlap: return "overlap";
+    case EstimateKind::kCommonNeighbors: return "common";
+    case EstimateKind::kTotalNeighbors: return "total";
+  }
+  return "invalid(EstimateKind)";
+}
+
+std::optional<EstimateKind> parse_estimate_kind(std::string_view s) noexcept {
+  for (const EstimateKind kind :
+       {EstimateKind::kIntersection, EstimateKind::kJaccard, EstimateKind::kOverlap,
+        EstimateKind::kCommonNeighbors, EstimateKind::kTotalNeighbors}) {
+    if (iequals(s, to_string(kind))) return kind;
+  }
+  if (iequals(s, "inter")) return EstimateKind::kIntersection;
+  if (iequals(s, "cn")) return EstimateKind::kCommonNeighbors;
+  return std::nullopt;
+}
+
+const char* query_name(const Query& q) noexcept {
+  struct Namer {
+    const char* operator()(const TriangleCount&) const noexcept { return "tc"; }
+    const char* operator()(const FourCliqueCount&) const noexcept { return "4cc"; }
+    const char* operator()(const KCliqueCount&) const noexcept { return "kclique"; }
+    const char* operator()(const ClusteringCoeff&) const noexcept { return "cc"; }
+    const char* operator()(const Cluster&) const noexcept { return "cluster"; }
+    const char* operator()(const PairEstimate&) const noexcept { return "pair"; }
+    const char* operator()(const LinkPredict&) const noexcept { return "lp"; }
+    const char* operator()(const GraphStats&) const noexcept { return "stats"; }
+  };
+  return std::visit(Namer{}, q);
+}
+
+}  // namespace probgraph::engine

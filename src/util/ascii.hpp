@@ -1,0 +1,21 @@
+// Small ASCII string helpers shared by the CLI/protocol token parsers.
+#pragma once
+
+#include <string_view>
+
+namespace probgraph::util {
+
+/// ASCII-case-insensitive comparison (flag values and protocol keywords
+/// are short ASCII tokens; no locale or UTF-8 semantics intended).
+[[nodiscard]] inline bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto lower = [](char c) {
+      return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+    };
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace probgraph::util

@@ -1,23 +1,33 @@
 // pgtool — command-line front end for the ProbGraph library.
 //
-// Runs the paper's mining algorithms on an edge-list/MatrixMarket file (or
-// a generated Kronecker graph) with a chosen set representation:
+// Every subcommand is a thin parser producing a typed engine::Query that a
+// src/engine/ Engine executes (tools/pgtool.cpp owns no algorithm calls):
 //
 //   pgtool tc        <graph> [options]    triangle counting
 //   pgtool 4cc       <graph> [options]    4-clique counting
 //   pgtool kclique   <graph> --k-clique K [options]
 //   pgtool cluster   <graph> [options]    Jarvis-Patrick clustering
+//   pgtool cc        <graph> [options]    global clustering coefficient
+//   pgtool pair      <graph> --pairs U:V[,U:V...] [--kind KIND] [options]
+//   pgtool lp        <graph> [--topk K] [--measure M] [options]
 //   pgtool stats     <graph>              basic graph statistics
 //   pgtool build     <graph> -o <file.pgs> [--orient] [options]
 //                                         persist CSR + sketches to a
 //                                         snapshot (build once, map many)
+//   pgtool serve     <file.pgs>           long-lived session: map the
+//                                         snapshot once, answer one query
+//                                         per stdin line (src/engine/
+//                                         protocol.hpp documents the
+//                                         grammar), zero per-query setup
 //
 // <graph> is a path, or "kron:SCALE:EDGEFACTOR" for a generated graph.
-// Every command except build also accepts `--snapshot <file.pgs>` in place
-// of <graph>: the snapshot is mmap'ed and estimates are served zero-copy
-// out of the mapping (sketch options then come from the file, not flags).
-// Counting commands need a snapshot built with --orient (they run on the
-// degree-oriented DAG); clustering needs one built without it.
+// Every command except build/serve also accepts `--snapshot <file.pgs>` in
+// place of <graph>: the snapshot is mmap'ed and estimates are served
+// zero-copy out of the mapping (sketch options then come from the file).
+// Counting estimates need a snapshot built with --orient (they run on the
+// degree-oriented DAG); neighborhood queries (cluster, cc, pair, lp) need
+// one built without it. Flags are validated against the command: unknown,
+// duplicate, or inapplicable flags are rejected, not silently accepted.
 //
 // Options:
 //   --sketch bf|1h|kh|kmv   representation (default bf; "exact" disables PG)
@@ -26,7 +36,11 @@
 //   --bf-hashes B           BF hash functions (default 2)
 //   --k K                   explicit MinHash/KMV k (overrides budget)
 //   --tau T                 clustering threshold (default 0.1)
-//   --measure M             jaccard|overlap|common|total (default jaccard)
+//   --measure M             jaccard|overlap|common|total|adamic|resource
+//   --kind K                pair estimate: intersection|jaccard|overlap|
+//                           common|total (default intersection)
+//   --pairs U:V[,U:V...]    pair: the batch of vertex pairs to score
+//   --topk K                lp: number of predicted links (default 10)
 //   --threads N             OpenMP thread count
 //   --seed S                sketch seed (default 42)
 //   --snapshot FILE         serve from a .pgs snapshot instead of <graph>
@@ -34,15 +48,17 @@
 //   --orient                (build) sketch the degree-oriented DAG
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <charconv>
+#include <iostream>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "algorithms/clustering.hpp"
-#include "algorithms/clique_count.hpp"
-#include "algorithms/kclique.hpp"
-#include "algorithms/triangle_count.hpp"
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/query.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/orientation.hpp"
@@ -54,10 +70,62 @@ using namespace probgraph;
 
 namespace {
 
-struct Options {
+// --- Flag registry: one bit per flag, masked per command. ---
+
+enum : unsigned {
+  kFSketch = 1u << 0,
+  kFEstimator = 1u << 1,
+  kFBudget = 1u << 2,
+  kFBfHashes = 1u << 3,
+  kFK = 1u << 4,
+  kFSeed = 1u << 5,
+  kFKClique = 1u << 6,
+  kFTau = 1u << 7,
+  kFMeasure = 1u << 8,
+  kFThreads = 1u << 9,
+  kFSnapshot = 1u << 10,
+  kFOutput = 1u << 11,
+  kFOrient = 1u << 12,
+  kFPairs = 1u << 13,
+  kFKind = 1u << 14,
+  kFTopK = 1u << 15,
+};
+
+/// The sketch-construction flags shared by every command that may build or
+/// describe a ProbGraph.
+constexpr unsigned kSketchFlags =
+    kFSketch | kFEstimator | kFBudget | kFBfHashes | kFK | kFSeed;
+
+struct FlagSpec {
+  const char* name;
+  const char* alias;  // e.g. "-o" for --output
+  unsigned bit;
+  bool takes_value;
+};
+
+constexpr FlagSpec kFlagSpecs[] = {
+    {"--sketch", nullptr, kFSketch, true},
+    {"--estimator", nullptr, kFEstimator, true},
+    {"--budget", nullptr, kFBudget, true},
+    {"--bf-hashes", nullptr, kFBfHashes, true},
+    {"--k", nullptr, kFK, true},
+    {"--seed", nullptr, kFSeed, true},
+    {"--k-clique", nullptr, kFKClique, true},
+    {"--tau", nullptr, kFTau, true},
+    {"--measure", nullptr, kFMeasure, true},
+    {"--threads", nullptr, kFThreads, true},
+    {"--snapshot", nullptr, kFSnapshot, true},
+    {"--output", "-o", kFOutput, true},
+    {"--orient", nullptr, kFOrient, false},
+    {"--pairs", nullptr, kFPairs, true},
+    {"--kind", nullptr, kFKind, true},
+    {"--topk", nullptr, kFTopK, true},
+};
+
+struct Args {
   std::string command;
-  std::string graph;     // edge-list/mtx path or kron:S:E spec
-  std::string snapshot;  // .pgs input (serving commands)
+  std::string input;     // edge-list/mtx path, kron:S:E spec, or serve's .pgs
+  std::string snapshot;  // .pgs input (--snapshot on serving commands)
   std::string output;    // .pgs output (build)
   bool orient = false;
   bool exact = false;
@@ -66,27 +134,110 @@ struct Options {
   ProbGraphConfig pg;
   double tau = 0.1;
   unsigned kclique = 5;
-  algo::SimilarityMeasure measure = algo::SimilarityMeasure::kJaccard;
+  algo::SimilarityMeasure measure_cluster = algo::SimilarityMeasure::kJaccard;
+  algo::SimilarityMeasure measure_lp = algo::SimilarityMeasure::kCommonNeighbors;
+  engine::EstimateKind kind = engine::EstimateKind::kIntersection;
+  std::vector<engine::VertexPair> pairs;
+  std::uint32_t topk = 10;
+};
+
+using Runner = int (*)(const Args&);
+
+struct CommandSpec {
+  const char* name;
+  unsigned allowed;           // OR of the flag bits this command accepts
+  bool positional_is_pgs;     // serve: the positional input is a .pgs path
+  const char* synopsis;
+  Runner run;
+};
+
+int run_counting(const Args& a);   // tc, 4cc, kclique
+int run_cluster(const Args& a);
+int run_cc(const Args& a);
+int run_pair(const Args& a);
+int run_lp(const Args& a);
+int run_stats(const Args& a);
+int run_build(const Args& a);
+int run_serve(const Args& a);
+
+constexpr unsigned kServingCommon = kSketchFlags | kFSnapshot | kFThreads;
+
+constexpr CommandSpec kCommands[] = {
+    {"tc", kServingCommon, false, "tc <graph>|--snapshot <file.pgs>", run_counting},
+    {"4cc", kServingCommon, false, "4cc <graph>|--snapshot <file.pgs>", run_counting},
+    {"kclique", kServingCommon | kFKClique, false,
+     "kclique <graph>|--snapshot <file.pgs> --k-clique K", run_counting},
+    {"cluster", kServingCommon | kFTau | kFMeasure, false,
+     "cluster <graph>|--snapshot <file.pgs> [--measure M] [--tau T]", run_cluster},
+    {"cc", kServingCommon, false, "cc <graph>|--snapshot <file.pgs>", run_cc},
+    {"pair", kServingCommon | kFPairs | kFKind, false,
+     "pair <graph>|--snapshot <file.pgs> --pairs U:V[,U:V...] [--kind KIND]", run_pair},
+    {"lp", kServingCommon | kFTopK | kFMeasure, false,
+     "lp <graph>|--snapshot <file.pgs> [--topk K] [--measure M]", run_lp},
+    {"stats", kFSnapshot | kFThreads, false, "stats <graph>|--snapshot <file.pgs>",
+     run_stats},
+    {"build", kSketchFlags | kFOutput | kFOrient | kFThreads, false,
+     "build <graph> -o <file.pgs> [--orient]", run_build},
+    {"serve", kFThreads, true, "serve <file.pgs>", run_serve},
 };
 
 void print_usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: pgtool tc|4cc|kclique|cluster|stats <graph.el|graph.mtx|kron:S:E>\n"
-               "       pgtool tc|4cc|kclique|cluster|stats --snapshot <file.pgs>\n"
-               "       pgtool build <graph> -o <file.pgs> [--orient]\n"
-               "       [--sketch bf|1h|kh|kmv|exact] [--estimator and|limit|or]\n"
-               "       [--budget S] [--bf-hashes B]\n"
-               "       [--k K] [--k-clique K] [--tau T] [--measure jaccard|overlap|common|total]\n"
-               "       [--threads N] [--seed S]\n"
-               "build persists the CSR graph plus fully-built sketches; --snapshot mmaps\n"
-               "such a file and serves estimates zero-copy. Counting commands (tc, 4cc,\n"
-               "kclique) need a snapshot built with --orient; cluster needs one without.\n");
+               "usage: pgtool <command> ...\n"
+               "commands:\n");
+  for (const CommandSpec& c : kCommands) std::fprintf(to, "  pgtool %s\n", c.synopsis);
+  std::fprintf(to,
+               "options (validated per command):\n"
+               "  [--sketch bf|1h|kh|kmv|exact] [--estimator and|limit|or]\n"
+               "  [--budget S] [--bf-hashes B] [--k K] [--seed S] [--threads N]\n"
+               "  [--k-clique K] [--tau T]\n"
+               "  [--measure jaccard|overlap|common|total|adamic|resource]\n"
+               "  [--kind intersection|jaccard|overlap|common|total]\n"
+               "  [--pairs U:V[,U:V...]] [--topk K]\n"
+               "build persists the CSR graph plus fully-built sketches; --snapshot\n"
+               "mmaps such a file and serves estimates zero-copy. Counting estimates\n"
+               "(tc, 4cc, kclique) need a snapshot built with --orient; neighborhood\n"
+               "queries (cluster, cc, pair, lp) need one built without it.\n"
+               "serve maps the snapshot once and answers one query per stdin line\n"
+               "(send 'help' on the session for the request grammar).\n");
 }
 
 [[noreturn]] void fail(const std::string& msg) {
   std::fprintf(stderr, "pgtool: error: %s\n\n", msg.c_str());
   print_usage(stderr);
   std::exit(2);
+}
+
+// --- Strict numeric parsing: the whole token must be consumed. ---
+
+template <typename T>
+T parse_number(const std::string& flag, std::string_view s) {
+  T out{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail("flag " + flag + " expects a number, got '" + std::string(s) + "'");
+  }
+  return out;
+}
+
+std::vector<engine::VertexPair> parse_pairs(const std::string& spec) {
+  std::vector<engine::VertexPair> pairs;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view item(spec.data() + pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string_view::npos) {
+      fail("--pairs entries must be U:V, got '" + std::string(item) + "'");
+    }
+    engine::VertexPair p;
+    p.u = parse_number<VertexId>("--pairs", item.substr(0, colon));
+    p.v = parse_number<VertexId>("--pairs", item.substr(colon + 1));
+    pairs.push_back(p);
+    pos = comma + 1;
+    if (comma == spec.size()) break;
+  }
+  return pairs;
 }
 
 CsrGraph load_graph(const std::string& spec) {
@@ -104,105 +255,161 @@ CsrGraph load_graph(const std::string& spec) {
   return io::read_edge_list(spec);
 }
 
-Options parse(int argc, char** argv) {
-  if (argc < 2) fail("missing command");
-  Options opt;
-  opt.command = argv[1];
-  const bool known_command = opt.command == "tc" || opt.command == "4cc" ||
-                             opt.command == "kclique" || opt.command == "cluster" ||
-                             opt.command == "stats" || opt.command == "build";
-  if (!known_command) fail("unknown command '" + opt.command + "'");
+const CommandSpec& find_command(const std::string& name) {
+  for (const CommandSpec& c : kCommands) {
+    if (name == c.name) return c;
+  }
+  fail("unknown command '" + name + "'");
+}
 
+const FlagSpec* find_flag(std::string_view token) {
+  for (const FlagSpec& f : kFlagSpecs) {
+    if (token == f.name || (f.alias != nullptr && token == f.alias)) return &f;
+  }
+  return nullptr;
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) fail("missing command");
+  Args a;
+  a.command = argv[1];
+  const CommandSpec& cmd = find_command(a.command);
+
+  unsigned seen = 0;
   for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) fail("flag " + flag + " requires a value");
-      return argv[++i];
-    };
-    if (flag == "--sketch") {
-      opt.sketch_flags_set = true;
-      const std::string v = value();
-      if (v == "exact") {
-        opt.exact = true;
-      } else if (const auto kind = parse_sketch_kind(v)) {
-        opt.pg.kind = *kind;
-      } else {
-        fail("unknown sketch kind '" + v + "' (expected bf, 1h, kh, kmv, or exact)");
+    const std::string token = argv[i];
+    const FlagSpec* flag = token.rfind('-', 0) == 0 ? find_flag(token) : nullptr;
+    if (flag == nullptr) {
+      if (token.rfind('-', 0) == 0) fail("unknown flag '" + token + "'");
+      if (!a.input.empty()) {
+        fail("unexpected positional argument '" + token + "' (input already given: '" +
+             a.input + "')");
       }
-    } else if (flag == "--estimator") {
-      const std::string v = value();
-      const auto e = parse_bf_estimator(v);
-      if (!e) fail("unknown BF estimator '" + v + "' (expected and, limit, or or)");
-      opt.pg.bf_estimator = *e;
-      opt.estimator_set = true;
-      opt.sketch_flags_set = true;
-    } else if (flag == "--budget") {
-      opt.pg.storage_budget = std::atof(value());
-      opt.sketch_flags_set = true;
-    } else if (flag == "--bf-hashes") {
-      opt.pg.bf_hashes = static_cast<std::uint32_t>(std::atoi(value()));
-      opt.sketch_flags_set = true;
-    } else if (flag == "--k") {
-      opt.pg.minhash_k = static_cast<std::uint32_t>(std::atoi(value()));
-      opt.sketch_flags_set = true;
-    } else if (flag == "--k-clique") {
-      opt.kclique = static_cast<unsigned>(std::atoi(value()));
-    } else if (flag == "--tau") {
-      opt.tau = std::atof(value());
-    } else if (flag == "--measure") {
-      const std::string v = value();
-      if (v == "jaccard") opt.measure = algo::SimilarityMeasure::kJaccard;
-      else if (v == "overlap") opt.measure = algo::SimilarityMeasure::kOverlap;
-      else if (v == "common") opt.measure = algo::SimilarityMeasure::kCommonNeighbors;
-      else if (v == "total") opt.measure = algo::SimilarityMeasure::kTotalNeighbors;
-      else fail("unknown measure '" + v + "' (expected jaccard, overlap, common, or total)");
-    } else if (flag == "--threads") {
-      util::set_threads(std::atoi(value()));
-    } else if (flag == "--seed") {
-      opt.pg.seed = static_cast<std::uint64_t>(std::atoll(value()));
-      opt.sketch_flags_set = true;
-    } else if (flag == "--snapshot") {
-      opt.snapshot = value();
-    } else if (flag == "-o" || flag == "--output") {
-      opt.output = value();
-    } else if (flag == "--orient") {
-      opt.orient = true;
-    } else if (flag.rfind("-", 0) == 0) {
-      fail("unknown flag '" + flag + "'");
-    } else if (opt.graph.empty()) {
-      opt.graph = flag;
-    } else {
-      fail("unexpected positional argument '" + flag + "' (graph already given: '" +
-           opt.graph + "')");
+      a.input = token;
+      continue;
+    }
+    if ((cmd.allowed & flag->bit) == 0) {
+      fail("flag " + token + " does not apply to the " + a.command + " command");
+    }
+    if ((seen & flag->bit) != 0) fail("duplicate flag " + token);
+    seen |= flag->bit;
+    std::string value;
+    if (flag->takes_value) {
+      if (i + 1 >= argc) fail("flag " + token + " requires a value");
+      value = argv[++i];
+    }
+
+    switch (flag->bit) {
+      case kFSketch:
+        a.sketch_flags_set = true;
+        if (value == "exact") {
+          a.exact = true;
+        } else if (const auto kind = parse_sketch_kind(value)) {
+          a.pg.kind = *kind;
+        } else {
+          fail("unknown sketch kind '" + value + "' (expected bf, 1h, kh, kmv, or exact)");
+        }
+        break;
+      case kFEstimator: {
+        const auto e = parse_bf_estimator(value);
+        if (!e) fail("unknown BF estimator '" + value + "' (expected and, limit, or or)");
+        a.pg.bf_estimator = *e;
+        a.estimator_set = true;
+        a.sketch_flags_set = true;
+        break;
+      }
+      case kFBudget:
+        a.pg.storage_budget = parse_number<double>(token, value);
+        a.sketch_flags_set = true;
+        break;
+      case kFBfHashes:
+        a.pg.bf_hashes = parse_number<std::uint32_t>(token, value);
+        a.sketch_flags_set = true;
+        break;
+      case kFK:
+        a.pg.minhash_k = parse_number<std::uint32_t>(token, value);
+        a.sketch_flags_set = true;
+        break;
+      case kFSeed:
+        a.pg.seed = parse_number<std::uint64_t>(token, value);
+        a.sketch_flags_set = true;
+        break;
+      case kFKClique:
+        a.kclique = parse_number<unsigned>(token, value);
+        break;
+      case kFTau:
+        a.tau = parse_number<double>(token, value);
+        break;
+      case kFMeasure: {
+        const auto m = algo::parse_similarity_measure(value);
+        if (!m) {
+          fail("unknown measure '" + value +
+               "' (expected jaccard, overlap, common, total, adamic, or resource)");
+        }
+        a.measure_cluster = *m;
+        a.measure_lp = *m;
+        break;
+      }
+      case kFThreads:
+        util::set_threads(parse_number<int>(token, value));
+        break;
+      case kFSnapshot:
+        a.snapshot = value;
+        break;
+      case kFOutput:
+        a.output = value;
+        break;
+      case kFOrient:
+        a.orient = true;
+        break;
+      case kFPairs:
+        a.pairs = parse_pairs(value);
+        break;
+      case kFKind: {
+        const auto k = engine::parse_estimate_kind(value);
+        if (!k) {
+          fail("unknown estimate kind '" + value +
+               "' (expected intersection, jaccard, overlap, common, or total)");
+        }
+        a.kind = *k;
+        break;
+      }
+      case kFTopK:
+        a.topk = parse_number<std::uint32_t>(token, value);
+        break;
+      default: fail("unhandled flag " + token);  // unreachable
     }
   }
 
-  if (opt.command == "build") {
-    if (!opt.snapshot.empty()) fail("build reads a graph, not a snapshot (--snapshot)");
-    if (opt.graph.empty()) fail("build requires an input <graph>");
-    if (opt.output.empty()) fail("build requires an output path (-o <file.pgs>)");
-    if (opt.exact) fail("--sketch exact has no sketches to persist");
+  // --- Per-command input validation. ---
+  if (a.command == "build") {
+    if (a.input.empty()) fail("build requires an input <graph>");
+    if (a.output.empty()) fail("build requires an output path (-o <file.pgs>)");
+    if (a.exact) fail("--sketch exact has no sketches to persist");
+  } else if (cmd.positional_is_pgs) {
+    if (a.input.empty()) fail(a.command + " requires a snapshot path (<file.pgs>)");
   } else {
-    if (!opt.output.empty()) fail("-o/--output only applies to the build command");
-    if (opt.orient) fail("--orient only applies to the build command");
-    if (!opt.graph.empty() && !opt.snapshot.empty()) {
-      fail("give either <graph> or --snapshot, not both ('" + opt.graph + "' and '" +
-           opt.snapshot + "')");
+    if (!a.input.empty() && !a.snapshot.empty()) {
+      fail("give either <graph> or --snapshot, not both ('" + a.input + "' and '" +
+           a.snapshot + "')");
     }
-    if (opt.graph.empty() && opt.snapshot.empty()) {
+    if (a.input.empty() && a.snapshot.empty()) {
       fail("missing input: give <graph> or --snapshot <file.pgs>");
     }
-    if (!opt.snapshot.empty() && opt.sketch_flags_set && !opt.exact) {
+    if (!a.snapshot.empty() && a.sketch_flags_set && !a.exact) {
       std::fprintf(stderr,
                    "pgtool: warning: sketch flags are ignored with --snapshot; the "
                    "representation comes from the file\n");
     }
   }
-  if (opt.estimator_set && (opt.exact || opt.pg.kind != SketchKind::kBloomFilter)) {
+  if (a.command == "pair" && a.pairs.empty()) {
+    fail("pair requires --pairs U:V[,U:V...]");
+  }
+  if (a.estimator_set && (a.exact || a.pg.kind != SketchKind::kBloomFilter)) {
     std::fprintf(stderr,
                  "pgtool: warning: --estimator only applies to --sketch bf; ignored\n");
   }
-  return opt;
+  return a;
 }
 
 void print_graph_line(const CsrGraph& g) {
@@ -211,15 +418,163 @@ void print_graph_line(const CsrGraph& g) {
               static_cast<unsigned long long>(g.max_degree()), g.avg_degree());
 }
 
-int run_build(const Options& opt) {
-  const CsrGraph g = load_graph(opt.graph);
+/// Load the command's input into an Engine, printing the banner lines the
+/// serving commands have always printed (snapshot facts, then the graph).
+engine::Engine make_engine(const Args& a) {
+  if (!a.snapshot.empty()) {
+    util::Timer load_timer;
+    engine::Engine e = engine::Engine::from_snapshot(a.snapshot);
+    const io::SnapshotInfo& info = *e.snapshot_info();
+    std::printf("snapshot: %s, %s sketches%s, %.2f MB file, loaded in %.4fs "
+                "(original construction %.4fs)\n",
+                a.snapshot.c_str(), to_string(info.kind),
+                info.degree_oriented ? " (degree-oriented)" : "",
+                static_cast<double>(info.file_bytes) / 1e6, load_timer.seconds(),
+                info.construction_seconds);
+    print_graph_line(e.graph());
+    return e;
+  }
+  CsrGraph g = load_graph(a.input);
+  print_graph_line(g);
+  return engine::Engine(std::move(g), a.pg);
+}
+
+/// The bound line shared by the commands that surface one.
+void print_bound(const engine::QueryResult& r) {
+  if (!r.bound) return;
+  std::printf("  deviation bound: P(|est - true| >= %s) <= %s  [%s]\n",
+              engine::format_estimate(r.bound->t).c_str(),
+              engine::format_estimate(r.bound->probability).c_str(), r.bound->name);
+}
+
+int run_counting(const Args& a) {
+  engine::Engine e = make_engine(a);
+  engine::Query q;
+  if (a.command == "tc") {
+    q = engine::TriangleCount{a.exact};
+  } else if (a.command == "4cc") {
+    q = engine::FourCliqueCount{a.exact};
+  } else {
+    q = engine::KCliqueCount{a.kclique, a.exact};
+  }
+  const engine::QueryResult r = e.run(q);
+
+  if (a.command == "tc") {
+    if (r.exact) {
+      std::printf("exact TC = %llu (%.4fs)\n",
+                  static_cast<unsigned long long>(r.value), r.elapsed_seconds);
+    } else {
+      std::printf("%s TC ≈ %.0f (%.4fs, +%.4fs construction, relmem %.2f)\n",
+                  to_string(r.sketch.kind), r.value, r.elapsed_seconds,
+                  r.sketch.construction_seconds, r.sketch.relative_memory);
+      print_bound(r);
+    }
+  } else if (a.command == "4cc") {
+    if (r.exact) {
+      std::printf("exact 4CC = %llu (%.4fs)\n",
+                  static_cast<unsigned long long>(r.value), r.elapsed_seconds);
+    } else {
+      std::printf("%s 4CC ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(r.sketch.kind),
+                  r.value, r.elapsed_seconds, r.sketch.relative_memory);
+    }
+  } else {
+    if (r.exact) {
+      std::printf("exact %u-clique count = %llu (%.4fs)\n", a.kclique,
+                  static_cast<unsigned long long>(r.value), r.elapsed_seconds);
+    } else {
+      std::printf("%s %u-clique count ≈ %.0f (%.4fs, relmem %.2f)\n",
+                  to_string(r.sketch.kind), a.kclique, r.value, r.elapsed_seconds,
+                  r.sketch.relative_memory);
+    }
+  }
+  return 0;
+}
+
+int run_cluster(const Args& a) {
+  engine::Engine e = make_engine(a);
+  const engine::QueryResult r =
+      e.run(engine::Cluster{a.measure_cluster, a.tau, a.exact});
+  if (r.exact) {
+    std::printf("exact clustering: %zu clusters, %llu kept edges, %.4fs\n",
+                r.cluster->num_clusters,
+                static_cast<unsigned long long>(r.cluster->kept_edges),
+                r.elapsed_seconds);
+  } else {
+    std::printf("%s clustering: %zu clusters, %llu kept edges, %.4fs "
+                "(+%.4fs sketch construction, relmem %.2f)\n",
+                to_string(r.sketch.kind), r.cluster->num_clusters,
+                static_cast<unsigned long long>(r.cluster->kept_edges),
+                r.elapsed_seconds, r.sketch.construction_seconds,
+                r.sketch.relative_memory);
+  }
+  return 0;
+}
+
+int run_cc(const Args& a) {
+  engine::Engine e = make_engine(a);
+  const engine::QueryResult r = e.run(engine::ClusteringCoeff{a.exact});
+  if (r.exact) {
+    std::printf("exact global clustering coefficient = %s (%.4fs)\n",
+                engine::format_estimate(r.value).c_str(), r.elapsed_seconds);
+  } else {
+    std::printf("%s global clustering coefficient = %s (%.4fs, +%.4fs construction, "
+                "relmem %.2f)\n",
+                to_string(r.sketch.kind), engine::format_estimate(r.value).c_str(),
+                r.elapsed_seconds, r.sketch.construction_seconds,
+                r.sketch.relative_memory);
+    print_bound(r);
+  }
+  return 0;
+}
+
+int run_pair(const Args& a) {
+  engine::Engine e = make_engine(a);
+  const engine::QueryResult r = e.run(engine::PairEstimate{a.kind, a.pairs, a.exact});
+  const char* scheme = r.exact ? "exact" : to_string(r.sketch.kind);
+  for (const engine::PairValue& p : r.pairs) {
+    std::printf("%s %s(%u, %u) = %s\n", scheme, engine::to_string(a.kind), p.u, p.v,
+                engine::format_estimate(p.value).c_str());
+  }
+  print_bound(r);
+  std::printf("scored %zu pair%s in %.4fs\n", r.pairs.size(),
+              r.pairs.size() == 1 ? "" : "s", r.elapsed_seconds);
+  return 0;
+}
+
+int run_lp(const Args& a) {
+  engine::Engine e = make_engine(a);
+  const engine::QueryResult r =
+      e.run(engine::LinkPredict{a.topk, a.measure_lp, a.exact});
+  std::printf("%s top-%u predicted links by %s:\n",
+              r.exact ? "exact" : to_string(r.sketch.kind), a.topk,
+              to_string(a.measure_lp));
+  for (const engine::PairValue& p : r.pairs) {
+    std::printf("  %u %u %s\n", p.u, p.v, engine::format_estimate(p.value).c_str());
+  }
+  std::printf("%zu candidate link%s in %.4fs\n", r.pairs.size(),
+              r.pairs.size() == 1 ? "" : "s", r.elapsed_seconds);
+  return 0;
+}
+
+int run_stats(const Args& a) {
+  engine::Engine e = make_engine(a);
+  const engine::QueryResult r = e.run(engine::GraphStats{});
+  std::printf("degree moments: sum d^2 = %.3e, sum d^3 = %.3e\n",
+              r.stats->degree_moment2, r.stats->degree_moment3);
+  std::printf("CSR memory: %.2f MB%s\n", static_cast<double>(r.stats->csr_bytes) / 1e6,
+              r.stats->mapped ? " (mmap-served)" : "");
+  return 0;
+}
+
+int run_build(const Args& a) {
+  const CsrGraph g = load_graph(a.input);
   print_graph_line(g);
 
-  ProbGraphConfig cfg = opt.pg;
+  ProbGraphConfig cfg = a.pg;
   io::SnapshotMeta meta;
   std::optional<CsrGraph> oriented;
   const CsrGraph* sketch_graph = &g;
-  if (opt.orient) {
+  if (a.orient) {
     meta.degree_oriented = true;
     // Keep the §V-A budget meaning of "additional memory on top of the
     // CSR of G" — exactly what the serving commands do locally.
@@ -229,146 +584,36 @@ int run_build(const Options& opt) {
   }
   const ProbGraph pg(*sketch_graph, cfg);
   util::Timer timer;
-  io::save_snapshot(opt.output, pg, meta);
+  io::save_snapshot(a.output, pg, meta);
   std::printf("wrote %s: %s sketches%s, %.2f MB sketch arena (relmem %.2f), "
               "construction %.4fs, save %.4fs\n",
-              opt.output.c_str(), to_string(pg.kind()),
+              a.output.c_str(), to_string(pg.kind()),
               meta.degree_oriented ? " over the degree-oriented DAG" : "",
               static_cast<double>(pg.memory_bytes()) / 1e6, pg.relative_memory(),
               pg.construction_seconds(), timer.seconds());
   return 0;
 }
 
-int run_command(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
-  if (opt.command == "build") return run_build(opt);
-
-  // Serving path: the graph (and, with --snapshot, the prebuilt sketches)
-  // come either from a file/generator or zero-copy out of a .pgs mapping.
-  std::optional<io::Snapshot> snap;
-  std::optional<CsrGraph> owned_graph;
-  const CsrGraph* g = nullptr;
-  if (!opt.snapshot.empty()) {
-    util::Timer load_timer;
-    snap.emplace(io::load_snapshot(opt.snapshot));
-    const io::SnapshotInfo& info = snap->info();
-    std::printf("snapshot: %s, %s sketches%s, %.2f MB file, loaded in %.4fs "
-                "(original construction %.4fs)\n",
-                opt.snapshot.c_str(), to_string(info.kind),
-                info.degree_oriented ? " (degree-oriented)" : "",
-                static_cast<double>(info.file_bytes) / 1e6, load_timer.seconds(),
-                info.construction_seconds);
-    g = &snap->graph();
-  } else {
-    owned_graph.emplace(load_graph(opt.graph));
-    g = &*owned_graph;
-  }
-  print_graph_line(*g);
-
-  if (opt.command == "stats") {
-    std::printf("degree moments: sum d^2 = %.3e, sum d^3 = %.3e\n", g->degree_moment(2),
-                g->degree_moment(3));
-    std::printf("CSR memory: %.2f MB%s\n", static_cast<double>(g->memory_bytes()) / 1e6,
-                g->is_mapped() ? " (mmap-served)" : "");
-    return 0;
-  }
-
-  util::Timer timer;
-  if (opt.command == "cluster") {
-    // A content (not CLI-syntax) problem: throw so the top-level handler
-    // prints a clean error and exits 1 without the usage dump.
-    if (snap && snap->info().degree_oriented) {
-      throw std::runtime_error(
-          "snapshot '" + opt.snapshot +
-          "' sketches the degree-oriented DAG; cluster needs one built without --orient");
-    }
-    if (opt.exact) {
-      const auto r = algo::jarvis_patrick_exact(*g, opt.measure, opt.tau);
-      std::printf("exact clustering: %zu clusters, %llu kept edges, %.4fs\n",
-                  r.num_clusters, static_cast<unsigned long long>(r.kept_edges),
-                  timer.seconds());
-    } else {
-      std::optional<ProbGraph> local_pg;
-      if (!snap) local_pg.emplace(*g, opt.pg);
-      const ProbGraph& pg = snap ? snap->prob_graph() : *local_pg;
-      timer.reset();
-      const auto r = algo::jarvis_patrick_probgraph(pg, opt.measure, opt.tau);
-      std::printf("%s clustering: %zu clusters, %llu kept edges, %.4fs "
-                  "(+%.4fs sketch construction, relmem %.2f)\n",
-                  to_string(pg.kind()), r.num_clusters,
-                  static_cast<unsigned long long>(r.kept_edges), timer.seconds(),
-                  pg.construction_seconds(), pg.relative_memory());
-    }
-    return 0;
-  }
-
-  // The counting commands run on the degree-oriented DAG. A snapshot must
-  // already contain it (pgtool build --orient); the edge-list path orients
-  // here as before.
-  std::optional<CsrGraph> owned_dag;
-  const CsrGraph* dag = nullptr;
-  if (snap) {
-    if (!snap->info().degree_oriented) {
-      throw std::runtime_error("snapshot '" + opt.snapshot +
-                               "' sketches the symmetric graph; " + opt.command +
-                               " needs one built with --orient");
-    }
-    dag = g;
-  } else {
-    owned_dag.emplace(degree_orient(*g));
-    dag = &*owned_dag;
-  }
-  ProbGraphConfig dag_cfg = opt.pg;
-  dag_cfg.budget_reference_bytes = g->memory_bytes();
-  std::optional<ProbGraph> local_pg;
-  const auto pg = [&]() -> const ProbGraph& {
-    if (snap) return snap->prob_graph();
-    if (!local_pg) local_pg.emplace(*dag, dag_cfg);
-    return *local_pg;
-  };
-
-  if (opt.command == "tc") {
-    if (opt.exact) {
-      timer.reset();
-      const auto tc = algo::triangle_count_exact_oriented(*dag);
-      std::printf("exact TC = %llu (%.4fs)\n", static_cast<unsigned long long>(tc),
-                  timer.seconds());
-    } else {
-      const ProbGraph& p = pg();
-      timer.reset();
-      const double tc = algo::triangle_count_probgraph(p);
-      std::printf("%s TC ≈ %.0f (%.4fs, +%.4fs construction, relmem %.2f)\n",
-                  to_string(p.kind()), tc, timer.seconds(), p.construction_seconds(),
-                  p.relative_memory());
-    }
-  } else if (opt.command == "4cc") {
-    if (opt.exact) {
-      timer.reset();
-      const auto ck = algo::four_clique_count_exact_oriented(*dag);
-      std::printf("exact 4CC = %llu (%.4fs)\n", static_cast<unsigned long long>(ck),
-                  timer.seconds());
-    } else {
-      const ProbGraph& p = pg();
-      timer.reset();
-      const double ck = algo::four_clique_count_probgraph(p);
-      std::printf("%s 4CC ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(p.kind()), ck,
-                  timer.seconds(), p.relative_memory());
-    }
-  } else {  // kclique (the command set is validated in parse)
-    if (opt.exact) {
-      timer.reset();
-      const auto ck = algo::kclique_count_exact_oriented(*dag, opt.kclique);
-      std::printf("exact %u-clique count = %llu (%.4fs)\n", opt.kclique,
-                  static_cast<unsigned long long>(ck), timer.seconds());
-    } else {
-      const ProbGraph& p = pg();
-      timer.reset();
-      const double ck = algo::kclique_count_probgraph(p, opt.kclique);
-      std::printf("%s %u-clique count ≈ %.0f (%.4fs, relmem %.2f)\n", to_string(p.kind()),
-                  opt.kclique, ck, timer.seconds(), p.relative_memory());
-    }
-  }
+int run_serve(const Args& a) {
+  // The banner goes to stderr so stdout carries protocol replies only —
+  // scripted sessions (CI transcripts) diff cleanly.
+  util::Timer load_timer;
+  engine::Engine e = engine::Engine::from_snapshot(a.input);
+  const io::SnapshotInfo& info = *e.snapshot_info();
+  std::fprintf(stderr,
+               "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; one query "
+               "per line, 'help' for the grammar, 'quit' to exit\n",
+               a.input.c_str(), e.graph().num_vertices(), to_string(info.kind),
+               info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds());
+  const std::size_t answered = engine::serve_session(e, std::cin, std::cout);
+  std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
+               answered == 1 ? "y" : "ies");
   return 0;
+}
+
+int run_command(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  return find_command(a.command).run(a);
 }
 
 }  // namespace
@@ -377,8 +622,9 @@ int main(int argc, char** argv) {
   try {
     return run_command(argc, argv);
   } catch (const std::exception& e) {
-    // I/O and format errors (unreadable graphs, rejected snapshots, ...)
-    // surface here as clean diagnostics rather than std::terminate.
+    // I/O and format errors (unreadable graphs, rejected snapshots, wrong
+    // snapshot orientation, ...) surface here as clean diagnostics rather
+    // than std::terminate.
     std::fprintf(stderr, "pgtool: error: %s\n", e.what());
     return 1;
   }
