@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Networked end-to-end check for the concurrent serving layer, shared by
+# the Debug/Release, ASan+UBSan, and TSan CI jobs:
+#
+#   1. start `pgtool serve --listen` on the golden snapshot (ephemeral
+#      port 0 would be cleaner, but a fixed port keeps the script dumb;
+#      the value is unregistered and the runners are single-tenant);
+#   2. wait until a protocol-free probe connects (client with empty stdin);
+#   3. drive 4 concurrent scripted clients from tests/data/serve_session.txt
+#      and diff every transcript byte-for-byte against the checked-in
+#      expectation (--threads 1 pins the dynamic-schedule reductions);
+#   4. SIGTERM the server and require a graceful exit (status 0) — under
+#      ASan that is also when the leak check runs.
+#
+# Usage: serve_e2e.sh <path-to-pgtool> [port]
+set -euo pipefail
+
+PGTOOL="${1:?usage: serve_e2e.sh <path-to-pgtool> [port]}"
+PORT="${2:-19777}"
+CLIENTS=4
+
+"$PGTOOL" serve tests/data/golden.pgs --threads 1 --listen "$PORT" --max-conns 8 &
+SERVE_PID=$!
+
+ready=0
+for _ in $(seq 1 150); do
+  if "$PGTOOL" client 127.0.0.1 "$PORT" </dev/null >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.2
+done
+if [ "$ready" != 1 ]; then
+  echo "server never became ready on port $PORT" >&2
+  kill -KILL "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+
+pids=""
+for i in $(seq 1 "$CLIENTS"); do
+  "$PGTOOL" client 127.0.0.1 "$PORT" \
+    < tests/data/serve_session.txt > "net_replies_$i.txt" &
+  pids="$pids $!"
+done
+for p in $pids; do
+  wait "$p"
+done
+
+for i in $(seq 1 "$CLIENTS"); do
+  diff -u tests/data/serve_session.expected "net_replies_$i.txt"
+done
+echo "all $CLIENTS concurrent transcripts byte-identical"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "server stopped gracefully"

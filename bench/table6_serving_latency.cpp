@@ -14,16 +14,23 @@
 //     query type;
 //   * protocol loop  — full serve_session round trips (parse + execute +
 //     format) driven through in-memory streams, i.e. what a scripted
-//     `pgtool serve` session measures minus the pipe itself.
+//     `pgtool serve` session measures minus the pipe itself;
+//   * concurrent sessions — 1/2/4 ping-pong TCP clients against ONE
+//     net::Server sharing the same mapping (the `pgtool serve --listen`
+//     mode), measuring the per-query round trip including loopback and
+//     the thread-per-connection machinery.
 //
 // Usage: table6_serving_latency [snapshot.pgs]
 // Without an argument it looks for tests/data/golden.pgs (cwd or parent)
 // and falls back to building a kron:12:8 snapshot in a temp file.
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/prob_graph.hpp"
 #include "engine/engine.hpp"
@@ -31,6 +38,9 @@
 #include "engine/query.hpp"
 #include "graph/generators.hpp"
 #include "io/snapshot.hpp"
+#include "net/line_reader.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "util/timer.hpp"
 
 namespace pb = probgraph;
@@ -113,6 +123,58 @@ int main(int argc, char** argv) {
   std::printf("\nA real one-shot also pays process start (exec + loader), so the\n"
               "session speedup is a lower bound; scan-type queries (tc) amortize the\n"
               "map less since the algorithm dominates.\n");
+
+  // Concurrent sessions over ONE shared mapping: a real net::Server (the
+  // `pgtool serve --listen` machinery), C ping-pong clients each sending a
+  // pair request and waiting for its reply — per-query wire latency.
+  {
+    pb::net::Server server(warm, {});
+    std::thread runner([&] { server.run(); });
+    constexpr int kPerClient = 2000;
+
+    std::printf("\n--- concurrent sessions against one mapping (loopback TCP) ---\n");
+    for (const int clients : {1, 2, 4}) {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(clients));
+      std::atomic<long long> completed{0};
+      pb::util::Timer timer;
+      for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&server, &completed] {
+          try {
+            pb::net::Socket sock = pb::net::connect_to("127.0.0.1", server.port());
+            pb::net::LineReader reader(sock, 1 << 16);
+            std::string reply;
+            for (int i = 0; i < kPerClient; ++i) {
+              if (!sock.write_all("pair intersection 0 1\n")) return;
+              if (reader.next(reply) != pb::net::LineReader::Status::kLine) return;
+              completed.fetch_add(1, std::memory_order_relaxed);
+            }
+            (void)sock.write_all("quit\n");
+            (void)reader.next(reply);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench client error: %s\n", e.what());
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      const double secs = timer.seconds();
+      const double total = static_cast<double>(completed.load());
+      const double expected = static_cast<double>(clients) * kPerClient;
+      if (total < expected) {
+        std::printf("%d client%s: only %.0f/%.0f queries completed — skipping the row\n",
+                    clients, clients == 1 ? " " : "s", total, expected);
+        continue;
+      }
+      std::printf("%d client%s x %d queries   %10.3f us/query round trip | %9.0f q/s aggregate\n",
+                  clients, clients == 1 ? " " : "s", kPerClient,
+                  secs / (total / clients) * 1e6, total / secs);
+    }
+    server.request_stop();
+    runner.join();
+    std::printf("Round trips include loopback TCP and the per-connection session\n"
+                "thread; aggregate q/s shows how sessions scale on one mapping\n"
+                "(bounded by cores — this is the serving story, not a kernel bench).\n");
+  }
 
   if (temp) {
     std::error_code ec;

@@ -132,6 +132,12 @@ const CsrGraph& Engine::symmetric_graph() const {
 
 const CsrGraph& Engine::dag() {
   if (source_oriented()) return *base_;
+  std::lock_guard lock(*cache_mu_);
+  return dag_locked();
+}
+
+const CsrGraph& Engine::dag_locked() {
+  if (source_oriented()) return *base_;
   if (!dag_) dag_ = std::make_unique<const CsrGraph>(degree_orient(*base_));
   return *dag_;
 }
@@ -145,6 +151,7 @@ const ProbGraph& Engine::symmetric_pg() {
     }
     return snap_->prob_graph();
   }
+  std::lock_guard lock(*cache_mu_);
   if (!sym_pg_) sym_pg_.emplace(*base_, config_);
   return *sym_pg_;
 }
@@ -158,12 +165,13 @@ const ProbGraph& Engine::oriented_pg() {
     }
     return snap_->prob_graph();
   }
+  std::lock_guard lock(*cache_mu_);
   if (!dag_pg_) {
     // Keep the §V-A budget meaning of "additional memory on top of the CSR
     // of G" when sketching the DAG — same as pgtool build --orient.
     ProbGraphConfig cfg = config_;
     cfg.budget_reference_bytes = base_->memory_bytes();
-    dag_pg_.emplace(dag(), cfg);
+    dag_pg_.emplace(dag_locked(), cfg);
   }
   return *dag_pg_;
 }

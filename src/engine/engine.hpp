@@ -24,11 +24,31 @@
 // setup. The one-shot pgtool commands are thin parsers producing a Query
 // for the same Engine, so one-shot and served results are bit-identical.
 //
-// Engines are single-threaded at the API level (run() may lazily build
-// caches); the algorithms underneath parallelize with OpenMP as before.
+// Thread safety (the contract the concurrent serving layer, src/net/,
+// relies on — every TCP session shares ONE Engine over one mapping):
+//
+//   * concurrent run() calls from any number of threads are safe. The
+//     graph, the mapped snapshot, and every built ProbGraph are immutable
+//     after construction and only read; each call gets its own
+//     QueryResult.
+//   * the ONLY mutable state is the trio of lazily-built caches (the
+//     degree-oriented DAG and the two sketch sets). Their construction is
+//     serialized by an internal mutex: the first query needing a cache
+//     builds it while others wait, every later query takes one uncontended
+//     lock to fetch the (stable, unique_ptr-held) pointer and then runs
+//     lock-free. Snapshot-backed engines never build sketches, so their
+//     hot path takes no lock at all for sketch queries.
+//   * construction, moves, and destruction are NOT thread-safe — create
+//     the Engine before spawning sessions and destroy it after joining
+//     them, exactly what net::Server does.
+//
+// The algorithms underneath parallelize with OpenMP as before; nested
+// parallel regions issued from distinct session threads get independent
+// teams.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -88,12 +108,17 @@ class Engine {
   /// The symmetric graph; throws when the source is an oriented snapshot.
   const CsrGraph& symmetric_graph() const;
   /// The degree-oriented DAG (the snapshot's graph when oriented, else
-  /// lazily built from the symmetric graph and cached).
+  /// lazily built from the symmetric graph and cached). Thread-safe.
   const CsrGraph& dag();
+  /// dag() with cache_mu_ already held (oriented_pg() composes the two
+  /// lazy builds under one lock).
+  const CsrGraph& dag_locked();
   /// Sketches over the symmetric graph (snapshot-served or lazily built).
+  /// Thread-safe.
   const ProbGraph& symmetric_pg();
   /// Sketches over the DAG, budget-referenced to the symmetric CSR
   /// (snapshot-served or lazily built). Throws over a symmetric snapshot.
+  /// Thread-safe.
   const ProbGraph& oriented_pg();
 
   void check_vertex(VertexId v) const;
@@ -106,6 +131,10 @@ class Engine {
   const CsrGraph* base_ = nullptr;
   ProbGraphConfig config_;
 
+  // Serializes the lazy builds below across concurrent run() calls. Held
+  // through a pointer so the Engine stays movable (single-threaded moves
+  // only, per the contract above).
+  std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<const CsrGraph> dag_;  // in-memory engines, lazily oriented
   std::optional<ProbGraph> sym_pg_;      // lazily built (in-memory engines only)
   std::optional<ProbGraph> dag_pg_;      // lazily built (in-memory engines only)

@@ -229,36 +229,70 @@ std::string help_reply() {
          "lp K [MEASURE] [exact] | stats | quit";
 }
 
-std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out) {
+std::size_t serve_session(Engine& engine, SessionIo& io) {
   std::string line;
   std::size_t answered = 0;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const SessionIo::Read st = io.read_line(line);
+    if (st == SessionIo::Read::kEof) break;
+    if (st == SessionIo::Read::kOverlong) {
+      if (!io.write_line(format_error(line))) break;
+      continue;
+    }
     ParsedRequest req = parse_request(line);
     if (req.ignored) continue;
     if (req.quit) {
-      out << "bye\n" << std::flush;
+      (void)io.write_line("bye");
       break;
     }
     if (req.help) {
-      out << help_reply() << "\n" << std::flush;
+      if (!io.write_line(help_reply())) break;
       continue;
     }
     if (!req.query) {
-      out << format_error(req.error) << "\n" << std::flush;
+      if (!io.write_line(format_error(req.error))) break;
       continue;
     }
     try {
       const QueryResult r = engine.run(*req.query);
-      out << format_reply(r) << "\n" << std::flush;
+      if (!io.write_line(format_reply(r))) break;
       ++answered;
     } catch (const std::exception& e) {
       // Malformed-but-parseable requests (out-of-range vertices, KMV 4cc,
       // wrong snapshot orientation, ...) answer with an error line; the
       // session keeps serving.
-      out << format_error(e.what()) << "\n" << std::flush;
+      if (!io.write_line(format_error(e.what()))) break;
     }
   }
   return answered;
+}
+
+namespace {
+
+/// The trusted-local-pipe transport: std::getline in, line-flushed out.
+class StreamSessionIo final : public SessionIo {
+ public:
+  StreamSessionIo(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+
+  Read read_line(std::string& line) override {
+    return std::getline(in_, line) ? Read::kLine : Read::kEof;
+  }
+
+  bool write_line(std::string_view reply) override {
+    out_ << reply << "\n" << std::flush;
+    return static_cast<bool>(out_);
+  }
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+}  // namespace
+
+std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out) {
+  StreamSessionIo io(in, out);
+  return serve_session(engine, io);
 }
 
 }  // namespace probgraph::engine

@@ -72,10 +72,44 @@ struct ParsedRequest {
 /// The "ok\thelp\t..." grammar summary line.
 [[nodiscard]] std::string help_reply();
 
-/// Run a serve session: read request lines from `in` until EOF or quit,
-/// write one reply line per request to `out` (flushed per line, so piped
-/// sessions interleave correctly). Engine errors become "err" replies, not
-/// crashes. Returns the number of successfully answered queries.
+/// Transport abstraction for a serve session. One implementation per
+/// transport — stdin/stdout streams (the REPL), a TCP connection
+/// (src/net/server.cpp) — so every transport runs the SAME session loop
+/// with the same malformed-frame behavior: err line + continue, never a
+/// crash or a silent drop.
+class SessionIo {
+ public:
+  enum class Read {
+    kLine,      ///< `line` holds one complete request line (no newline)
+    kEof,       ///< no more requests; end the session
+    kOverlong,  ///< a frame exceeded the transport's line limit and was
+                ///< discarded up to the next boundary; `line` holds the
+                ///< error text the session answers with
+  };
+
+  virtual ~SessionIo() = default;
+
+  /// Pull the next request line. Blocking; transports map their own error
+  /// conditions (closed socket, stream failure) onto kEof.
+  [[nodiscard]] virtual Read read_line(std::string& line) = 0;
+
+  /// Push one reply line (the transport appends framing and flushes, so
+  /// piped/streamed sessions interleave correctly). Returns false when the
+  /// peer is gone — the session then ends quietly instead of crashing on a
+  /// broken pipe.
+  [[nodiscard]] virtual bool write_line(std::string_view reply) = 0;
+};
+
+/// Run a serve session over any transport: read request lines until EOF or
+/// quit, answer exactly one reply line per non-ignored request. Malformed
+/// or overlong frames and engine errors become "err" replies and the
+/// session keeps serving. Returns the number of successfully answered
+/// queries.
+std::size_t serve_session(Engine& engine, SessionIo& io);
+
+/// Stream adapter over the shared loop — the stdin REPL and the in-memory
+/// tests/benches. Lines are unbounded (the transport is a trusted local
+/// pipe); socket transports bound them instead (src/net/line_reader.hpp).
 std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out);
 
 }  // namespace probgraph::engine

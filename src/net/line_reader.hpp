@@ -1,0 +1,57 @@
+// Buffered line framing over a Socket, with a bounded line length.
+//
+// The serve protocol is newline-framed, and a TCP stream delivers frames
+// in arbitrary pieces: a request may arrive split across reads ("sta" then
+// "ts\n") or many-per-read ("tc\nstats\nquit\n"). LineReader reassembles
+// exactly one request per next() call.
+//
+// The length bound is the transport's only defense against a client that
+// streams bytes without ever sending a newline: instead of growing the
+// buffer without limit, the reader discards the frame up to the next
+// boundary and reports kOverlong ONCE — the session answers with an err
+// line and keeps serving, identical to any other malformed frame.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace probgraph::net {
+
+class LineReader {
+ public:
+  enum class Status {
+    kLine,      ///< `line` holds one complete frame (newline stripped)
+    kEof,       ///< orderly close or read error; the session is over
+    kOverlong,  ///< frame exceeded max_line_bytes; discarded to the next
+                ///< newline (or EOF) and the stream is positioned after it
+  };
+
+  /// Reads from `sock` (not owned; must outlive the reader).
+  LineReader(Socket& sock, std::size_t max_line_bytes)
+      : sock_(sock), max_line_(max_line_bytes) {}
+
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_; }
+
+  /// Pull the next frame. A trailing '\r' is left in place — the protocol
+  /// tokenizer treats it as whitespace, so CRLF clients (telnet, netcat on
+  /// some platforms) work unmodified. A final unterminated frame before
+  /// EOF is delivered as a line, matching std::getline.
+  [[nodiscard]] Status next(std::string& line);
+
+ private:
+  /// Refill buf_ from the socket. False on EOF/error.
+  bool fill();
+
+  Socket& sock_;
+  std::size_t max_line_ = 0;
+  // Consumed bytes stay in buf_ until the next refill compacts them away
+  // (one amortized move per received byte, instead of an O(remaining)
+  // front-erase per delivered line).
+  std::string buf_;          // receive buffer; [pos_, size) is unconsumed
+  std::size_t pos_ = 0;      // start of the unconsumed region
+  std::size_t scanned_ = 0;  // buf_ prefix known to contain no newline (>= pos_)
+};
+
+}  // namespace probgraph::net

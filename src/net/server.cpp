@@ -1,0 +1,157 @@
+#include "net/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "net/line_reader.hpp"
+
+namespace probgraph::net {
+
+namespace {
+
+/// The socket transport for the shared session loop: bounded framed reads
+/// in, one write per reply out (TCP does the buffering; a reply is small).
+class SocketSessionIo final : public engine::SessionIo {
+ public:
+  SocketSessionIo(Socket& sock, std::size_t max_line_bytes)
+      : sock_(sock), reader_(sock, max_line_bytes) {}
+
+  Read read_line(std::string& line) override {
+    switch (reader_.next(line)) {
+      case LineReader::Status::kLine: return Read::kLine;
+      case LineReader::Status::kOverlong: return Read::kOverlong;
+      case LineReader::Status::kEof: break;
+    }
+    return Read::kEof;
+  }
+
+  bool write_line(std::string_view reply) override {
+    std::string framed;
+    framed.reserve(reply.size() + 1);
+    framed.append(reply);
+    framed.push_back('\n');
+    return sock_.write_all(framed);
+  }
+
+ private:
+  Socket& sock_;
+  LineReader reader_;
+};
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+Server::Server(engine::Engine& engine, ServerOptions opts)
+    : engine_(engine), opts_(opts), listener_(opts.port, opts.backlog) {
+  if (opts_.max_conns < 1) {
+    throw std::runtime_error("Server: max_conns must be at least 1");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("Server: cannot create wake pipe");
+  }
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
+}
+
+Server::~Server() {
+  reap(/*all=*/true);  // no-op after run(); safety net if run() never ran
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true);
+  // write() is async-signal-safe; one byte wakes the poll in run(). If the
+  // pipe is full a previous wake-up is still pending, which is just as good.
+  const char byte = 's';
+  [[maybe_unused]] const auto rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::handle(Conn* conn) {
+  SocketSessionIo io(conn->sock, opts_.max_line_bytes);
+  try {
+    queries_answered_ += engine::serve_session(engine_, io);
+  } catch (...) {
+    // serve_session answers engine errors in-band; anything escaping here
+    // (e.g. bad_alloc) ends this session only, never the server.
+  }
+  // Flush a FIN so a client that sent `quit` but holds its end open sees
+  // EOF. The fd itself stays open until reap() joins this thread — the
+  // stop path may concurrently shutdown() it, which is safe; close() here
+  // would race that.
+  conn->sock.shutdown_both();
+  conn->done.store(true);
+}
+
+void Server::reap(bool all) {
+  std::vector<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock; for `all` this blocks until the sessions see
+  // the shutdown() from the stop path and wind down.
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void Server::run() {
+  while (!stop_.load()) {
+    pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stop_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    Socket sock = listener_.accept();
+    if (!sock.valid()) {
+      if (stop_.load()) break;
+      continue;
+    }
+    reap(/*all=*/false);
+
+    std::lock_guard lock(conns_mu_);
+    if (conns_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
+      ++rejected_;
+      (void)sock.write_all("err\tserver at capacity (" +
+                           std::to_string(opts_.max_conns) +
+                           " live sessions); retry later\n");
+      continue;  // Socket destructor closes the rejected connection
+    }
+    ++accepted_;
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { handle(raw); });
+  }
+
+  // Stop path: no new sessions; wake every live one out of its read.
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& conn : conns_) conn->sock.shutdown_both();
+  }
+  reap(/*all=*/true);
+}
+
+}  // namespace probgraph::net

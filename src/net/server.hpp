@@ -1,0 +1,105 @@
+// The concurrent serving layer: many TCP sessions, ONE shared mapping.
+//
+// A Server wraps one engine::Engine — typically snapshot-backed, so the
+// whole working set is a single read-only mmap — and answers the
+// src/engine/ line protocol to any number of concurrent clients:
+//
+//   * thread-per-connection: each accepted socket gets a std::thread
+//     running the SAME serve_session loop as the stdin REPL, over a
+//     bounded LineReader (overlong/malformed frames answer an err line and
+//     the session continues — never a crash or a silent drop);
+//   * one Engine, shared: queries hoist their backend dispatch per call
+//     and read the mapping concurrently; the Engine's lazily-built caches
+//     are guarded internally (see engine.hpp "Thread safety"), so sessions
+//     need no per-connection state at all;
+//   * bounded concurrency: past --max-conns live sessions, a new client is
+//     answered "err\tserver at capacity ..." and closed, which a scripted
+//     client can distinguish from a refused connection;
+//   * graceful shutdown: request_stop() is async-signal-safe (pgtool wires
+//     it to SIGINT/SIGTERM). The accept loop wakes via a self-pipe, stops
+//     accepting, half-closes every live session's socket (their reads
+//     return EOF and the session loops wind down), joins all threads, and
+//     run() returns with the counters intact.
+//
+// The Server does not own the Engine: tests and pgtool construct the
+// engine once (mapping the snapshot once) and may keep using it after the
+// server stops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "engine/engine.hpp"
+#include "net/socket.hpp"
+
+namespace probgraph::net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() has the bound one
+  int max_conns = 16;      ///< live sessions beyond this answer an err line
+  std::size_t max_line_bytes = 64 * 1024;  ///< per-session request-line bound
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// connections queue in the backlog until run() starts accepting.
+  Server(engine::Engine& engine, ServerOptions opts = {});
+
+  /// The owner must ensure run() has returned before destroying.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Accept-and-serve until request_stop(). Joins every session thread
+  /// before returning.
+  void run();
+
+  /// Stop the server from any thread or a signal handler: sets the stop
+  /// flag and wakes the accept loop through the self-pipe.
+  void request_stop() noexcept;
+
+  struct Counters {
+    std::uint64_t accepted = 0;          ///< sessions served (threads spawned)
+    std::uint64_t rejected = 0;          ///< connections refused at capacity
+    std::uint64_t queries_answered = 0;  ///< successful replies, all sessions
+  };
+  /// Exact after run() returns; a live snapshot while serving.
+  [[nodiscard]] Counters counters() const noexcept {
+    return {accepted_.load(), rejected_.load(), queries_answered_.load()};
+  }
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void handle(Conn* conn);
+  /// Join and free finished sessions; with `all`, every session (stop path).
+  void reap(bool all);
+
+  engine::Engine& engine_;
+  ServerOptions opts_;
+  TcpListener listener_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+};
+
+}  // namespace probgraph::net

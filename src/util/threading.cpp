@@ -1,8 +1,12 @@
 #include "util/threading.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 namespace probgraph::util {
+
+#ifdef _OPENMP
 
 int max_threads() noexcept { return omp_get_max_threads(); }
 
@@ -11,5 +15,15 @@ void set_threads(int n) noexcept {
 }
 
 int thread_id() noexcept { return omp_get_thread_num(); }
+
+#else  // serial fallbacks for -DPROBGRAPH_OPENMP=OFF (e.g. the TSan build)
+
+int max_threads() noexcept { return 1; }
+
+void set_threads(int) noexcept {}
+
+int thread_id() noexcept { return 0; }
+
+#endif
 
 }  // namespace probgraph::util

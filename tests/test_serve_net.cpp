@@ -1,0 +1,313 @@
+// The concurrent TCP serving layer (src/net/) over a loopback socket.
+//
+// Everything here runs a real net::Server over the golden snapshot's
+// Engine — one shared read-only mapping — and drives it through real
+// sockets, covering what the typed tests cannot:
+//
+//   * concurrency: N scripted sessions at once, each transcript
+//     byte-identical to tests/data/serve_session.expected (this is also
+//     the workload the ThreadSanitizer CI job runs);
+//   * socket-edge protocol behavior: requests split across writes, CRLF
+//     framing, oversized lines (err + resync, not disconnect), abrupt
+//     client disconnects mid-session, --max-conns capacity rejection;
+//   * lifecycle: quit ends one session and not the server; request_stop()
+//     unblocks parked sessions and run() joins them all.
+//
+// Replies are bitwise deterministic only at one OpenMP thread (the
+// double-reduction kernels use dynamic scheduling), so like
+// tests/test_engine.cpp the suite pins util::set_threads(1).
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/protocol.hpp"
+#include "graph/io.hpp"
+#include "net/line_reader.hpp"
+#include "net/socket.hpp"
+#include "util/threading.hpp"
+
+namespace probgraph {
+namespace {
+
+class PinThreads : public ::testing::Environment {
+ public:
+  void SetUp() override { util::set_threads(1); }
+};
+const auto* const kPin =
+    ::testing::AddGlobalTestEnvironment(new PinThreads);  // NOLINT(cert-err58-cpp)
+
+std::string data_path(const char* name) {
+  return std::string(PROBGRAPH_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One server over one snapshot-backed Engine, run()ning on a background
+/// thread for the duration of a test.
+struct ServerFixture {
+  explicit ServerFixture(net::ServerOptions opts = {})
+      : engine(engine::Engine::from_snapshot(data_path("golden.pgs"))),
+        server(engine, opts),
+        thread([this] { server.run(); }) {}
+
+  ~ServerFixture() {
+    server.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  engine::Engine engine;
+  net::Server server;
+  std::thread thread;
+};
+
+/// Read every byte until the server closes the connection.
+std::string drain(net::Socket& sock) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const long got = sock.read_some(buf, sizeof buf);
+    if (got <= 0) break;
+    out.append(buf, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+/// Scripted client: connect, send the whole script, half-close, read the
+/// full transcript. Mirrors `pgtool client < script`.
+std::string run_scripted_session(std::uint16_t port, const std::string& script) {
+  net::Socket sock = net::connect_to("127.0.0.1", port);
+  EXPECT_TRUE(sock.write_all(script));
+  sock.shutdown_write();
+  return drain(sock);
+}
+
+/// Read exactly one reply line (newline stripped) — for ping-pong tests.
+std::string read_reply_line(net::LineReader& reader) {
+  std::string line;
+  EXPECT_EQ(reader.next(line), net::LineReader::Status::kLine);
+  return line;
+}
+
+TEST(ServeNet, ScriptedSessionMatchesGoldenTranscript) {
+  ServerFixture f;
+  const std::string transcript =
+      run_scripted_session(f.server.port(), read_file(data_path("serve_session.txt")));
+  EXPECT_EQ(transcript, read_file(data_path("serve_session.expected")));
+  f.server.request_stop();
+  f.thread.join();
+  const auto c = f.server.counters();
+  EXPECT_EQ(c.accepted, 1u);
+  EXPECT_EQ(c.rejected, 0u);
+  // The fixture's 12 "ok" replies (help/bye/err lines are not queries).
+  EXPECT_EQ(c.queries_answered, 12u);
+}
+
+TEST(ServeNet, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
+  // The acceptance workload (and the TSan job's): 4 sessions against ONE
+  // shared Engine/mapping, every transcript byte-for-byte the golden one.
+  ServerFixture f;
+  const std::string script = read_file(data_path("serve_session.txt"));
+  const std::string expected = read_file(data_path("serve_session.expected"));
+
+  constexpr int kClients = 4;
+  std::vector<std::string> transcripts(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        transcripts[static_cast<std::size_t>(i)] =
+            run_scripted_session(f.server.port(), script);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(transcripts[static_cast<std::size_t>(i)], expected)
+        << "client " << i << " transcript diverges";
+  }
+}
+
+TEST(ServeNet, LazyCacheBuildIsRaceFreeAcrossSessions) {
+  // An IN-MEMORY engine shared by concurrent sessions: the first tc/4cc
+  // queries race to build the DAG + oriented sketches, cc races to build
+  // the symmetric sketches — exactly the paths Engine's cache mutex
+  // guards (a snapshot engine never builds, so it cannot cover them).
+  engine::Engine eng(io::read_edge_list(data_path("golden.el")));
+  net::Server server(eng, {});
+  std::thread runner([&] { server.run(); });
+
+  const std::string script = "tc\n4cc\ncc\nstats\nquit\n";
+  constexpr int kClients = 4;
+  std::vector<std::string> transcripts(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        transcripts[static_cast<std::size_t>(i)] =
+            run_scripted_session(server.port(), script);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.request_stop();
+  runner.join();
+
+  EXPECT_EQ(transcripts[0].rfind("ok\ttc\t", 0), 0u) << transcripts[0];
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(transcripts[static_cast<std::size_t>(i)], transcripts[0])
+        << "client " << i << " saw different lazily-built caches";
+  }
+}
+
+TEST(ServeNet, PartialWritesAndCrlfFramesParse) {
+  ServerFixture f;
+  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::LineReader reader(sock, 1 << 16);
+
+  // One request split across three writes...
+  ASSERT_TRUE(sock.write_all("sta"));
+  ASSERT_TRUE(sock.write_all("t"));
+  ASSERT_TRUE(sock.write_all("s\n"));
+  EXPECT_EQ(read_reply_line(reader).rfind("ok\tstats\tn=32\t", 0), 0u);
+
+  // ...a CRLF-framed request (telnet/netcat style)...
+  ASSERT_TRUE(sock.write_all("pair intersection 0 1\r\n"));
+  EXPECT_EQ(read_reply_line(reader).rfind("ok\tpair\t0:1=", 0), 0u);
+
+  // ...and two requests in one write: two replies, in order.
+  ASSERT_TRUE(sock.write_all("help\nquit\n"));
+  EXPECT_EQ(read_reply_line(reader).rfind("ok\thelp\t", 0), 0u);
+  EXPECT_EQ(read_reply_line(reader), "bye");
+}
+
+TEST(ServeNet, OversizedLineAnswersErrAndSessionRecovers) {
+  net::ServerOptions opts;
+  opts.max_line_bytes = 128;
+  ServerFixture f(opts);
+  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::LineReader reader(sock, 1 << 16);
+
+  // A 4 KiB frame against a 128-byte bound: one err reply, then the
+  // session keeps serving from the next line boundary — malformed frames
+  // are uniform across transports (err + continue, never a drop).
+  std::string garbage(4096, 'x');
+  garbage += '\n';
+  ASSERT_TRUE(sock.write_all(garbage));
+  const std::string err = read_reply_line(reader);
+  EXPECT_EQ(err.rfind("err\t", 0), 0u) << err;
+  EXPECT_NE(err.find("128-byte limit"), std::string::npos) << err;
+
+  ASSERT_TRUE(sock.write_all("stats\nquit\n"));
+  EXPECT_EQ(read_reply_line(reader).rfind("ok\tstats\t", 0), 0u);
+  EXPECT_EQ(read_reply_line(reader), "bye");
+}
+
+TEST(ServeNet, AbruptDisconnectMidSessionLeavesServerServing) {
+  ServerFixture f;
+  {
+    // Fire a scan query and vanish without reading the reply: the server's
+    // write hits a dead peer (EPIPE/RST) and must end that session only.
+    net::Socket rude = net::connect_to("127.0.0.1", f.server.port());
+    ASSERT_TRUE(rude.write_all("tc\ntc\ntc\n"));
+    rude.close();
+  }
+  // The server still answers a full scripted session afterwards.
+  const std::string transcript =
+      run_scripted_session(f.server.port(), read_file(data_path("serve_session.txt")));
+  EXPECT_EQ(transcript, read_file(data_path("serve_session.expected")));
+}
+
+TEST(ServeNet, QuitEndsOneSessionNotTheServer) {
+  ServerFixture f;
+  EXPECT_EQ(run_scripted_session(f.server.port(), "quit\n"), "bye\n");
+  EXPECT_EQ(run_scripted_session(f.server.port(), "stats\nquit\n").substr(0, 9),
+            "ok\tstats\t");
+}
+
+TEST(ServeNet, MaxConnsRejectsWithErrLineThenRecovers) {
+  net::ServerOptions opts;
+  opts.max_conns = 1;
+  ServerFixture f(opts);
+
+  // Occupy the single slot and prove the session is live.
+  net::Socket held = net::connect_to("127.0.0.1", f.server.port());
+  net::LineReader held_reader(held, 1 << 16);
+  ASSERT_TRUE(held.write_all("stats\n"));
+  EXPECT_EQ(read_reply_line(held_reader).rfind("ok\tstats\t", 0), 0u);
+
+  // The second connection is answered with a capacity err line and closed
+  // — distinguishable from both a refused connect and a protocol error.
+  {
+    net::Socket second = net::connect_to("127.0.0.1", f.server.port());
+    const std::string reply = drain(second);
+    EXPECT_EQ(reply.rfind("err\tserver at capacity", 0), 0u) << reply;
+  }
+
+  // Free the slot; the server accepts again (the reaper runs on accept, so
+  // poll until the finished session has been collected).
+  ASSERT_TRUE(held.write_all("quit\n"));
+  EXPECT_EQ(read_reply_line(held_reader), "bye");
+  held.close();
+
+  bool served = false;
+  for (int attempt = 0; attempt < 100 && !served; ++attempt) {
+    const std::string reply =
+        run_scripted_session(f.server.port(), "stats\nquit\n");
+    if (reply.rfind("ok\tstats\t", 0) == 0) {
+      served = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(served) << "server never freed the capacity slot";
+  EXPECT_GE(f.server.counters().rejected, 1u);
+}
+
+TEST(ServeNet, RequestStopUnblocksParkedSessions) {
+  auto engine = engine::Engine::from_snapshot(data_path("golden.pgs"));
+  net::Server server(engine, {});
+  std::thread runner([&] { server.run(); });
+
+  // A connected client that never sends anything: its session thread is
+  // parked in read. request_stop() must half-close it (read returns EOF)
+  // and run() must join everything.
+  net::Socket idle = net::connect_to("127.0.0.1", server.port());
+  ASSERT_TRUE(idle.write_all("stats\n"));
+  char buf[512];
+  ASSERT_GT(idle.read_some(buf, sizeof buf), 0);  // session is live & parked
+
+  server.request_stop();
+  runner.join();
+  EXPECT_EQ(drain(idle), "");  // EOF, promptly
+  const auto c = server.counters();
+  EXPECT_EQ(c.accepted, 1u);
+  EXPECT_EQ(c.queries_answered, 1u);
+}
+
+TEST(ServeNet, EphemeralPortIsReportedAndDistinct) {
+  auto engine = engine::Engine::from_snapshot(data_path("golden.pgs"));
+  net::Server a(engine, {});
+  net::Server b(engine, {});
+  EXPECT_NE(a.port(), 0);
+  EXPECT_NE(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+}  // namespace
+}  // namespace probgraph

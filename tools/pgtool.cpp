@@ -14,11 +14,24 @@
 //   pgtool build     <graph> -o <file.pgs> [--orient] [options]
 //                                         persist CSR + sketches to a
 //                                         snapshot (build once, map many)
-//   pgtool serve     <file.pgs>           long-lived session: map the
+//   pgtool serve     <file.pgs> [--listen PORT [--max-conns N]]
+//                                         long-lived session: map the
 //                                         snapshot once, answer one query
-//                                         per stdin line (src/engine/
+//                                         per line (src/engine/
 //                                         protocol.hpp documents the
-//                                         grammar), zero per-query setup
+//                                         grammar), zero per-query setup.
+//                                         Without --listen: a stdin REPL.
+//                                         With --listen: a concurrent TCP
+//                                         server on 127.0.0.1:PORT (PORT 0
+//                                         picks an ephemeral port, named
+//                                         on stderr) — every session
+//                                         shares the one mapping;
+//                                         SIGINT/SIGTERM stop gracefully
+//   pgtool client    <host> <port>        connect to a serving pgtool:
+//                                         pump stdin lines to the server
+//                                         and replies to stdout, so
+//                                         scripted sessions work over the
+//                                         wire exactly like piped stdin
 //
 // <graph> is a path, or "kron:SCALE:EDGEFACTOR" for a generated graph.
 // Every command except build/serve also accepts `--snapshot <file.pgs>` in
@@ -46,6 +59,11 @@
 //   --snapshot FILE         serve from a .pgs snapshot instead of <graph>
 //   -o, --output FILE       (build) snapshot output path
 //   --orient                (build) sketch the degree-oriented DAG
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <charconv>
@@ -63,6 +81,8 @@
 #include "graph/io.hpp"
 #include "graph/orientation.hpp"
 #include "io/snapshot.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
@@ -89,6 +109,8 @@ enum : unsigned {
   kFPairs = 1u << 13,
   kFKind = 1u << 14,
   kFTopK = 1u << 15,
+  kFListen = 1u << 16,
+  kFMaxConns = 1u << 17,
 };
 
 /// The sketch-construction flags shared by every command that may build or
@@ -120,13 +142,19 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"--pairs", nullptr, kFPairs, true},
     {"--kind", nullptr, kFKind, true},
     {"--topk", nullptr, kFTopK, true},
+    {"--listen", nullptr, kFListen, true},
+    {"--max-conns", nullptr, kFMaxConns, true},
 };
 
 struct Args {
   std::string command;
-  std::string input;     // edge-list/mtx path, kron:S:E spec, or serve's .pgs
+  std::string input;     // edge-list/mtx path, kron:S:E spec, serve's .pgs,
+                         // or client's <host>
+  std::string input2;    // second positional (client's <port>)
   std::string snapshot;  // .pgs input (--snapshot on serving commands)
   std::string output;    // .pgs output (build)
+  std::optional<std::uint16_t> listen;  // serve: TCP port (0 = ephemeral)
+  int max_conns = 16;                   // serve --listen: live-session cap
   bool orient = false;
   bool exact = false;
   bool estimator_set = false;
@@ -149,6 +177,7 @@ struct CommandSpec {
   bool positional_is_pgs;     // serve: the positional input is a .pgs path
   const char* synopsis;
   Runner run;
+  bool two_positionals = false;  // client: <host> <port>
 };
 
 int run_counting(const Args& a);   // tc, 4cc, kclique
@@ -159,6 +188,7 @@ int run_lp(const Args& a);
 int run_stats(const Args& a);
 int run_build(const Args& a);
 int run_serve(const Args& a);
+int run_client(const Args& a);
 
 constexpr unsigned kServingCommon = kSketchFlags | kFSnapshot | kFThreads;
 
@@ -178,7 +208,9 @@ constexpr CommandSpec kCommands[] = {
      run_stats},
     {"build", kSketchFlags | kFOutput | kFOrient | kFThreads, false,
      "build <graph> -o <file.pgs> [--orient]", run_build},
-    {"serve", kFThreads, true, "serve <file.pgs>", run_serve},
+    {"serve", kFThreads | kFListen | kFMaxConns, true,
+     "serve <file.pgs> [--listen PORT [--max-conns N]]", run_serve},
+    {"client", 0, false, "client <host> <port>", run_client, true},
 };
 
 void print_usage(std::FILE* to) {
@@ -198,8 +230,12 @@ void print_usage(std::FILE* to) {
                "mmaps such a file and serves estimates zero-copy. Counting estimates\n"
                "(tc, 4cc, kclique) need a snapshot built with --orient; neighborhood\n"
                "queries (cluster, cc, pair, lp) need one built without it.\n"
-               "serve maps the snapshot once and answers one query per stdin line\n"
-               "(send 'help' on the session for the request grammar).\n");
+               "serve maps the snapshot once and answers one query per line (send\n"
+               "'help' on the session for the request grammar) — over stdin, or as a\n"
+               "concurrent TCP server with --listen PORT (127.0.0.1; PORT 0 picks an\n"
+               "ephemeral port, printed on stderr; --max-conns caps live sessions;\n"
+               "SIGINT/SIGTERM stop it gracefully). client connects a scripted\n"
+               "stdin/stdout session to such a server.\n");
 }
 
 [[noreturn]] void fail(const std::string& msg) {
@@ -281,11 +317,14 @@ Args parse(int argc, char** argv) {
     const FlagSpec* flag = token.rfind('-', 0) == 0 ? find_flag(token) : nullptr;
     if (flag == nullptr) {
       if (token.rfind('-', 0) == 0) fail("unknown flag '" + token + "'");
-      if (!a.input.empty()) {
+      if (a.input.empty()) {
+        a.input = token;
+      } else if (cmd.two_positionals && a.input2.empty()) {
+        a.input2 = token;
+      } else {
         fail("unexpected positional argument '" + token + "' (input already given: '" +
              a.input + "')");
       }
-      a.input = token;
       continue;
     }
     if ((cmd.allowed & flag->bit) == 0) {
@@ -377,11 +416,25 @@ Args parse(int argc, char** argv) {
       case kFTopK:
         a.topk = parse_number<std::uint32_t>(token, value);
         break;
+      case kFListen:
+        a.listen = parse_number<std::uint16_t>(token, value);
+        break;
+      case kFMaxConns:
+        a.max_conns = parse_number<int>(token, value);
+        if (a.max_conns < 1) fail("--max-conns must be at least 1");
+        break;
       default: fail("unhandled flag " + token);  // unreachable
     }
   }
 
   // --- Per-command input validation. ---
+  if ((seen & kFMaxConns) != 0 && !a.listen) {
+    fail("--max-conns only applies with --listen");
+  }
+  if (a.command == "client") {
+    if (a.input.empty() || a.input2.empty()) fail("client requires <host> <port>");
+    return a;
+  }
   if (a.command == "build") {
     if (a.input.empty()) fail("build requires an input <graph>");
     if (a.output.empty()) fail("build requires an output path (-o <file.pgs>)");
@@ -594,20 +647,106 @@ int run_build(const Args& a) {
   return 0;
 }
 
+// SIGINT/SIGTERM → graceful server stop. The pointer is published before
+// the handlers are installed and cleared after they are restored, so the
+// handler only ever sees a live server.
+net::Server* volatile g_signal_server = nullptr;
+
+extern "C" void stop_signal_handler(int) {
+  net::Server* const s = g_signal_server;
+  if (s != nullptr) s->request_stop();  // async-signal-safe
+}
+
 int run_serve(const Args& a) {
   // The banner goes to stderr so stdout carries protocol replies only —
   // scripted sessions (CI transcripts) diff cleanly.
   util::Timer load_timer;
   engine::Engine e = engine::Engine::from_snapshot(a.input);
   const io::SnapshotInfo& info = *e.snapshot_info();
+
+  if (!a.listen) {
+    std::fprintf(stderr,
+                 "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; one query "
+                 "per line, 'help' for the grammar, 'quit' to exit\n",
+                 a.input.c_str(), e.graph().num_vertices(), to_string(info.kind),
+                 info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds());
+    const std::size_t answered = engine::serve_session(e, std::cin, std::cout);
+    std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
+                 answered == 1 ? "y" : "ies");
+    return 0;
+  }
+
+  net::ServerOptions opts;
+  opts.port = *a.listen;
+  opts.max_conns = a.max_conns;
+  net::Server server(e, opts);
   std::fprintf(stderr,
-               "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; one query "
-               "per line, 'help' for the grammar, 'quit' to exit\n",
+               "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; listening "
+               "on 127.0.0.1:%u (max %d concurrent sessions over one mapping), "
+               "SIGINT/SIGTERM to stop\n",
                a.input.c_str(), e.graph().num_vertices(), to_string(info.kind),
-               info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds());
-  const std::size_t answered = engine::serve_session(e, std::cin, std::cout);
-  std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
-               answered == 1 ? "y" : "ies");
+               info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds(),
+               static_cast<unsigned>(server.port()), a.max_conns);
+
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
+  g_signal_server = &server;
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
+  server.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_signal_server = nullptr;
+
+  const net::Server::Counters c = server.counters();
+  std::fprintf(stderr,
+               "pgtool serve: stopped — %llu session%s served, %llu rejected at "
+               "capacity, %llu quer%s answered\n",
+               static_cast<unsigned long long>(c.accepted), c.accepted == 1 ? "" : "s",
+               static_cast<unsigned long long>(c.rejected),
+               static_cast<unsigned long long>(c.queries_answered),
+               c.queries_answered == 1 ? "y" : "ies");
+  return 0;
+}
+
+int run_client(const Args& a) {
+  const std::uint16_t port = parse_number<std::uint16_t>("<port>", a.input2);
+  net::Socket sock = net::connect_to(a.input, port);  // throws with the errno text
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Single-threaded two-way pump: stdin bytes go to the server as-is (its
+  // LineReader does the framing), reply bytes go to stdout as they arrive.
+  // Stdin EOF half-closes the connection ("no more requests"); the session
+  // ends when the server closes — after `quit`, a stop signal, or a
+  // protocol-free probe (empty stdin), so piped transcripts match the
+  // stdin REPL byte for byte.
+  bool stdin_open = true;
+  char buf[1 << 14];
+  for (;;) {
+    pollfd fds[2] = {{sock.fd(), POLLIN, 0}, {STDIN_FILENO, POLLIN, 0}};
+    const nfds_t nfds = stdin_open ? 2 : 1;
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) {
+      const long got = sock.read_some(buf, sizeof buf);
+      if (got <= 0) break;  // server closed: the session is over
+      if (std::fwrite(buf, 1, static_cast<std::size_t>(got), stdout) !=
+              static_cast<std::size_t>(got) ||
+          std::fflush(stdout) != 0) {
+        break;  // downstream consumer gone (SIGPIPE is ignored): stop pumping
+      }
+    }
+    if (stdin_open && fds[1].revents != 0) {
+      const ssize_t got = ::read(STDIN_FILENO, buf, sizeof buf);
+      if (got <= 0) {
+        stdin_open = false;
+        sock.shutdown_write();
+      } else if (!sock.write_all(buf, static_cast<std::size_t>(got))) {
+        break;  // server gone mid-request
+      }
+    }
+  }
   return 0;
 }
 
