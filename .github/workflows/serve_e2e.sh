@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Networked end-to-end check for the concurrent serving layer, shared by
-# the Debug/Release, ASan+UBSan, and TSan CI jobs:
+# the Debug/Release, ASan+UBSan, and TSan CI jobs. Two phases:
 #
+# Phase 1 — single-substrate (the v1 golden snapshot):
 #   1. start `pgtool serve --listen` on the golden snapshot (ephemeral
 #      port 0 would be cleaner, but a fixed port keeps the script dumb;
 #      the value is unregistered and the runners are single-tenant);
@@ -12,6 +13,13 @@
 #   4. SIGTERM the server and require a graceful exit (status 0) — under
 #      ASan that is also when the leak check runs.
 #
+# Phase 2 — multi-substrate (the v2 golden snapshot): one server maps
+# golden_v2.pgs (BF/sym + BF/dag + KMV/sym + KMV/dag), then two concurrent
+# clients query DIFFERENT substrates of the one mapping — one runs the
+# counting script (DAG substrates, kind= switching BF/KMV), the other the
+# neighborhood script (symmetric substrates) — and each transcript must
+# match its checked-in expectation byte for byte.
+#
 # Usage: serve_e2e.sh <path-to-pgtool> [port]
 set -euo pipefail
 
@@ -19,22 +27,28 @@ PGTOOL="${1:?usage: serve_e2e.sh <path-to-pgtool> [port]}"
 PORT="${2:-19777}"
 CLIENTS=4
 
+wait_ready() {
+  local port="$1" pid="$2"
+  local ready=0
+  for _ in $(seq 1 150); do
+    if "$PGTOOL" client 127.0.0.1 "$port" </dev/null >/dev/null 2>&1; then
+      ready=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ "$ready" != 1 ]; then
+    echo "server never became ready on port $port" >&2
+    kill -KILL "$pid" 2>/dev/null || true
+    exit 1
+  fi
+}
+
+# --- Phase 1: v1 snapshot, 4 identical concurrent sessions. ---
+
 "$PGTOOL" serve tests/data/golden.pgs --threads 1 --listen "$PORT" --max-conns 8 &
 SERVE_PID=$!
-
-ready=0
-for _ in $(seq 1 150); do
-  if "$PGTOOL" client 127.0.0.1 "$PORT" </dev/null >/dev/null 2>&1; then
-    ready=1
-    break
-  fi
-  sleep 0.2
-done
-if [ "$ready" != 1 ]; then
-  echo "server never became ready on port $PORT" >&2
-  kill -KILL "$SERVE_PID" 2>/dev/null || true
-  exit 1
-fi
+wait_ready "$PORT" "$SERVE_PID"
 
 pids=""
 for i in $(seq 1 "$CLIENTS"); do
@@ -54,3 +68,28 @@ echo "all $CLIENTS concurrent transcripts byte-identical"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 echo "server stopped gracefully"
+
+# --- Phase 2: v2 multi-substrate snapshot, two clients on different
+# --- substrate families over ONE mapping. ---
+
+MULTI_PORT=$((PORT + 1))
+"$PGTOOL" serve tests/data/golden_v2.pgs --threads 1 --listen "$MULTI_PORT" --max-conns 8 &
+MULTI_PID=$!
+wait_ready "$MULTI_PORT" "$MULTI_PID"
+
+"$PGTOOL" client 127.0.0.1 "$MULTI_PORT" \
+  < tests/data/serve_multi_tc.txt > multi_replies_tc.txt &
+TC_PID=$!
+"$PGTOOL" client 127.0.0.1 "$MULTI_PORT" \
+  < tests/data/serve_multi_pair.txt > multi_replies_pair.txt &
+PAIR_PID=$!
+wait "$TC_PID"
+wait "$PAIR_PID"
+
+diff -u tests/data/serve_multi_tc.expected multi_replies_tc.txt
+diff -u tests/data/serve_multi_pair.expected multi_replies_pair.txt
+echo "multi-substrate transcripts byte-identical (counting + neighborhood clients)"
+
+kill -TERM "$MULTI_PID"
+wait "$MULTI_PID"
+echo "multi-substrate server stopped gracefully"

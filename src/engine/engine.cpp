@@ -122,49 +122,105 @@ Engine Engine::from_snapshot(const std::string& path) {
 }
 
 const CsrGraph& Engine::symmetric_graph() const {
-  if (source_oriented()) {
+  if (snap_) {
+    if (const CsrGraph* g = snap_->graph_for(/*degree_oriented=*/false)) return *g;
     throw std::runtime_error(
-        "snapshot sketches the degree-oriented DAG; this query needs the symmetric "
-        "graph (rebuild without --orient)");
+        "snapshot sketches only the degree-oriented DAG (it serves " +
+        io::describe_substrates(snap_->info().substrates) +
+        "); this query needs the symmetric graph (rebuild without --orient, or "
+        "with --orient both)");
   }
   return *base_;
 }
 
 const CsrGraph& Engine::dag() {
-  if (source_oriented()) return *base_;
+  if (snap_) {
+    if (const CsrGraph* d = snap_->graph_for(/*degree_oriented=*/true)) return *d;
+  }
   std::lock_guard lock(*cache_mu_);
   return dag_locked();
 }
 
 const CsrGraph& Engine::dag_locked() {
-  if (source_oriented()) return *base_;
-  if (!dag_) dag_ = std::make_unique<const CsrGraph>(degree_orient(*base_));
+  if (snap_) {
+    if (const CsrGraph* d = snap_->graph_for(/*degree_oriented=*/true)) return *d;
+  }
+  if (!dag_) dag_ = std::make_unique<const CsrGraph>(degree_orient(symmetric_graph()));
   return *dag_;
 }
 
-const ProbGraph& Engine::symmetric_pg() {
-  if (snap_) {
-    if (snap_->info().degree_oriented) {
-      throw std::runtime_error(
-          "snapshot sketches the degree-oriented DAG; this query needs sketches of "
-          "the symmetric graph (rebuild without --orient)");
-    }
-    return snap_->prob_graph();
+const ProbGraph* Engine::try_snapshot_pg(std::optional<SketchKind> kind,
+                                         bool oriented) const {
+  if (kind) return snap_->find_substrate(*kind, oriented);
+  if (const ProbGraph* pg = snap_->find_substrate(snap_->info().kind, oriented)) {
+    return pg;
   }
+  return snap_->sole_substrate(oriented);
+}
+
+bool Engine::snapshot_carries_orientation(bool oriented) const {
+  for (const io::SubstrateInfo& s : snap_->info().substrates) {
+    if (s.degree_oriented == oriented) return true;
+  }
+  return false;
+}
+
+void Engine::fail_routing(std::optional<SketchKind> kind, bool oriented) const {
+  const std::string carried = io::describe_substrates(snap_->info().substrates);
+  const char* orientation =
+      oriented ? "the degree-oriented DAG" : "the symmetric graph";
+  // Only suggest kind= when a kind can actually work (some substrate of
+  // the needed orientation exists); otherwise only a rebuild helps.
+  const bool any_of_orientation = snapshot_carries_orientation(oriented);
+  std::string msg;
+  if (kind) {
+    // The actionable rebuild for a missing kind is --kinds (plus the
+    // orientation flag only when that whole orientation is absent) — not
+    // an --orient change, which would reproduce the same error.
+    msg = std::string("snapshot carries no ") + to_string(*kind) +
+          (oriented ? "/dag substrate" : "/sym substrate") + " (it serves " + carried +
+          "); rebuild with --kinds including " + to_string(*kind);
+    if (!any_of_orientation) {
+      msg += oriented ? " and --orient (or --orient both)"
+                      : " and without --orient (or with --orient both)";
+    } else {
+      msg += ", or route to a carried kind with kind=";
+    }
+    throw std::runtime_error(msg);
+  }
+  // Default route: distinguish "nothing of this orientation" from
+  // "several substrates of it, none matching the primary kind" — the
+  // latter is an ambiguity the caller resolves with kind=, not a rebuild.
+  if (any_of_orientation) {
+    msg = std::string("snapshot carries several sketches of ") + orientation +
+          " but none of the primary kind (" + to_string(snap_->info().kind) +
+          ") — it serves " + carried + "; pick one with kind=";
+  } else {
+    msg = std::string("snapshot carries no sketches of ") + orientation +
+          " (it serves " + carried + "); ";
+    msg += oriented ? "rebuild with --orient or --orient both"
+                    : "rebuild without --orient, or with --orient both";
+  }
+  throw std::runtime_error(msg);
+}
+
+const ProbGraph& Engine::symmetric_pg(std::optional<SketchKind> kind) {
+  if (snap_) {
+    if (const ProbGraph* pg = try_snapshot_pg(kind, /*oriented=*/false)) return *pg;
+    fail_routing(kind, /*oriented=*/false);
+  }
+  check_in_memory_kind(kind);
   std::lock_guard lock(*cache_mu_);
   if (!sym_pg_) sym_pg_.emplace(*base_, config_);
   return *sym_pg_;
 }
 
-const ProbGraph& Engine::oriented_pg() {
+const ProbGraph& Engine::oriented_pg(std::optional<SketchKind> kind) {
   if (snap_) {
-    if (!snap_->info().degree_oriented) {
-      throw std::runtime_error(
-          "snapshot sketches the symmetric graph; this query needs one built with "
-          "--orient");
-    }
-    return snap_->prob_graph();
+    if (const ProbGraph* pg = try_snapshot_pg(kind, /*oriented=*/true)) return *pg;
+    fail_routing(kind, /*oriented=*/true);
   }
+  check_in_memory_kind(kind);
   std::lock_guard lock(*cache_mu_);
   if (!dag_pg_) {
     // Keep the §V-A budget meaning of "additional memory on top of the CSR
@@ -174,6 +230,14 @@ const ProbGraph& Engine::oriented_pg() {
     dag_pg_.emplace(dag_locked(), cfg);
   }
   return *dag_pg_;
+}
+
+void Engine::check_in_memory_kind(std::optional<SketchKind> kind) const {
+  if (!kind || *kind == config_.kind) return;
+  throw std::runtime_error(
+      std::string("engine is configured for ") + to_string(config_.kind) +
+      " sketches; kind=" + to_string(*kind) +
+      " needs a rebuild with --sketch, or a multi-substrate snapshot carrying it");
 }
 
 void Engine::check_vertex(VertexId v) const {
@@ -213,17 +277,36 @@ QueryResult Engine::exec(const TriangleCount& q) {
     return r;
   }
   // Oriented sketches when the source carries or can build them; over a
-  // snapshot of the symmetric graph, the full-graph Thm-VII.1 estimator.
-  const bool full_mode = snap_ && !snap_->info().degree_oriented;
-  const ProbGraph& pg = full_mode ? symmetric_pg() : oriented_pg();
-  fill_sketch_meta(r, pg, !full_mode);
+  // snapshot without a matching DAG substrate, the full-graph Thm-VII.1
+  // estimator on the symmetric sketches.
+  const ProbGraph* pg = nullptr;
+  bool full_mode = false;
+  if (snap_) {
+    pg = try_snapshot_pg(q.sketch, /*oriented=*/true);
+    if (pg == nullptr) {
+      // Fall back to the full-mode estimator only when the DAG route is
+      // truly absent. A default route that failed because SEVERAL
+      // non-primary DAG substrates are carried is an ambiguity — error
+      // with "pick one with kind=" rather than silently answering with
+      // the weaker full-graph estimator.
+      if (!q.sketch && snapshot_carries_orientation(/*oriented=*/true)) {
+        fail_routing(q.sketch, /*oriented=*/true);
+      }
+      pg = try_snapshot_pg(q.sketch, /*oriented=*/false);
+      full_mode = true;
+    }
+    if (pg == nullptr) fail_routing(q.sketch, /*oriented=*/true);
+  } else {
+    pg = &oriented_pg(q.sketch);
+  }
+  fill_sketch_meta(r, *pg, !full_mode);
   util::Timer timer;
   r.value = algo::triangle_count_probgraph(
-      pg, full_mode ? algo::TcMode::kFull : algo::TcMode::kOriented);
+      *pg, full_mode ? algo::TcMode::kFull : algo::TcMode::kOriented);
   r.elapsed_seconds = timer.seconds();
-  const double m = full_mode ? static_cast<double>(base_->num_edges())
-                             : static_cast<double>(pg.graph().num_directed_edges());
-  r.bound = tc_bound(pg, m, r.value);
+  const double m = full_mode ? static_cast<double>(pg->graph().num_edges())
+                             : static_cast<double>(pg->graph().num_directed_edges());
+  r.bound = tc_bound(*pg, m, r.value);
   return r;
 }
 
@@ -238,7 +321,7 @@ QueryResult Engine::exec(const FourCliqueCount& q) {
     r.elapsed_seconds = timer.seconds();
     return r;
   }
-  const ProbGraph& pg = oriented_pg();
+  const ProbGraph& pg = oriented_pg(q.sketch);
   fill_sketch_meta(r, pg, true);
   util::Timer timer;
   r.value = algo::four_clique_count_probgraph(pg);
@@ -261,7 +344,7 @@ QueryResult Engine::exec(const KCliqueCount& q) {
     r.elapsed_seconds = timer.seconds();
     return r;
   }
-  const ProbGraph& pg = oriented_pg();
+  const ProbGraph& pg = oriented_pg(q.sketch);
   fill_sketch_meta(r, pg, true);
   util::Timer timer;
   r.value = algo::kclique_count_probgraph(pg, q.k);
@@ -282,7 +365,7 @@ QueryResult Engine::exec(const ClusteringCoeff& q) {
     r.elapsed_seconds = timer.seconds();
     return r;
   }
-  const ProbGraph& pg = symmetric_pg();
+  const ProbGraph& pg = symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   const double tc = algo::triangle_count_probgraph(pg, algo::TcMode::kFull);
@@ -300,6 +383,12 @@ QueryResult Engine::exec(const ClusteringCoeff& q) {
 }
 
 QueryResult Engine::exec(const Cluster& q) {
+  // A non-finite threshold (a protocol "cluster jaccard nan") would make
+  // every similarity comparison false and come back as a plausible "ok"
+  // reply; reject it at the engine so every front end is covered.
+  if (!std::isfinite(q.tau)) {
+    throw std::invalid_argument("cluster TAU must be a finite number");
+  }
   const CsrGraph& g = symmetric_graph();
   QueryResult r;
   r.name = "cluster";
@@ -312,7 +401,7 @@ QueryResult Engine::exec(const Cluster& q) {
     r.value = static_cast<double>(res.num_clusters);
     return r;
   }
-  const ProbGraph& pg = symmetric_pg();
+  const ProbGraph& pg = symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   const auto res = algo::jarvis_patrick_probgraph(pg, q.measure, q.tau);
@@ -347,7 +436,7 @@ QueryResult Engine::exec(const PairEstimate& q) {
   // Pair estimates are defined over full neighborhoods (|N_u ∩ N_v|), so
   // like cc/cluster/lp they refuse an --orient snapshot: N+ intersections
   // are a different quantity and must not come back as an "ok" reply.
-  const ProbGraph& pg = symmetric_pg();
+  const ProbGraph& pg = symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   pg.visit_backend([&](const auto& be) {
@@ -397,7 +486,7 @@ QueryResult Engine::exec(const LinkPredict& q) {
     for (const auto& l : links) r.pairs.push_back({l.u, l.v, l.score});
     return r;
   }
-  const ProbGraph& pg = symmetric_pg();
+  const ProbGraph& pg = symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   const auto links = algo::top_k_links_probgraph(pg, q.measure, q.topk);
@@ -410,19 +499,32 @@ QueryResult Engine::exec(const GraphStats&) {
   QueryResult r;
   r.name = "stats";
   util::Timer timer;
+  // Stats describe the symmetric graph whenever the source carries it —
+  // even in a dag-primary multi-substrate file, where base_ is the DAG
+  // but the neighborhood queries of the same session answer over the
+  // carried symmetric CSR. Only a DAG-only snapshot reports DAG
+  // (out-degree) statistics.
+  const CsrGraph* src = base_;
+  bool dag_stats = snap_ && snap_->info().degree_oriented;
+  if (dag_stats) {
+    if (const CsrGraph* sym = snap_->graph_for(/*degree_oriented=*/false)) {
+      src = sym;
+      dag_stats = false;
+    }
+  }
   GraphStatsInfo s;
-  s.num_vertices = base_->num_vertices();
+  s.num_vertices = src->num_vertices();
   // num_edges() halves the adjacency length, which is only right for a
-  // symmetric CSR; in an --orient snapshot every DAG arc IS one
+  // symmetric CSR; in a DAG-only snapshot every DAG arc IS one
   // undirected edge of the original graph.
-  s.num_edges = source_oriented() ? base_->num_directed_edges() : base_->num_edges();
-  s.num_directed_edges = base_->num_directed_edges();
-  s.max_degree = base_->max_degree();
-  s.avg_degree = base_->avg_degree();
-  s.degree_moment2 = base_->degree_moment(2);
-  s.degree_moment3 = base_->degree_moment(3);
-  s.csr_bytes = base_->memory_bytes();
-  s.mapped = base_->is_mapped();
+  s.num_edges = dag_stats ? src->num_directed_edges() : src->num_edges();
+  s.num_directed_edges = src->num_directed_edges();
+  s.max_degree = src->max_degree();
+  s.avg_degree = src->avg_degree();
+  s.degree_moment2 = src->degree_moment(2);
+  s.degree_moment3 = src->degree_moment(3);
+  s.csr_bytes = src->memory_bytes();
+  s.mapped = src->is_mapped();
   r.stats = s;
   r.elapsed_seconds = timer.seconds();
   return r;

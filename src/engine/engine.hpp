@@ -11,13 +11,34 @@
 //     G's CSR as in §V-A) from the same instance, paying each construction
 //     at most once;
 //   * a snapshot-backed Engine serves the file's prebuilt sketches
-//     zero-copy and never re-sketches — queries whose substrate the file
-//     does not carry fail with a descriptive std::runtime_error instead
-//     (triangle counting is the exception: over a symmetric snapshot it
-//     falls back to the Theorem-VII.1 full-graph estimator);
+//     zero-copy and never re-sketches. A v2 .pgs file can carry MULTIPLE
+//     substrates — sketch kinds × orientations — and every query is routed
+//     per the rules below; queries whose substrate the file does not carry
+//     fail with a descriptive std::runtime_error naming what it serves
+//     (triangle counting is the exception: without a DAG substrate it
+//     falls back to the Theorem-VII.1 full-graph estimator over the
+//     symmetric sketches);
 //   * the sketch-kind/estimator dispatch is hoisted per query via
 //     ProbGraph::visit_backend, so batched queries (PairEstimate,
 //     LinkPredict) score every pair through a monomorphic call chain.
+//
+// Substrate routing (the `sketch` field of a Query, the protocol's `kind=`
+// clause): the query type fixes the orientation it needs — tc/4cc/kclique
+// run on DAG sketches, cc/cluster/pair/lp on symmetric ones. Within that
+// orientation:
+//
+//   1. an explicit kind routes to exactly (kind, orientation) — carried or
+//      error;
+//   2. no kind defaults to the file's PRIMARY substrate's kind at the
+//      needed orientation;
+//   3. if the primary kind is not carried at that orientation but exactly
+//      ONE substrate of it exists, that one answers (the unambiguous
+//      fallback that keeps v1 single-substrate files working unchanged);
+//   4. otherwise the query fails, naming the carried substrates.
+//
+// In-memory engines build exactly one configured kind; an explicit kind
+// must match it (lazily building arbitrary kinds on demand would make the
+// cache an unbounded map — serve a multi-substrate snapshot instead).
 //
 // This is the substrate of `pgtool serve`: map the snapshot once, run an
 // Engine over it, answer arbitrarily many queries with zero per-query
@@ -90,9 +111,10 @@ class Engine {
   }
 
   /// True when the source carries only the degree-oriented DAG (an
-  /// `--orient` snapshot): neighborhood queries are unanswerable.
+  /// `--orient` snapshot with no symmetric substrate): neighborhood
+  /// queries are unanswerable.
   [[nodiscard]] bool source_oriented() const noexcept {
-    return snap_ && snap_->info().degree_oriented;
+    return snap_ && snap_->graph_for(/*degree_oriented=*/false) == nullptr;
   }
 
  private:
@@ -105,21 +127,34 @@ class Engine {
   QueryResult exec(const LinkPredict& q);
   QueryResult exec(const GraphStats& q);
 
-  /// The symmetric graph; throws when the source is an oriented snapshot.
+  /// The symmetric graph; throws when the snapshot carries no symmetric
+  /// substrate.
   const CsrGraph& symmetric_graph() const;
-  /// The degree-oriented DAG (the snapshot's graph when oriented, else
-  /// lazily built from the symmetric graph and cached). Thread-safe.
+  /// The degree-oriented DAG (the snapshot's DAG CSR when it carries one,
+  /// else lazily built from the symmetric graph and cached). Thread-safe.
   const CsrGraph& dag();
   /// dag() with cache_mu_ already held (oriented_pg() composes the two
   /// lazy builds under one lock).
   const CsrGraph& dag_locked();
-  /// Sketches over the symmetric graph (snapshot-served or lazily built).
-  /// Thread-safe.
-  const ProbGraph& symmetric_pg();
-  /// Sketches over the DAG, budget-referenced to the symmetric CSR
-  /// (snapshot-served or lazily built). Throws over a symmetric snapshot.
-  /// Thread-safe.
-  const ProbGraph& oriented_pg();
+  /// Snapshot substrate lookup per the routing rules above (explicit kind,
+  /// else primary kind, else sole-of-orientation). nullptr when the file
+  /// does not carry a match. Requires snap_.
+  const ProbGraph* try_snapshot_pg(std::optional<SketchKind> kind, bool oriented) const;
+  /// True when the snapshot carries at least one substrate of the given
+  /// orientation. Requires snap_.
+  bool snapshot_carries_orientation(bool oriented) const;
+  /// The routing-failure error: names the missing substrate and what the
+  /// file actually serves.
+  [[noreturn]] void fail_routing(std::optional<SketchKind> kind, bool oriented) const;
+  /// Sketches over the symmetric graph, routed by `kind` (snapshot-served
+  /// or lazily built). Thread-safe.
+  const ProbGraph& symmetric_pg(std::optional<SketchKind> kind);
+  /// Sketches over the DAG, budget-referenced to the symmetric CSR,
+  /// routed by `kind` (snapshot-served or lazily built). Throws when the
+  /// snapshot carries no matching DAG substrate. Thread-safe.
+  const ProbGraph& oriented_pg(std::optional<SketchKind> kind);
+  /// In-memory engines build exactly one kind; reject a mismatched route.
+  void check_in_memory_kind(std::optional<SketchKind> kind) const;
 
   void check_vertex(VertexId v) const;
   void fill_sketch_meta(QueryResult& r, const ProbGraph& pg, bool degree_oriented) const;

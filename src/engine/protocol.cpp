@@ -1,6 +1,7 @@
 #include "engine/protocol.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -33,9 +34,13 @@ bool parse_unsigned(std::string_view s, T& out) {
   return ec == std::errc{} && ptr == s.data() + s.size();
 }
 
+/// Strict finite parse: std::from_chars happily accepts "nan" and "inf",
+/// and a non-finite threshold silently poisons every comparison downstream
+/// ("cluster jaccard nan" would reply ok with zero kept edges) — reject it
+/// here so the session answers with a descriptive err line instead.
 bool parse_double(std::string_view s, double& out) {
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && ptr == s.data() + s.size();
+  return ec == std::errc{} && ptr == s.data() + s.size() && std::isfinite(out);
 }
 
 /// Pop a trailing "exact" token if present.
@@ -45,6 +50,34 @@ bool take_exact(std::vector<std::string_view>& tokens) {
     return true;
   }
   return false;
+}
+
+/// Extract one `kind=SKETCH` clause from anywhere in the token list.
+/// Returns false (with `error` set) on an unknown sketch name or a
+/// duplicate clause; `out` stays nullopt when no clause is present.
+bool take_sketch_kind(std::vector<std::string_view>& tokens,
+                      std::optional<SketchKind>& out, std::string& error) {
+  for (auto it = tokens.begin(); it != tokens.end();) {
+    const std::string_view t = *it;
+    if (t.size() < 5 || !iequals(t.substr(0, 5), "kind=")) {
+      ++it;
+      continue;
+    }
+    if (out) {
+      error = "duplicate kind= clause";
+      return false;
+    }
+    const std::string_view value = t.substr(5);
+    const auto kind = parse_sketch_kind(value);
+    if (!kind) {
+      error = "unknown sketch kind '" + std::string(value) +
+              "' in kind= (expected bf, kh, 1h, or kmv)";
+      return false;
+    }
+    out = *kind;
+    it = tokens.erase(it);
+  }
+  return true;
 }
 
 ParsedRequest make_error(std::string message) {
@@ -83,7 +116,17 @@ ParsedRequest parse_request(std::string_view line) {
     return r;
   }
 
+  std::optional<SketchKind> sketch;
+  {
+    std::string kind_error;
+    if (!take_sketch_kind(tokens, sketch, kind_error)) {
+      return make_error(std::move(kind_error));
+    }
+  }
   const bool exact = take_exact(tokens);
+  if (exact && sketch) {
+    return make_error("kind= does not apply to exact queries (no sketches are used)");
+  }
 
   if (iequals(cmd, "tc") || iequals(cmd, "4cc") || iequals(cmd, "cc") ||
       iequals(cmd, "stats")) {
@@ -91,25 +134,28 @@ ParsedRequest parse_request(std::string_view line) {
       return make_error(std::string(cmd) + " takes no arguments beyond 'exact' (got '" +
                         std::string(tokens.front()) + "')");
     }
-    if (iequals(cmd, "tc")) return make_query(TriangleCount{exact});
-    if (iequals(cmd, "4cc")) return make_query(FourCliqueCount{exact});
-    if (iequals(cmd, "cc")) return make_query(ClusteringCoeff{exact});
+    if (iequals(cmd, "tc")) return make_query(TriangleCount{exact, sketch});
+    if (iequals(cmd, "4cc")) return make_query(FourCliqueCount{exact, sketch});
+    if (iequals(cmd, "cc")) return make_query(ClusteringCoeff{exact, sketch});
     if (exact) return make_error("stats has no exact/sketch distinction");
+    if (sketch) return make_error("stats never touches the sketches (kind= does not apply)");
     return make_query(GraphStats{});
   }
 
   if (iequals(cmd, "kclique")) {
-    if (tokens.size() != 1) return make_error("usage: kclique K [exact]");
+    if (tokens.size() != 1) return make_error("usage: kclique K [kind=SKETCH] [exact]");
     unsigned k = 0;
     if (!parse_unsigned(tokens[0], k) || k < 3) {
       return make_error("kclique K must be an integer >= 3 (got '" +
                         std::string(tokens[0]) + "')");
     }
-    return make_query(KCliqueCount{k, exact});
+    return make_query(KCliqueCount{k, exact, sketch});
   }
 
   if (iequals(cmd, "cluster")) {
-    if (tokens.size() != 2) return make_error("usage: cluster MEASURE TAU [exact]");
+    if (tokens.size() != 2) {
+      return make_error("usage: cluster MEASURE TAU [kind=SKETCH] [exact]");
+    }
     const auto measure = algo::parse_similarity_measure(tokens[0]);
     if (!measure) {
       return make_error("unknown measure '" + std::string(tokens[0]) +
@@ -118,10 +164,10 @@ ParsedRequest parse_request(std::string_view line) {
     }
     double tau = 0.0;
     if (!parse_double(tokens[1], tau)) {
-      return make_error("cluster TAU must be a number (got '" + std::string(tokens[1]) +
-                        "')");
+      return make_error("cluster TAU must be a finite number (got '" +
+                        std::string(tokens[1]) + "')");
     }
-    return make_query(Cluster{*measure, tau, exact});
+    return make_query(Cluster{*measure, tau, exact, sketch});
   }
 
   if (iequals(cmd, "pair")) {
@@ -139,6 +185,7 @@ ParsedRequest parse_request(std::string_view line) {
     PairEstimate q;
     q.kind = *kind;
     q.exact = exact;
+    q.sketch = sketch;
     for (std::size_t i = 0; i < tokens.size(); i += 2) {
       VertexPair p;
       if (!parse_unsigned(tokens[i], p.u) || !parse_unsigned(tokens[i + 1], p.v)) {
@@ -157,6 +204,7 @@ ParsedRequest parse_request(std::string_view line) {
     }
     LinkPredict q;
     q.exact = exact;
+    q.sketch = sketch;
     if (!parse_unsigned(tokens[0], q.topk)) {
       return make_error("lp K must be a non-negative integer (got '" +
                         std::string(tokens[0]) + "')");
@@ -226,7 +274,8 @@ std::string format_error(std::string_view message) {
 std::string help_reply() {
   return "ok\thelp\ttc [exact] | 4cc [exact] | kclique K [exact] | cc [exact] | "
          "cluster MEASURE TAU [exact] | pair KIND U V [U V ...] [exact] | "
-         "lp K [MEASURE] [exact] | stats | quit";
+         "lp K [MEASURE] [exact] | stats | quit; sketch queries also take "
+         "kind=bf|kh|1h|kmv to route to a substrate of a multi-sketch snapshot";
 }
 
 std::size_t serve_session(Engine& engine, SessionIo& io) {

@@ -17,6 +17,15 @@
 // KIND    ∈ intersection | jaccard | overlap | common | total
 // MEASURE ∈ jaccard | overlap | common | total | adamic | resource
 //
+// Every sketch query (everything but stats) additionally accepts one
+// `kind=SKETCH` clause anywhere after the command, SKETCH ∈ bf | kh | 1h |
+// kmv: it routes the query to that sketch substrate of a multi-substrate
+// snapshot (engine.hpp documents the routing rules; without the clause the
+// file's primary substrate answers). `kind=` does not combine with `exact`
+// — an exact run uses no sketches. Numeric arguments must be finite:
+// "cluster jaccard nan" is answered with an err line, not a threshold that
+// silently compares false everywhere.
+//
 // Reply grammar (exactly one line per non-ignored request, tab-separated):
 //
 //   ok<TAB>tc<TAB><value>                         scalar queries (tc, 4cc,

@@ -51,29 +51,37 @@ struct VertexPair {
 
 // --- The query variants. `exact = true` bypasses the sketches and runs the
 // --- exact baseline (pgtool's `--sketch exact`); it needs no ProbGraph.
+// --- `sketch` routes the query to a specific sketch substrate (the
+// --- protocol's `kind=` clause): a multi-substrate .pgs snapshot can carry
+// --- several sketch kinds per orientation, and nullopt means "the file's
+// --- primary substrate" (see engine.hpp for the full routing rules).
 
 /// Triangle count. Sketch-based runs use the degree-oriented estimator
 /// (Listing 1) when oriented sketches are available or buildable, and fall
 /// back to the Theorem-VII.1 full-graph estimator TĈ = ⅓·Σ_E est(u,v) when
-/// serving a snapshot of the symmetric graph.
+/// serving a snapshot without a DAG substrate of the routed kind.
 struct TriangleCount {
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// 4-clique count (Listing 2). Sketch-based runs need oriented sketches.
 struct FourCliqueCount {
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// k-clique count, k ≥ 3. Sketch-based runs need oriented BF sketches.
 struct KCliqueCount {
   unsigned k = 5;
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// Global clustering coefficient 3·TC/#wedges over the symmetric graph.
 struct ClusteringCoeff {
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// Jarvis–Patrick clustering (Listing 4) over the symmetric graph.
@@ -81,6 +89,7 @@ struct Cluster {
   algo::SimilarityMeasure measure = algo::SimilarityMeasure::kJaccard;
   double tau = 0.1;
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// Batched per-pair estimates over the symmetric graph's neighborhoods:
@@ -89,6 +98,7 @@ struct PairEstimate {
   EstimateKind kind = EstimateKind::kIntersection;
   std::vector<VertexPair> pairs;
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// Serving-shaped link prediction: score every distance-2 non-adjacent
@@ -98,6 +108,7 @@ struct LinkPredict {
   std::uint32_t topk = 10;
   algo::SimilarityMeasure measure = algo::SimilarityMeasure::kCommonNeighbors;
   bool exact = false;
+  std::optional<SketchKind> sketch;
 };
 
 /// Basic facts about the loaded graph; never touches the sketches.
@@ -134,8 +145,10 @@ struct ClusterInfo {
   std::uint64_t kept_edges = 0;
 };
 
-/// For an --orient snapshot the stored graph is the DAG: num_edges counts
-/// its arcs (= the original m), and the degree fields are out-degrees.
+/// Stats describe the symmetric graph whenever the source carries it.
+/// Only for a DAG-only (--orient) snapshot is the stored graph the DAG:
+/// num_edges then counts its arcs (= the original m), and the degree
+/// fields are out-degrees.
 struct GraphStatsInfo {
   VertexId num_vertices = 0;
   EdgeId num_edges = 0;           ///< undirected m

@@ -1,12 +1,14 @@
 #include "io/snapshot.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
+#include "graph/orientation.hpp"
 #include "io/mmap_file.hpp"
 #include "util/hash.hpp"
 
@@ -19,7 +21,11 @@ constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
 constexpr std::size_t kSectionAlign = 64;
 constexpr std::uint32_t kFlagDegreeOriented = 1u << 0;
 
-/// Payload section ids, in file order.
+/// Payload section ids. Indices 0–6 of the section table always describe
+/// the PRIMARY substrate in this fixed role order (the whole v1 format);
+/// a v2 file adds the substrate directory at index 7 and repeats the CSR/
+/// arena ids for the extra substrates' sections, which are referenced by
+/// table index from the directory rather than by position.
 enum SectionId : std::uint32_t {
   kSecCsrOffsets = 1,
   kSecCsrAdjacency = 2,
@@ -28,8 +34,10 @@ enum SectionId : std::uint32_t {
   kSecOhArena = 5,
   kSecKmvArena = 6,
   kSecSketchSizes = 7,
+  kSecSubstrateDir = 8,
 };
-constexpr std::uint32_t kSectionCount = 7;
+/// The v1 section count; also the count of primary sections in a v2 file.
+constexpr std::uint32_t kPrimarySectionCount = 7;
 
 struct FileHeader {
   char magic[8];
@@ -42,12 +50,12 @@ struct FileHeader {
   std::uint64_t file_checksum;
   std::uint32_t section_count;
   std::uint32_t flags;
-  // Graph shape.
+  // Graph shape (of the primary substrate's CSR).
   std::uint32_t num_vertices;
   std::uint32_t bf_hashes;
   std::uint64_t num_directed_edges;
-  // ProbGraphConfig (field-by-field, never a struct memcpy, so the file
-  // layout survives config evolution).
+  // The primary substrate's ProbGraphConfig (field-by-field, never a
+  // struct memcpy, so the file layout survives config evolution).
   std::uint8_t kind;
   std::uint8_t bf_estimator;
   std::uint8_t reserved[6];
@@ -63,7 +71,7 @@ struct FileHeader {
   double construction_seconds;
 };
 static_assert(std::is_trivially_copyable_v<FileHeader>);
-static_assert(sizeof(FileHeader) == 136, ".pgs header layout is frozen at version 1");
+static_assert(sizeof(FileHeader) == 136, ".pgs header layout is frozen since version 1");
 
 struct SectionEntry {
   std::uint32_t id;
@@ -73,6 +81,34 @@ struct SectionEntry {
 };
 static_assert(std::is_trivially_copyable_v<SectionEntry>);
 static_assert(sizeof(SectionEntry) == 24);
+
+/// One row of the v2 substrate directory: a substrate's full config and
+/// derived parameters plus the section-table indices of its sections.
+/// Entry 0 is the primary and must agree with the FileHeader (its sections
+/// are table indices 0–6, the v1 layout).
+struct SubstrateEntry {
+  std::uint8_t kind;
+  std::uint8_t bf_estimator;
+  std::uint8_t degree_oriented;
+  std::uint8_t reserved0;
+  std::uint32_t bf_hashes;
+  double storage_budget;
+  std::uint64_t cfg_bf_bits;
+  std::uint64_t budget_reference_bytes;
+  std::uint64_t seed;
+  std::uint32_t cfg_minhash_k;
+  std::uint32_t minhash_k;
+  std::uint64_t bf_bits;
+  std::uint64_t bf_words_per_vertex;
+  double construction_seconds;
+  /// Section-table indices in the fixed role order: CSR offsets, CSR
+  /// adjacency, BF arena, k-hash arena, 1-hash arena, KMV arena, sketch
+  /// sizes. Substrates of one orientation share the CSR indices.
+  std::uint32_t sec[7];
+  std::uint32_t reserved1;
+};
+static_assert(std::is_trivially_copyable_v<SubstrateEntry>);
+static_assert(sizeof(SubstrateEntry) == 104, ".pgs substrate directory layout is frozen");
 
 // BottomKEntry has 4 tail-padding bytes; the writer zeroes them (see
 // packed_oh_bytes) so files are byte-deterministic, and the reader serves
@@ -95,7 +131,9 @@ constexpr std::size_t align_up(std::size_t x) {
 // the header's file_checksum field read as zero, so every header bit is
 // covered as well. Any flipped bit changes its block's digest and thus the
 // total. Not cryptographic — this guards against truncation and bit rot,
-// not adversaries.
+// not adversaries. Version 2 keeps the same checksum (it covers the
+// substrate directory and every extra section for free: the hashed stream
+// is simply the whole file).
 
 constexpr std::size_t kChecksumBlock = std::size_t{1} << 20;
 
@@ -200,11 +238,12 @@ class BlockChecksum {
   std::vector<std::uint64_t> digests_;
 };
 
-struct SectionDesc {
+struct SectionSource {
   std::uint32_t id;
   std::uint32_t elem_bytes;
-  const std::byte* data;  // null for the re-packed 1-hash section
+  const std::byte* data;  // null for the re-packed 1-hash sections
   std::uint64_t bytes;
+  const ProbGraph* oh_source = nullptr;  // set for 1-hash sections
 };
 
 /// Stream the 1-hash arena re-serialized with its struct padding zeroed
@@ -235,45 +274,182 @@ void emit_packed_oh(std::span<const BottomKEntry> entries, Sink&& sink) {
   throw std::runtime_error("snapshot " + path + ": " + why);
 }
 
+const char* orient_tag(bool degree_oriented) noexcept {
+  return degree_oriented ? "dag" : "sym";
+}
+
 }  // namespace
 
+std::string describe_substrates(std::span<const SubstrateInfo> subs) {
+  std::string out;
+  for (const SubstrateInfo& s : subs) {
+    if (!out.empty()) out += ", ";
+    out += to_string(s.kind);
+    out += '/';
+    out += orient_tag(s.degree_oriented);
+  }
+  return out;
+}
+
+const ProbGraph* Snapshot::find_substrate(SketchKind kind,
+                                          bool degree_oriented) const noexcept {
+  for (const Substrate& s : subs_) {
+    if (s.kind == kind && s.degree_oriented == degree_oriented) return s.pg.get();
+  }
+  return nullptr;
+}
+
+const ProbGraph* Snapshot::sole_substrate(bool degree_oriented) const noexcept {
+  const ProbGraph* found = nullptr;
+  for (const Substrate& s : subs_) {
+    if (s.degree_oriented != degree_oriented) continue;
+    if (found != nullptr) return nullptr;  // ambiguous
+    found = s.pg.get();
+  }
+  return found;
+}
+
 void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta meta) {
-  const CsrGraph& g = pg.graph();
-  const ProbGraphConfig& cfg = pg.config();
+  const SnapshotSubstrate sub{&pg, meta.degree_oriented};
+  save_snapshot(path, std::span<const SnapshotSubstrate>(&sub, 1));
+}
+
+void save_snapshot(const std::string& path,
+                   std::span<const SnapshotSubstrate> substrates) {
+  if (substrates.empty()) {
+    throw std::invalid_argument("snapshot: at least one substrate is required");
+  }
+  // One CSR per orientation: every substrate of an orientation must have
+  // been built over the same graph instance, and (kind, orientation) must
+  // be unique or later directory lookups would be ambiguous.
+  const CsrGraph* csr_of[2] = {nullptr, nullptr};
+  for (std::size_t i = 0; i < substrates.size(); ++i) {
+    const SnapshotSubstrate& s = substrates[i];
+    if (s.pg == nullptr) throw std::invalid_argument("snapshot: null substrate");
+    const CsrGraph*& slot = csr_of[s.degree_oriented ? 1 : 0];
+    if (slot == nullptr) {
+      slot = &s.pg->graph();
+    } else if (slot != &s.pg->graph()) {
+      throw std::invalid_argument(
+          "snapshot: substrates of the same orientation must sketch the same graph");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (substrates[j].pg->kind() == s.pg->kind() &&
+          substrates[j].degree_oriented == s.degree_oriented) {
+        throw std::invalid_argument(
+            std::string("snapshot: duplicate substrate ") + to_string(s.pg->kind()) +
+            "/" + orient_tag(s.degree_oriented));
+      }
+    }
+  }
+  // The DAG must be an orientation of the SAME graph the symmetric
+  // substrates sketch: any orientation of G keeps its vertex set and has
+  // exactly one arc per undirected edge. Violations would either write a
+  // file the loader rejects (different n) or, worse, serve exact counts
+  // of an unrelated graph (same n, different edges) — fail at the API
+  // boundary instead.
+  if (csr_of[0] != nullptr && csr_of[1] != nullptr &&
+      (csr_of[0]->num_vertices() != csr_of[1]->num_vertices() ||
+       csr_of[0]->num_directed_edges() != 2 * csr_of[1]->num_directed_edges())) {
+    throw std::invalid_argument(
+        "snapshot: the degree-oriented substrates do not orient the graph the "
+        "symmetric substrates sketch (vertex/edge counts disagree)");
+  }
 
   const auto bytes_of = [](const auto& span) {
-    return std::span<const std::byte>{reinterpret_cast<const std::byte*>(span.data()),
-                                      span.size_bytes()};
+    return reinterpret_cast<const std::byte*>(span.data());
   };
-  const SectionDesc sections[kSectionCount] = {
-      {kSecCsrOffsets, sizeof(EdgeId), bytes_of(g.offsets()).data(),
-       g.offsets().size_bytes()},
-      {kSecCsrAdjacency, sizeof(VertexId), bytes_of(g.adjacency()).data(),
-       g.adjacency().size_bytes()},
-      {kSecBfArena, sizeof(std::uint64_t), bytes_of(pg.bf_arena()).data(),
-       pg.bf_arena().size_bytes()},
-      {kSecKhArena, sizeof(std::uint64_t), bytes_of(pg.kh_arena()).data(),
-       pg.kh_arena().size_bytes()},
-      {kSecOhArena, sizeof(BottomKEntry), nullptr, pg.oh_arena().size_bytes()},
-      {kSecKmvArena, sizeof(double), bytes_of(pg.kmv_arena()).data(),
-       pg.kmv_arena().size_bytes()},
-      {kSecSketchSizes, sizeof(std::uint32_t), bytes_of(pg.sketch_sizes()).data(),
-       pg.sketch_sizes().size_bytes()},
+  std::vector<SectionSource> sections;
+  const auto add = [&sections](std::uint32_t id, std::uint32_t elem_bytes,
+                               const std::byte* data, std::uint64_t bytes,
+                               const ProbGraph* oh = nullptr) {
+    sections.push_back({id, elem_bytes, data, bytes, oh});
+    return static_cast<std::uint32_t>(sections.size() - 1);
   };
+  const auto add_csr = [&](const CsrGraph& g) -> std::array<std::uint32_t, 2> {
+    return {add(kSecCsrOffsets, sizeof(EdgeId), bytes_of(g.offsets()),
+                g.offsets().size_bytes()),
+            add(kSecCsrAdjacency, sizeof(VertexId), bytes_of(g.adjacency()),
+                g.adjacency().size_bytes())};
+  };
+  const auto add_arenas = [&](const ProbGraph& pg) -> std::array<std::uint32_t, 5> {
+    return {add(kSecBfArena, sizeof(std::uint64_t), bytes_of(pg.bf_arena()),
+                pg.bf_arena().size_bytes()),
+            add(kSecKhArena, sizeof(std::uint64_t), bytes_of(pg.kh_arena()),
+                pg.kh_arena().size_bytes()),
+            add(kSecOhArena, sizeof(BottomKEntry), nullptr, pg.oh_arena().size_bytes(),
+                &pg),
+            add(kSecKmvArena, sizeof(double), bytes_of(pg.kmv_arena()),
+                pg.kmv_arena().size_bytes()),
+            add(kSecSketchSizes, sizeof(std::uint32_t), bytes_of(pg.sketch_sizes()),
+                pg.sketch_sizes().size_bytes())};
+  };
+  const auto fill_entry = [](const SnapshotSubstrate& s,
+                             const std::array<std::uint32_t, 2>& csr_idx,
+                             const std::array<std::uint32_t, 5>& arena_idx) {
+    const ProbGraph& pg = *s.pg;
+    const ProbGraphConfig& cfg = pg.config();
+    SubstrateEntry e;
+    std::memset(&e, 0, sizeof e);  // deterministic bytes incl. reserved fields
+    e.kind = static_cast<std::uint8_t>(cfg.kind);
+    e.bf_estimator = static_cast<std::uint8_t>(cfg.bf_estimator);
+    e.degree_oriented = s.degree_oriented ? 1 : 0;
+    e.bf_hashes = cfg.bf_hashes;
+    e.storage_budget = cfg.storage_budget;
+    e.cfg_bf_bits = cfg.bf_bits;
+    e.budget_reference_bytes = cfg.budget_reference_bytes;
+    e.seed = cfg.seed;
+    e.cfg_minhash_k = cfg.minhash_k;
+    e.minhash_k = pg.minhash_k();
+    e.bf_bits = pg.bf_bits();
+    e.bf_words_per_vertex =
+        pg.bf_bits() == 0 ? 0 : pg.bf_arena().size() / pg.graph().num_vertices();
+    e.construction_seconds = pg.construction_seconds();
+    e.sec[0] = csr_idx[0];
+    e.sec[1] = csr_idx[1];
+    for (std::size_t i = 0; i < arena_idx.size(); ++i) e.sec[2 + i] = arena_idx[i];
+    return e;
+  };
+
+  // The primary substrate occupies sections 0–6 in the v1 role order; the
+  // substrate directory is section 7; the second orientation's CSR (if
+  // any) and the extra substrates' arenas follow.
+  const SnapshotSubstrate& primary = substrates[0];
+  const CsrGraph& g = primary.pg->graph();
+  std::array<std::uint32_t, 2> csr_idx[2];
+  csr_idx[primary.degree_oriented ? 1 : 0] = add_csr(g);
+  std::vector<std::array<std::uint32_t, 5>> arena_idx(substrates.size());
+  arena_idx[0] = add_arenas(*primary.pg);
+  std::vector<SubstrateEntry> directory(substrates.size());
+  const std::uint32_t dir_index =
+      add(kSecSubstrateDir, sizeof(SubstrateEntry), nullptr,
+          substrates.size() * sizeof(SubstrateEntry));
+  const int other = primary.degree_oriented ? 0 : 1;
+  if (csr_of[other] != nullptr) csr_idx[other] = add_csr(*csr_of[other]);
+  for (std::size_t i = 1; i < substrates.size(); ++i) {
+    arena_idx[i] = add_arenas(*substrates[i].pg);
+  }
+  for (std::size_t i = 0; i < substrates.size(); ++i) {
+    directory[i] = fill_entry(substrates[i], csr_idx[substrates[i].degree_oriented ? 1 : 0],
+                              arena_idx[i]);
+  }
+  sections[dir_index].data = reinterpret_cast<const std::byte*>(directory.data());
 
   // Lay out the payload: every section starts kSectionAlign-aligned and is
   // followed by zero padding up to the next boundary (EOF included, so the
   // checksummed range is exactly [payload_offset, file_bytes)).
+  const std::uint32_t section_count = static_cast<std::uint32_t>(sections.size());
   const std::uint64_t payload_offset =
-      align_up(sizeof(FileHeader) + kSectionCount * sizeof(SectionEntry));
-  SectionEntry table[kSectionCount];
+      align_up(sizeof(FileHeader) + section_count * sizeof(SectionEntry));
+  std::vector<SectionEntry> table(section_count);
   std::uint64_t cursor = payload_offset;
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+  for (std::uint32_t i = 0; i < section_count; ++i) {
     table[i] = {sections[i].id, sections[i].elem_bytes, cursor, sections[i].bytes};
     cursor = align_up(cursor + sections[i].bytes);
   }
   const std::uint64_t file_bytes = cursor;
 
+  const ProbGraphConfig& cfg = primary.pg->config();
   FileHeader h;
   std::memset(&h, 0, sizeof h);  // deterministic bytes incl. struct padding
   std::memcpy(h.magic, kMagic, sizeof kMagic);
@@ -281,8 +457,8 @@ void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta me
   h.endian_tag = kEndianTag;
   h.file_bytes = file_bytes;
   h.payload_offset = payload_offset;
-  h.section_count = kSectionCount;
-  h.flags = meta.degree_oriented ? kFlagDegreeOriented : 0;
+  h.section_count = section_count;
+  h.flags = primary.degree_oriented ? kFlagDegreeOriented : 0;
   h.num_vertices = g.num_vertices();
   h.bf_hashes = cfg.bf_hashes;
   h.num_directed_edges = g.num_directed_edges();
@@ -293,11 +469,11 @@ void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta me
   h.budget_reference_bytes = cfg.budget_reference_bytes;
   h.seed = cfg.seed;
   h.cfg_minhash_k = cfg.minhash_k;
-  h.minhash_k = pg.minhash_k();
-  h.bf_bits = pg.bf_bits();
+  h.minhash_k = primary.pg->minhash_k();
+  h.bf_bits = primary.pg->bf_bits();
   h.bf_words_per_vertex =
-      pg.bf_bits() == 0 ? 0 : pg.bf_arena().size() / g.num_vertices();
-  h.construction_seconds = pg.construction_seconds();
+      primary.pg->bf_bits() == 0 ? 0 : primary.pg->bf_arena().size() / g.num_vertices();
+  h.construction_seconds = primary.pg->construction_seconds();
 
   // Stream header + table + payload twice — once into the checksum (with
   // h.file_checksum still zero, matching how loads re-hash the file), once
@@ -307,11 +483,12 @@ void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta me
   static constexpr std::byte kZeros[kSectionAlign] = {};
   const auto emit_file = [&](auto&& sink) {
     sink(reinterpret_cast<const std::byte*>(&h), sizeof h);
-    sink(reinterpret_cast<const std::byte*>(table), sizeof table);
-    sink(kZeros, payload_offset - sizeof h - sizeof table);
-    for (std::uint32_t i = 0; i < kSectionCount; ++i) {
-      if (sections[i].id == kSecOhArena) {
-        emit_packed_oh(pg.oh_arena(), sink);
+    sink(reinterpret_cast<const std::byte*>(table.data()),
+         table.size() * sizeof(SectionEntry));
+    sink(kZeros, payload_offset - sizeof h - table.size() * sizeof(SectionEntry));
+    for (std::uint32_t i = 0; i < section_count; ++i) {
+      if (sections[i].oh_source != nullptr) {
+        emit_packed_oh(sections[i].oh_source->oh_arena(), sink);
       } else if (sections[i].bytes > 0) {  // unused arenas have no data pointer
         sink(sections[i].data, sections[i].bytes);
       }
@@ -331,6 +508,35 @@ void save_snapshot(const std::string& path, const ProbGraph& pg, SnapshotMeta me
   if (!out) fail(path, "write failed");
 }
 
+SubstrateSet build_substrates(const CsrGraph& g, std::span<const SketchKind> kinds,
+                              bool symmetric, bool degree_oriented,
+                              ProbGraphConfig base_config) {
+  if (kinds.empty()) throw std::invalid_argument("snapshot: at least one sketch kind");
+  if (!symmetric && !degree_oriented) {
+    throw std::invalid_argument("snapshot: at least one orientation");
+  }
+  SubstrateSet set;
+  if (degree_oriented) set.dag = std::make_unique<const CsrGraph>(degree_orient(g));
+  set.sketches.reserve(kinds.size() * (static_cast<std::size_t>(symmetric) +
+                                       static_cast<std::size_t>(degree_oriented)));
+  for (const SketchKind kind : kinds) {
+    if (symmetric) {
+      ProbGraphConfig cfg = base_config;
+      cfg.kind = kind;
+      set.sketches.emplace_back(g, cfg);
+      set.substrates.push_back({&set.sketches.back(), false});
+    }
+    if (degree_oriented) {
+      ProbGraphConfig cfg = base_config;
+      cfg.kind = kind;
+      cfg.budget_reference_bytes = g.memory_bytes();
+      set.sketches.emplace_back(*set.dag, cfg);
+      set.substrates.push_back({&set.sketches.back(), true});
+    }
+  }
+  return set;
+}
+
 Snapshot load_snapshot(const std::string& path) {
   std::shared_ptr<const MappedFile> file = MappedFile::open(path);
   const std::byte* base = file->data();
@@ -343,18 +549,21 @@ Snapshot load_snapshot(const std::string& path) {
     fail(path, "bad magic (not a .pgs snapshot)");
   }
   if (h.endian_tag != kEndianTag) fail(path, "endianness mismatch");
-  if (h.version != kSnapshotVersion) {
-    fail(path, "unsupported format version " + std::to_string(h.version) + " (expected " +
-                   std::to_string(kSnapshotVersion) + ")");
+  if (h.version != 1 && h.version != kSnapshotVersion) {
+    fail(path, "unsupported format version " + std::to_string(h.version) +
+                   " (expected 1 or " + std::to_string(kSnapshotVersion) + ")");
   }
   if (h.file_bytes != size) {
     fail(path, "size mismatch: header says " + std::to_string(h.file_bytes) +
                    " bytes, file has " + std::to_string(size) + " (truncated?)");
   }
-  if (h.section_count != kSectionCount) fail(path, "unexpected section count");
+  if (h.version == 1 ? h.section_count != kPrimarySectionCount
+                     : h.section_count < kPrimarySectionCount + 1) {
+    fail(path, "unexpected section count");
+  }
   const std::uint64_t table_end =
-      sizeof(FileHeader) + h.section_count * sizeof(SectionEntry);
-  if (h.payload_offset < table_end || h.payload_offset > size ||
+      sizeof(FileHeader) + std::uint64_t{h.section_count} * sizeof(SectionEntry);
+  if (table_end > size || h.payload_offset < table_end || h.payload_offset > size ||
       h.payload_offset % kSectionAlign != 0) {
     fail(path, "invalid payload offset");
   }
@@ -365,13 +574,22 @@ Snapshot load_snapshot(const std::string& path) {
     fail(path, "checksum mismatch (corrupted file)");
   }
 
-  // Sections: fixed order, validated offsets, typed zero-copy views.
-  SectionEntry table[kSectionCount];
-  std::memcpy(table, base + sizeof(FileHeader), sizeof table);
+  // Sections: validated offsets, typed zero-copy views resolved by table
+  // index with an expected role id.
+  std::vector<SectionEntry> table(h.section_count);
+  std::memcpy(table.data(), base + sizeof(FileHeader),
+              table.size() * sizeof(SectionEntry));
   const auto section = [&](std::uint32_t index, SectionId id,
                            std::uint32_t elem_bytes) -> std::span<const std::byte> {
+    if (index >= table.size()) {
+      fail(path, "section index " + std::to_string(index) + " out of range");
+    }
     const SectionEntry& e = table[index];
-    if (e.id != id) fail(path, "section table order mismatch");
+    if (e.id != id) {
+      fail(path, "section role mismatch at index " + std::to_string(index) +
+                     " (id " + std::to_string(e.id) + ", expected " + std::to_string(id) +
+                     ")");
+    }
     if (e.elem_bytes != elem_bytes) {
       fail(path, "section element size mismatch (id " + std::to_string(id) + ")");
     }
@@ -385,87 +603,174 @@ Snapshot load_snapshot(const std::string& path) {
                                      std::type_identity<T>) -> std::span<const T> {
     return {reinterpret_cast<const T*>(raw.data()), raw.size() / sizeof(T)};
   };
-  const auto offsets =
-      typed(section(0, kSecCsrOffsets, sizeof(EdgeId)), std::type_identity<EdgeId>{});
-  const auto adjacency = typed(section(1, kSecCsrAdjacency, sizeof(VertexId)),
-                               std::type_identity<VertexId>{});
-  const auto bf = typed(section(2, kSecBfArena, sizeof(std::uint64_t)),
-                        std::type_identity<std::uint64_t>{});
-  const auto kh = typed(section(3, kSecKhArena, sizeof(std::uint64_t)),
-                        std::type_identity<std::uint64_t>{});
-  const auto oh = typed(section(4, kSecOhArena, sizeof(BottomKEntry)),
-                        std::type_identity<BottomKEntry>{});
-  const auto kmv =
-      typed(section(5, kSecKmvArena, sizeof(double)), std::type_identity<double>{});
-  const auto sizes = typed(section(6, kSecSketchSizes, sizeof(std::uint32_t)),
-                           std::type_identity<std::uint32_t>{});
 
-  // Graph shape checks — cheap O(n) guards so a consistent-but-wrong header
-  // cannot send algorithm kernels out of the adjacency section.
-  if (offsets.size() != static_cast<std::size_t>(h.num_vertices) + 1) {
-    fail(path, "offset section does not match the vertex count");
-  }
-  if (adjacency.size() != h.num_directed_edges) {
-    fail(path, "adjacency section does not match the edge count");
-  }
-  if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
-    fail(path, "CSR offsets do not span the adjacency section");
-  }
-  for (std::size_t v = 1; v < offsets.size(); ++v) {
-    if (offsets[v - 1] > offsets[v]) fail(path, "CSR offsets not monotone");
-  }
-  if (!adjacency.empty()) {
-    // Branch-free max-reduction in four independent accumulators: a single
-    // max chain is serially dependent and this scan covers most of the file
-    // a second time, so it must run at memory bandwidth like the checksum.
-    VertexId m0 = 0, m1 = 0, m2 = 0, m3 = 0;
-    std::size_t i = 0;
-    for (; i + 4 <= adjacency.size(); i += 4) {
-      m0 = std::max(m0, adjacency[i]);
-      m1 = std::max(m1, adjacency[i + 1]);
-      m2 = std::max(m2, adjacency[i + 2]);
-      m3 = std::max(m3, adjacency[i + 3]);
+  // The substrate list: synthesized from the header for a v1 file, read
+  // from the directory section for v2 (entry 0 must restate the header).
+  std::vector<SubstrateEntry> entries;
+  if (h.version == 1) {
+    SubstrateEntry e;
+    std::memset(&e, 0, sizeof e);
+    e.kind = h.kind;
+    e.bf_estimator = h.bf_estimator;
+    e.degree_oriented = (h.flags & kFlagDegreeOriented) != 0 ? 1 : 0;
+    e.bf_hashes = h.bf_hashes;
+    e.storage_budget = h.storage_budget;
+    e.cfg_bf_bits = h.cfg_bf_bits;
+    e.budget_reference_bytes = h.budget_reference_bytes;
+    e.seed = h.seed;
+    e.cfg_minhash_k = h.cfg_minhash_k;
+    e.minhash_k = h.minhash_k;
+    e.bf_bits = h.bf_bits;
+    e.bf_words_per_vertex = h.bf_words_per_vertex;
+    e.construction_seconds = h.construction_seconds;
+    for (std::uint32_t i = 0; i < kPrimarySectionCount; ++i) e.sec[i] = i;
+    entries.push_back(e);
+  } else {
+    const auto raw =
+        section(kPrimarySectionCount, kSecSubstrateDir, sizeof(SubstrateEntry));
+    const std::size_t count = raw.size() / sizeof(SubstrateEntry);
+    if (count == 0) fail(path, "empty substrate directory");
+    entries.resize(count);
+    std::memcpy(entries.data(), raw.data(), raw.size());
+    bool primary_matches = entries[0].kind == h.kind &&
+                           entries[0].bf_estimator == h.bf_estimator &&
+                           (entries[0].degree_oriented != 0) ==
+                               ((h.flags & kFlagDegreeOriented) != 0);
+    for (std::uint32_t i = 0; i < kPrimarySectionCount; ++i) {
+      primary_matches = primary_matches && entries[0].sec[i] == i;
     }
-    for (; i < adjacency.size(); ++i) m0 = std::max(m0, adjacency[i]);
-    if (std::max(std::max(m0, m1), std::max(m2, m3)) >= h.num_vertices) {
-      fail(path, "adjacency entry out of vertex range");
+    if (!primary_matches) fail(path, "substrate directory disagrees with the header");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SubstrateEntry& e = entries[i];
+    if (e.kind > static_cast<std::uint8_t>(SketchKind::kKmv)) {
+      fail(path, "invalid sketch kind " + std::to_string(e.kind));
+    }
+    if (e.bf_estimator > static_cast<std::uint8_t>(BfEstimator::kOr)) {
+      fail(path, "invalid BF estimator " + std::to_string(e.bf_estimator));
+    }
+    if (e.degree_oriented > 1) fail(path, "invalid substrate orientation");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (entries[j].kind == e.kind && entries[j].degree_oriented == e.degree_oriented) {
+        fail(path, std::string("duplicate substrate ") +
+                       to_string(static_cast<SketchKind>(e.kind)) + "/" +
+                       orient_tag(e.degree_oriented != 0));
+      }
     }
   }
-  if (h.kind > static_cast<std::uint8_t>(SketchKind::kKmv)) {
-    fail(path, "invalid sketch kind " + std::to_string(h.kind));
-  }
-  if (h.bf_estimator > static_cast<std::uint8_t>(BfEstimator::kOr)) {
-    fail(path, "invalid BF estimator " + std::to_string(h.bf_estimator));
+
+  // Every substrate of one orientation must reference the SAME CSR
+  // sections (one graph per orientation, like the writer emits).
+  std::array<std::uint32_t, 2> csr_sec[2];
+  bool have_csr[2] = {false, false};
+  for (const SubstrateEntry& e : entries) {
+    const int o = e.degree_oriented != 0 ? 1 : 0;
+    if (!have_csr[o]) {
+      csr_sec[o] = {e.sec[0], e.sec[1]};
+      have_csr[o] = true;
+    } else if (csr_sec[o][0] != e.sec[0] || csr_sec[o][1] != e.sec[1]) {
+      fail(path, "substrates of one orientation reference different CSR sections");
+    }
   }
 
   Snapshot snap;
   snap.file_ = file;
-  snap.graph_ = std::make_unique<const CsrGraph>(
-      util::ArenaRef<EdgeId>(offsets, file), util::ArenaRef<VertexId>(adjacency, file));
 
-  ProbGraphParts parts;
-  parts.config.kind = static_cast<SketchKind>(h.kind);
-  parts.config.bf_estimator = static_cast<BfEstimator>(h.bf_estimator);
-  parts.config.storage_budget = h.storage_budget;
-  parts.config.bf_hashes = h.bf_hashes;
-  parts.config.bf_bits = h.cfg_bf_bits;
-  parts.config.minhash_k = h.cfg_minhash_k;
-  parts.config.budget_reference_bytes = h.budget_reference_bytes;
-  parts.config.seed = h.seed;
-  parts.bf_bits = h.bf_bits;
-  parts.bf_words_per_vertex = h.bf_words_per_vertex;
-  parts.minhash_k = h.minhash_k;
-  parts.bf_arena = util::ArenaRef<std::uint64_t>(bf, file);
-  parts.kh_arena = util::ArenaRef<std::uint64_t>(kh, file);
-  parts.oh_arena = util::ArenaRef<BottomKEntry>(oh, file);
-  parts.kmv_arena = util::ArenaRef<double>(kmv, file);
-  parts.sketch_sizes = util::ArenaRef<std::uint32_t>(sizes, file);
-  parts.construction_seconds = h.construction_seconds;
-  try {
-    snap.pg_ = std::make_unique<const ProbGraph>(
-        ProbGraph::from_parts(*snap.graph_, std::move(parts)));
-  } catch (const std::invalid_argument& e) {
-    fail(path, e.what());
+  // Graph shape checks — cheap O(n + m) guards so a consistent-but-wrong
+  // header cannot send algorithm kernels out of an adjacency section. The
+  // primary CSR must additionally match the header's shape fields.
+  const auto load_csr = [&](const std::array<std::uint32_t, 2>& idx,
+                            bool is_primary) -> std::unique_ptr<const CsrGraph> {
+    const auto offsets = typed(section(idx[0], kSecCsrOffsets, sizeof(EdgeId)),
+                               std::type_identity<EdgeId>{});
+    const auto adjacency = typed(section(idx[1], kSecCsrAdjacency, sizeof(VertexId)),
+                                 std::type_identity<VertexId>{});
+    if (offsets.size() != static_cast<std::size_t>(h.num_vertices) + 1) {
+      fail(path, "offset section does not match the vertex count");
+    }
+    if (is_primary && adjacency.size() != h.num_directed_edges) {
+      fail(path, "adjacency section does not match the edge count");
+    }
+    if (offsets.front() != 0 || offsets.back() != adjacency.size()) {
+      fail(path, "CSR offsets do not span the adjacency section");
+    }
+    for (std::size_t v = 1; v < offsets.size(); ++v) {
+      if (offsets[v - 1] > offsets[v]) fail(path, "CSR offsets not monotone");
+    }
+    if (!adjacency.empty()) {
+      // Branch-free max-reduction in four independent accumulators: a
+      // single max chain is serially dependent and this scan covers most
+      // of the file a second time, so it must run at memory bandwidth like
+      // the checksum.
+      VertexId m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+      std::size_t i = 0;
+      for (; i + 4 <= adjacency.size(); i += 4) {
+        m0 = std::max(m0, adjacency[i]);
+        m1 = std::max(m1, adjacency[i + 1]);
+        m2 = std::max(m2, adjacency[i + 2]);
+        m3 = std::max(m3, adjacency[i + 3]);
+      }
+      for (; i < adjacency.size(); ++i) m0 = std::max(m0, adjacency[i]);
+      if (std::max(std::max(m0, m1), std::max(m2, m3)) >= h.num_vertices) {
+        fail(path, "adjacency entry out of vertex range");
+      }
+    }
+    return std::make_unique<const CsrGraph>(util::ArenaRef<EdgeId>(offsets, file),
+                                            util::ArenaRef<VertexId>(adjacency, file));
+  };
+  const bool primary_oriented = entries[0].degree_oriented != 0;
+  if (have_csr[0]) snap.sym_graph_ = load_csr(csr_sec[0], !primary_oriented);
+  if (have_csr[1]) snap.dag_graph_ = load_csr(csr_sec[1], primary_oriented);
+  // When both orientations are present, the DAG must have exactly one arc
+  // per undirected edge of the symmetric graph (any orientation does).
+  if (snap.sym_graph_ && snap.dag_graph_ &&
+      snap.sym_graph_->num_directed_edges() != 2 * snap.dag_graph_->num_directed_edges()) {
+    fail(path, "symmetric and DAG sections disagree on the edge count");
+  }
+
+  for (const SubstrateEntry& e : entries) {
+    const bool oriented = e.degree_oriented != 0;
+    const CsrGraph* g = oriented ? snap.dag_graph_.get() : snap.sym_graph_.get();
+    const auto bf = typed(section(e.sec[2], kSecBfArena, sizeof(std::uint64_t)),
+                          std::type_identity<std::uint64_t>{});
+    const auto kh = typed(section(e.sec[3], kSecKhArena, sizeof(std::uint64_t)),
+                          std::type_identity<std::uint64_t>{});
+    const auto oh = typed(section(e.sec[4], kSecOhArena, sizeof(BottomKEntry)),
+                          std::type_identity<BottomKEntry>{});
+    const auto kmv = typed(section(e.sec[5], kSecKmvArena, sizeof(double)),
+                           std::type_identity<double>{});
+    const auto sizes = typed(section(e.sec[6], kSecSketchSizes, sizeof(std::uint32_t)),
+                             std::type_identity<std::uint32_t>{});
+    ProbGraphParts parts;
+    parts.config.kind = static_cast<SketchKind>(e.kind);
+    parts.config.bf_estimator = static_cast<BfEstimator>(e.bf_estimator);
+    parts.config.storage_budget = e.storage_budget;
+    parts.config.bf_hashes = e.bf_hashes;
+    parts.config.bf_bits = e.cfg_bf_bits;
+    parts.config.minhash_k = e.cfg_minhash_k;
+    parts.config.budget_reference_bytes = e.budget_reference_bytes;
+    parts.config.seed = e.seed;
+    parts.bf_bits = e.bf_bits;
+    parts.bf_words_per_vertex = e.bf_words_per_vertex;
+    parts.minhash_k = e.minhash_k;
+    parts.bf_arena = util::ArenaRef<std::uint64_t>(bf, file);
+    parts.kh_arena = util::ArenaRef<std::uint64_t>(kh, file);
+    parts.oh_arena = util::ArenaRef<BottomKEntry>(oh, file);
+    parts.kmv_arena = util::ArenaRef<double>(kmv, file);
+    parts.sketch_sizes = util::ArenaRef<std::uint32_t>(sizes, file);
+    parts.construction_seconds = e.construction_seconds;
+    Snapshot::Substrate sub;
+    sub.kind = static_cast<SketchKind>(e.kind);
+    sub.degree_oriented = oriented;
+    sub.graph = g;
+    try {
+      sub.pg = std::make_unique<const ProbGraph>(ProbGraph::from_parts(*g, std::move(parts)));
+    } catch (const std::invalid_argument& ex) {
+      fail(path, ex.what());
+    }
+    snap.subs_.push_back(std::move(sub));
+    snap.info_.substrates.push_back({static_cast<SketchKind>(e.kind), oriented,
+                                     e.construction_seconds});
   }
 
   snap.info_.version = h.version;

@@ -20,9 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -320,6 +322,166 @@ TEST(EngineSnapshot, OrientedSnapshotCountsAndRejectsNeighborhoodQueries) {
       std::runtime_error);
 }
 
+// --- Multi-substrate snapshots: per-query kind routing. ---
+// golden_v2.pgs packs BF/sym (primary), BF/dag, KMV/sym, KMV/dag over the
+// golden graph — one mapping, every query class, routed per engine.hpp.
+
+TEST(EngineMultiSubstrate, RoutesTcToTheDagAndPairToTheSymmetricSubstrate) {
+  const CsrGraph g = golden_graph();
+  const LegacyCounting legacy_bf(g);
+  const ProbGraph fresh_sym(g, ProbGraphConfig{});
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  EXPECT_FALSE(e.source_oriented());
+
+  // tc defaults to the primary kind (BF) on the DAG substrate — the
+  // oriented estimator, bit-identical to a single `--orient` build.
+  const auto tc = e.run(engine::TriangleCount{});
+  EXPECT_EQ(tc.value, algo::triangle_count_probgraph(*legacy_bf.pg));
+  EXPECT_TRUE(tc.sketch.degree_oriented);
+  EXPECT_EQ(tc.sketch.kind, SketchKind::kBloomFilter);
+  EXPECT_TRUE(tc.sketch.mapped);
+
+  // pair defaults to BF/sym — bit-identical to the unoriented build.
+  const auto pair = e.run(
+      engine::PairEstimate{engine::EstimateKind::kJaccard, {{0, 1}, {2, 3}}, false});
+  EXPECT_EQ(pair.pairs[0].value, fresh_sym.est_jaccard(0, 1));
+  EXPECT_EQ(pair.pairs[1].value, fresh_sym.est_jaccard(2, 3));
+  EXPECT_FALSE(pair.sketch.degree_oriented);
+}
+
+TEST(EngineMultiSubstrate, ExplicitKindRoutesToThatSubstrate) {
+  const CsrGraph g = golden_graph();
+  ProbGraphConfig kmv_cfg;
+  kmv_cfg.kind = SketchKind::kKmv;
+  const ProbGraph fresh_kmv_sym(g, kmv_cfg);
+  const LegacyCounting legacy_kmv(g, kmv_cfg);
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+
+  const auto tc = e.run(engine::TriangleCount{.sketch = SketchKind::kKmv});
+  EXPECT_EQ(tc.value, algo::triangle_count_probgraph(*legacy_kmv.pg));
+  EXPECT_EQ(tc.sketch.kind, SketchKind::kKmv);
+  EXPECT_TRUE(tc.sketch.degree_oriented);
+
+  engine::PairEstimate pq{engine::EstimateKind::kJaccard, {{0, 1}}, false};
+  pq.sketch = SketchKind::kKmv;
+  const auto pair = e.run(pq);
+  EXPECT_EQ(pair.pairs[0].value, fresh_kmv_sym.est_jaccard(0, 1));
+  EXPECT_EQ(pair.sketch.kind, SketchKind::kKmv);
+}
+
+TEST(EngineMultiSubstrate, MissingSubstrateErrorsNameWhatTheFileServes) {
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  try {
+    (void)e.run(engine::TriangleCount{.sketch = SketchKind::kOneHash});
+    FAIL() << "expected a routing error for an uncarried kind";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("1H/dag"), std::string::npos) << what;
+    EXPECT_NE(what.find("BF/sym, BF/dag, KMV/sym, KMV/dag"), std::string::npos) << what;
+  }
+}
+
+TEST(EngineMultiSubstrate, TcWithoutADagSubstrateOfTheKindFallsBackToFullMode) {
+  // The v1 golden file carries only BF/sym: an explicit kind=bf tc must
+  // still answer through the Thm-VII.1 full-graph estimator.
+  const CsrGraph g = golden_graph();
+  const ProbGraph fresh(g, ProbGraphConfig{});
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden.pgs"));
+  const auto r = e.run(engine::TriangleCount{.sketch = SketchKind::kBloomFilter});
+  EXPECT_EQ(r.value, algo::triangle_count_probgraph(fresh, algo::TcMode::kFull));
+  EXPECT_FALSE(r.sketch.degree_oriented);
+  // ...but a kind the file does not carry at all is an error.
+  EXPECT_THROW((void)e.run(engine::TriangleCount{.sketch = SketchKind::kKmv}),
+               std::runtime_error);
+}
+
+TEST(EngineMultiSubstrate, AmbiguousDefaultRouteSaysPickAKind) {
+  // Several DAG substrates, none of the primary kind: the default route is
+  // ambiguous — the error must say so (not "carries no DAG sketches") and
+  // point at kind=, and an explicit kind= must work.
+  const CsrGraph g = golden_graph();
+  const CsrGraph dag = degree_orient(g);  // ONE dag shared by both substrates
+  const ProbGraph sym_bf(g, ProbGraphConfig{});
+  ProbGraphConfig dag_cfg;
+  dag_cfg.budget_reference_bytes = g.memory_bytes();
+  dag_cfg.kind = SketchKind::kKmv;
+  const ProbGraph dag_kmv(dag, dag_cfg);
+  dag_cfg.kind = SketchKind::kKHash;
+  const ProbGraph dag_kh(dag, dag_cfg);
+  const io::SnapshotSubstrate subs[] = {{&sym_bf, false}, {&dag_kmv, true}, {&dag_kh, true}};
+  TempFile file("engine_ambiguous");
+  io::save_snapshot(file.path, subs);
+
+  engine::Engine e = engine::Engine::from_snapshot(file.path);
+  try {
+    (void)e.run(engine::FourCliqueCount{});
+    FAIL() << "expected an ambiguous-routing error";
+  } catch (const std::runtime_error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("several"), std::string::npos) << what;
+    EXPECT_NE(what.find("kind="), std::string::npos) << what;
+  }
+  EXPECT_EQ(e.run(engine::FourCliqueCount{.sketch = SketchKind::kKHash}).value,
+            algo::four_clique_count_probgraph(dag_kh));
+  // tc must surface the same ambiguity, NOT silently degrade to the
+  // full-graph estimator while two usable DAG substrates sit mapped.
+  try {
+    (void)e.run(engine::TriangleCount{});
+    FAIL() << "expected tc to error on the ambiguous DAG route";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("several"), std::string::npos) << err.what();
+  }
+  EXPECT_EQ(e.run(engine::TriangleCount{.sketch = SketchKind::kKmv}).value,
+            algo::triangle_count_probgraph(dag_kmv));
+}
+
+TEST(EngineMultiSubstrate, StatsPreferTheCarriedSymmetricGraph) {
+  // A dag-primary file that still carries the symmetric CSR: stats must
+  // describe the symmetric graph (what pair/cc/lp answer over), not the
+  // primary DAG's out-degrees.
+  const CsrGraph g = golden_graph();
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig dag_cfg;
+  dag_cfg.budget_reference_bytes = g.memory_bytes();
+  const ProbGraph dag_bf(dag, dag_cfg);
+  ProbGraphConfig kmv_cfg;
+  kmv_cfg.kind = SketchKind::kKmv;
+  const ProbGraph sym_kmv(g, kmv_cfg);
+  const io::SnapshotSubstrate subs[] = {{&dag_bf, true}, {&sym_kmv, false}};
+  TempFile file("engine_dag_primary_stats");
+  io::save_snapshot(file.path, subs);
+
+  engine::Engine e = engine::Engine::from_snapshot(file.path);
+  const auto r = e.run(engine::GraphStats{});
+  EXPECT_EQ(r.stats->num_edges, g.num_edges());
+  EXPECT_EQ(r.stats->num_directed_edges, g.num_directed_edges());
+  EXPECT_EQ(r.stats->max_degree, g.max_degree());
+  EXPECT_EQ(r.stats->avg_degree, g.avg_degree());
+}
+
+TEST(EngineMultiSubstrate, ExactQueriesUseTheMappedDagCsr) {
+  // golden_v2.pgs carries the DAG CSR, so exact counting needs no
+  // in-memory re-orientation and still matches the exact free function.
+  const CsrGraph g = golden_graph();
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  EXPECT_EQ(e.run(engine::TriangleCount{.exact = true}).value,
+            static_cast<double>(algo::triangle_count_exact(g)));
+  EXPECT_EQ(e.run(engine::FourCliqueCount{.exact = true}).value,
+            static_cast<double>(algo::four_clique_count_exact(g)));
+}
+
+TEST(EngineMultiSubstrate, InMemoryEngineRejectsMismatchedKind) {
+  engine::Engine e(golden_graph());  // configured for BF
+  EXPECT_NO_THROW((void)e.run(engine::TriangleCount{.sketch = SketchKind::kBloomFilter}));
+  try {
+    (void)e.run(engine::TriangleCount{.sketch = SketchKind::kKmv});
+    FAIL() << "expected a kind mismatch error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("configured for BF"), std::string::npos)
+        << err.what();
+  }
+}
+
 // --- Request validation. ---
 
 TEST(EngineValidation, RejectsMalformedQueries) {
@@ -329,6 +491,14 @@ TEST(EngineValidation, RejectsMalformedQueries) {
       (void)e.run(engine::PairEstimate{engine::EstimateKind::kJaccard, {{0, 999}}, false}),
       std::invalid_argument);
   EXPECT_THROW((void)e.run(engine::KCliqueCount{.k = 2}), std::invalid_argument);
+  // A non-finite threshold would silently make every comparison false.
+  EXPECT_THROW((void)e.run(engine::Cluster{algo::SimilarityMeasure::kJaccard,
+                                           std::nan(""), false}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)e.run(engine::Cluster{algo::SimilarityMeasure::kJaccard,
+                                  std::numeric_limits<double>::infinity(), false}),
+      std::invalid_argument);
 }
 
 TEST(EngineBounds, MinHashBoundsAccompanyEstimates) {
@@ -375,11 +545,42 @@ TEST(Protocol, ParsesWellFormedRequests) {
   EXPECT_TRUE(engine::parse_request("# a comment").ignored);
 }
 
+TEST(Protocol, ParsesKindClauses) {
+  // kind= routes to a sketch substrate, anywhere after the command.
+  const auto tc = std::get<engine::TriangleCount>(*engine::parse_request("tc kind=kmv").query);
+  EXPECT_EQ(tc.sketch, SketchKind::kKmv);
+  EXPECT_FALSE(tc.exact);
+  EXPECT_EQ(std::get<engine::TriangleCount>(*engine::parse_request("tc").query).sketch,
+            std::nullopt);
+  const auto pair = std::get<engine::PairEstimate>(
+      *engine::parse_request("pair kind=bf jaccard 0 1").query);
+  EXPECT_EQ(pair.sketch, SketchKind::kBloomFilter);
+  EXPECT_EQ(pair.kind, engine::EstimateKind::kJaccard);
+  const auto cluster = std::get<engine::Cluster>(
+      *engine::parse_request("cluster jaccard 0.25 kind=1h").query);
+  EXPECT_EQ(cluster.sketch, SketchKind::kOneHash);
+  const auto lp = std::get<engine::LinkPredict>(
+      *engine::parse_request("lp 5 common KIND=KH").query);  // case-insensitive
+  EXPECT_EQ(lp.sketch, SketchKind::kKHash);
+  const auto kc = std::get<engine::KCliqueCount>(
+      *engine::parse_request("kclique 4 kind=bf").query);
+  EXPECT_EQ(kc.sketch, SketchKind::kBloomFilter);
+  EXPECT_EQ(kc.k, 4u);
+}
+
 TEST(Protocol, MalformedLinesReportErrorsWithoutQueries) {
   for (const char* line :
        {"bogus", "tc extra", "kclique", "kclique two", "kclique 2", "cluster jaccard",
         "cluster nope 0.1", "cluster jaccard abc", "pair", "pair nope 0 1",
-        "pair jaccard 0", "pair jaccard a b", "lp", "lp -3", "lp 5 nope", "quit now"}) {
+        "pair jaccard 0", "pair jaccard a b", "lp", "lp -3", "lp 5 nope", "quit now",
+        // Non-finite numerics: from_chars accepts these spellings, the
+        // protocol must not ("cluster jaccard nan" would reply ok with a
+        // threshold for which every comparison is false).
+        "cluster jaccard nan", "cluster jaccard inf", "cluster jaccard -inf",
+        "cluster jaccard NaN",
+        // kind= clause misuse.
+        "tc kind=", "tc kind=bogus", "tc kind=bf kind=kmv", "tc kind=bf exact",
+        "stats kind=bf", "pair kind=exact jaccard 0 1"}) {
     const auto req = engine::parse_request(line);
     EXPECT_FALSE(req.query.has_value()) << "line '" << line << "' parsed unexpectedly";
     EXPECT_FALSE(req.error.empty()) << "line '" << line << "' produced no error";
@@ -422,6 +623,54 @@ TEST(Protocol, GoldenTranscriptIsStable) {
   std::ostringstream out;
   (void)engine::serve_session(e, in, out);
   EXPECT_EQ(out.str(), read_file(data_path("serve_session.expected")));
+}
+
+TEST(Protocol, MultiSubstrateSessionRoutesPerQuery) {
+  // One mapping answers DAG-substrate counting AND symmetric-substrate
+  // neighborhood queries in a single session, with kind= switching the
+  // sketch family per query.
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  std::istringstream in(
+      "tc\n"
+      "tc kind=kmv\n"
+      "pair jaccard 0 1\n"
+      "pair jaccard 0 1 kind=kmv\n"
+      "4cc\n"
+      "cluster jaccard 0.1 kind=kmv\n"
+      "tc kind=1h\n"
+      "quit\n");
+  std::ostringstream out;
+  const std::size_t answered = engine::serve_session(e, in, out);
+  EXPECT_EQ(answered, 6u);
+
+  std::vector<std::string> lines;
+  std::istringstream replies(out.str());
+  for (std::string l; std::getline(replies, l);) lines.push_back(l);
+  ASSERT_EQ(lines.size(), 8u);
+  EXPECT_EQ(lines[0].rfind("ok\ttc\t", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("ok\ttc\t", 0), 0u);
+  EXPECT_NE(lines[0], lines[1]) << "BF and KMV TC estimates should differ";
+  EXPECT_EQ(lines[2].rfind("ok\tpair\t0:1=", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("ok\tpair\t0:1=", 0), 0u);
+  EXPECT_NE(lines[2], lines[3]) << "BF and KMV pair estimates should differ";
+  EXPECT_EQ(lines[4].rfind("ok\t4cc\t", 0), 0u);
+  EXPECT_EQ(lines[5].rfind("ok\tcluster\t", 0), 0u);
+  EXPECT_EQ(lines[6].rfind("err\t", 0), 0u);  // 1h is not carried
+  EXPECT_EQ(lines[7], "bye");
+}
+
+TEST(Protocol, MultiGoldenTranscriptsAreStable) {
+  // The same fixtures CI's multi-substrate e2e drives through two real
+  // concurrent `pgtool client` processes against one serve --listen.
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  for (const auto& [script, expected] :
+       {std::pair{"serve_multi_tc.txt", "serve_multi_tc.expected"},
+        std::pair{"serve_multi_pair.txt", "serve_multi_pair.expected"}}) {
+    std::istringstream in(read_file(data_path(script)));
+    std::ostringstream out;
+    (void)engine::serve_session(e, in, out);
+    EXPECT_EQ(out.str(), read_file(data_path(expected))) << script;
+  }
 }
 
 TEST(Protocol, FormatReplyShapes) {

@@ -142,6 +142,44 @@ TEST(ServeNet, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
   }
 }
 
+TEST(ServeNet, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
+  // The multi-substrate acceptance workload: ONE server over the v2
+  // golden snapshot (BF/sym + BF/dag + KMV/sym + KMV/dag), half the
+  // clients driving DAG-substrate counting scripts and half driving
+  // symmetric-substrate neighborhood scripts — every reply routed through
+  // the same lock-free mapping, every transcript byte-identical to the
+  // checked-in expectation for its script.
+  engine::Engine eng = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  net::Server server(eng, {});
+  std::thread runner([&] { server.run(); });
+
+  const std::string scripts[2] = {read_file(data_path("serve_multi_tc.txt")),
+                                  read_file(data_path("serve_multi_pair.txt"))};
+  const std::string expected[2] = {read_file(data_path("serve_multi_tc.expected")),
+                                   read_file(data_path("serve_multi_pair.expected"))};
+
+  constexpr int kClients = 4;  // two per script, interleaved
+  std::vector<std::string> transcripts(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        transcripts[static_cast<std::size_t>(i)] =
+            run_scripted_session(server.port(), scripts[i % 2]);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.request_stop();
+  runner.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(transcripts[static_cast<std::size_t>(i)], expected[i % 2])
+        << "client " << i << " transcript diverges";
+  }
+}
+
 TEST(ServeNet, LazyCacheBuildIsRaceFreeAcrossSessions) {
   // An IN-MEMORY engine shared by concurrent sessions: the first tc/4cc
   // queries race to build the DAG + oriented sketches, cc races to build

@@ -1,16 +1,22 @@
 // The .pgs snapshot subsystem (src/io/).
 //
-// Three guarantees under test:
+// Four guarantees under test:
 //   1. Round trip: for every SketchKind, a loaded snapshot serves
 //      est_intersection / est_jaccard BIT-IDENTICAL to the in-memory build
 //      it was saved from, zero-copy out of the mapping.
 //   2. Integrity: wrong magic, wrong version, wrong endianness tag,
 //      truncation, and payload corruption are all rejected with a
 //      descriptive error naming the failed check.
-//   3. Format stability: tests/data/golden.pgs (built from
-//      tests/data/golden.el with the default config — see
-//      GoldenFixture.MatchesFreshBuild for the exact regeneration command)
-//      must keep loading with pinned header bytes and unchanged estimates.
+//   3. Format stability: tests/data/golden.pgs (a frozen VERSION-1 file
+//      built from tests/data/golden.el with the default config) must keep
+//      loading under the v2 reader with pinned header bytes and unchanged
+//      estimates, and tests/data/golden_v2.pgs (a multi-substrate
+//      version-2 file — see GoldenFixtureV2.MatchesFreshBuild for the
+//      regeneration command) pins the v2 layout the same way.
+//   4. Multi-substrate: a v2 file packing several sketch kinds × both
+//      orientations serves EVERY substrate bit-identical to the
+//      single-substrate build it came from, and malformed substrate
+//      combinations are rejected at save time.
 #include "io/snapshot.hpp"
 
 #include <gtest/gtest.h>
@@ -118,6 +124,16 @@ TEST_P(SnapshotRoundTrip, ServesBitIdenticalEstimatesZeroCopy) {
   EXPECT_EQ(snap.info().kind, GetParam());
   EXPECT_EQ(snap.info().version, io::kSnapshotVersion);
   EXPECT_FALSE(snap.info().degree_oriented);
+
+  // A single-substrate v2 file still enumerates itself.
+  ASSERT_EQ(snap.num_substrates(), 1u);
+  ASSERT_EQ(snap.info().substrates.size(), 1u);
+  EXPECT_EQ(snap.info().substrates[0].kind, GetParam());
+  EXPECT_FALSE(snap.info().substrates[0].degree_oriented);
+  EXPECT_EQ(snap.find_substrate(GetParam(), false), &loaded);
+  EXPECT_EQ(snap.find_substrate(GetParam(), true), nullptr);
+  EXPECT_EQ(snap.sole_substrate(false), &loaded);
+  EXPECT_EQ(snap.graph_for(true), nullptr);
 
   expect_bit_identical(g, built, loaded);
 }
@@ -231,7 +247,151 @@ TEST(Snapshot, RejectsMissingFile) {
   EXPECT_THROW((void)io::load_snapshot("/nonexistent/probgraph.pgs"), std::runtime_error);
 }
 
-// --- Golden fixture: pins the on-disk format across refactors. ---
+// --- Multi-substrate v2 files. ---
+
+constexpr SketchKind kAllKinds[] = {SketchKind::kBloomFilter, SketchKind::kKHash,
+                                    SketchKind::kOneHash, SketchKind::kKmv};
+
+/// Every (kind, orientation) substrate a `--kinds bf,kh,1h,kmv --orient
+/// both` build would pack, via the same io::build_substrates helper
+/// pgtool uses (kind-major, symmetric first, DAG budget-referenced to
+/// the symmetric CSR).
+io::SubstrateSet all_substrates(const CsrGraph& g) {
+  return io::build_substrates(g, kAllKinds, /*symmetric=*/true, /*degree_oriented=*/true,
+                              config_for(SketchKind::kBloomFilter));
+}
+
+TEST(MultiSubstrate, RoundTripIsBitIdenticalPerKindAndOrientation) {
+  const CsrGraph g = test_graph();
+  const io::SubstrateSet all = all_substrates(g);
+  TempFile file("multi_all");
+  io::save_snapshot(file.path, all.substrates);
+
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  EXPECT_EQ(snap.info().version, io::kSnapshotVersion);
+  ASSERT_EQ(snap.num_substrates(), all.substrates.size());
+  ASSERT_EQ(snap.info().substrates.size(), all.substrates.size());
+  ASSERT_NE(snap.graph_for(false), nullptr);
+  ASSERT_NE(snap.graph_for(true), nullptr);
+  // One shared CSR per orientation, both zero-copy views of the mapping.
+  EXPECT_TRUE(snap.graph_for(false)->is_mapped());
+  EXPECT_TRUE(snap.graph_for(true)->is_mapped());
+  ASSERT_EQ(snap.graph_for(true)->num_directed_edges(), all.dag->num_directed_edges());
+
+  for (std::size_t i = 0; i < all.substrates.size(); ++i) {
+    const SketchKind kind = all.substrates[i].pg->kind();
+    const bool oriented = all.substrates[i].degree_oriented;
+    EXPECT_EQ(snap.info().substrates[i].kind, kind);
+    EXPECT_EQ(snap.info().substrates[i].degree_oriented, oriented);
+    const ProbGraph* loaded = snap.find_substrate(kind, oriented);
+    ASSERT_NE(loaded, nullptr) << to_string(kind) << (oriented ? "/dag" : "/sym");
+    EXPECT_TRUE(loaded->is_mapped());
+    expect_bit_identical(oriented ? *all.dag : g, *all.substrates[i].pg, *loaded);
+  }
+  // The primary substrate is the first one listed.
+  EXPECT_EQ(&snap.prob_graph(), snap.find_substrate(SketchKind::kBloomFilter, false));
+  EXPECT_EQ(snap.info().kind, SketchKind::kBloomFilter);
+  EXPECT_FALSE(snap.info().degree_oriented);
+  // With four kinds per orientation there is no sole substrate.
+  EXPECT_EQ(snap.sole_substrate(false), nullptr);
+  EXPECT_EQ(snap.sole_substrate(true), nullptr);
+}
+
+TEST(MultiSubstrate, DescribeSubstratesNamesEveryCarriedOne) {
+  const CsrGraph g = test_graph();
+  const io::SubstrateSet all = all_substrates(g);
+  TempFile file("multi_describe");
+  io::save_snapshot(file.path, all.substrates);
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  EXPECT_EQ(io::describe_substrates(snap.info().substrates),
+            "BF/sym, BF/dag, kH/sym, kH/dag, 1H/sym, 1H/dag, KMV/sym, KMV/dag");
+}
+
+TEST(MultiSubstrate, OrientedPrimaryPlusSymmetricSecondary) {
+  // Primary = DAG substrate (a `--kinds ... --orient` build shape): the
+  // header flags say degree-oriented while the file still carries and
+  // serves the symmetric substrate.
+  const CsrGraph g = test_graph();
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig dag_cfg = config_for(SketchKind::kBloomFilter);
+  dag_cfg.budget_reference_bytes = g.memory_bytes();
+  const ProbGraph dag_pg(dag, dag_cfg);
+  const ProbGraph sym_pg(g, config_for(SketchKind::kKmv));
+  const io::SnapshotSubstrate subs[] = {{&dag_pg, true}, {&sym_pg, false}};
+  TempFile file("multi_oriented_primary");
+  io::save_snapshot(file.path, subs);
+
+  const io::Snapshot snap = io::load_snapshot(file.path);
+  EXPECT_TRUE(snap.info().degree_oriented);
+  EXPECT_EQ(&snap.graph(), snap.graph_for(true));
+  ASSERT_NE(snap.find_substrate(SketchKind::kKmv, false), nullptr);
+  expect_bit_identical(g, sym_pg, *snap.find_substrate(SketchKind::kKmv, false));
+  expect_bit_identical(dag, dag_pg, snap.prob_graph());
+  EXPECT_EQ(snap.sole_substrate(false), snap.find_substrate(SketchKind::kKmv, false));
+}
+
+TEST(MultiSubstrate, SaveRejectsMalformedSubstrateLists) {
+  const CsrGraph g = test_graph();
+  const ProbGraph a(g, config_for(SketchKind::kBloomFilter));
+  const ProbGraph b(g, config_for(SketchKind::kBloomFilter));
+  const CsrGraph g2 = test_graph();
+  const ProbGraph c(g2, config_for(SketchKind::kKmv));
+  TempFile file("multi_reject");
+
+  EXPECT_THROW(io::save_snapshot(file.path, std::span<const io::SnapshotSubstrate>{}),
+               std::invalid_argument);
+  {
+    // Duplicate (kind, orientation).
+    const io::SnapshotSubstrate subs[] = {{&a, false}, {&b, false}};
+    EXPECT_THROW(io::save_snapshot(file.path, subs), std::invalid_argument);
+  }
+  {
+    // Same orientation over two different graph instances.
+    const io::SnapshotSubstrate subs[] = {{&a, false}, {&c, false}};
+    EXPECT_THROW(io::save_snapshot(file.path, subs), std::invalid_argument);
+  }
+  {
+    // A "DAG" that is not an orientation of the symmetric graph (here:
+    // the DAG of a different same-size graph — the edge counts disagree).
+    // Without this check the writer could emit a file whose exact counts
+    // come from an unrelated graph.
+    const CsrGraph other = gen::kronecker(8, 4.0, 3);
+    ASSERT_EQ(other.num_vertices(), g.num_vertices());
+    const CsrGraph other_dag = degree_orient(other);
+    ProbGraphConfig cfg = config_for(SketchKind::kBloomFilter);
+    cfg.budget_reference_bytes = other.memory_bytes();
+    const ProbGraph wrong_dag(other_dag, cfg);
+    const io::SnapshotSubstrate subs[] = {{&a, false}, {&wrong_dag, true}};
+    EXPECT_THROW(io::save_snapshot(file.path, subs), std::invalid_argument);
+  }
+}
+
+TEST(MultiSubstrate, DirectoryCorruptionIsRejectedByTheChecksum) {
+  const CsrGraph g = test_graph();
+  const ProbGraph sym(g, config_for(SketchKind::kBloomFilter));
+  const CsrGraph dag = degree_orient(g);
+  ProbGraphConfig dag_cfg = config_for(SketchKind::kBloomFilter);
+  dag_cfg.budget_reference_bytes = g.memory_bytes();
+  const ProbGraph dag_pg(dag, dag_cfg);
+  const io::SnapshotSubstrate subs[] = {{&sym, false}, {&dag_pg, true}};
+  TempFile source("multi_corrupt_src");
+  TempFile mutated("multi_corrupt_mut");
+  io::save_snapshot(source.path, subs);
+
+  std::vector<std::byte> bytes = read_bytes(source.path);
+  // The substrate directory is section index 7; its table entry starts at
+  // 136 + 7*24 and the offset field sits 8 bytes in. Flipping a byte of
+  // the directory payload itself must be caught by the whole-file
+  // checksum; corrupting its table entry likewise.
+  std::uint64_t dir_offset = 0;
+  std::memcpy(&dir_offset, bytes.data() + 136 + 7 * 24 + 8, sizeof dir_offset);
+  ASSERT_LT(dir_offset, bytes.size());
+  bytes[dir_offset] = bytes[dir_offset] ^ std::byte{0x01};
+  write_bytes(mutated.path, bytes);
+  expect_load_fails_with(mutated.path, "checksum");
+}
+
+// --- Golden fixtures: pin the on-disk formats across refactors. ---
 
 std::string data_path(const char* name) {
   return std::string(PROBGRAPH_TEST_DATA_DIR) + "/" + name;
@@ -248,19 +408,61 @@ TEST(GoldenFixture, HeaderBytesArePinned) {
 }
 
 TEST(GoldenFixture, MatchesFreshBuild) {
-  // Regenerate (only on a deliberate format bump) with:
-  //   pgtool build tests/data/golden.el -o tests/data/golden.pgs
-  // i.e. the default config: BF sketches, budget 0.25, b = 2, seed 42.
+  // tests/data/golden.pgs is a FROZEN version-1 file (BF sketches, budget
+  // 0.25, b = 2, seed 42, written by the PR-2 writer) — it is never
+  // regenerated; it pins the v1 read path of the v2 loader.
   const io::Snapshot snap = io::load_snapshot(data_path("golden.pgs"));
-  EXPECT_EQ(snap.info().version, io::kSnapshotVersion);
+  EXPECT_EQ(snap.info().version, 1u);
   EXPECT_EQ(snap.info().kind, SketchKind::kBloomFilter);
   EXPECT_FALSE(snap.info().degree_oriented);
+  ASSERT_EQ(snap.info().substrates.size(), 1u);
+  EXPECT_EQ(snap.info().substrates[0].kind, SketchKind::kBloomFilter);
+  EXPECT_FALSE(snap.info().substrates[0].degree_oriented);
 
   const CsrGraph g = io::read_edge_list(data_path("golden.el"));
   ASSERT_EQ(snap.graph().num_vertices(), g.num_vertices());
   ASSERT_EQ(snap.graph().num_directed_edges(), g.num_directed_edges());
   const ProbGraph fresh(g, ProbGraphConfig{});
   expect_bit_identical(g, fresh, snap.prob_graph());
+}
+
+TEST(GoldenFixtureV2, HeaderBytesArePinned) {
+  const std::vector<std::byte> bytes = read_bytes(data_path("golden_v2.pgs"));
+  ASSERT_GE(bytes.size(), 16u);
+  EXPECT_EQ(std::memcmp(bytes.data(), "PGSNAP01", 8), 0);
+  const unsigned char version_le[4] = {2, 0, 0, 0};
+  EXPECT_EQ(std::memcmp(bytes.data() + 8, version_le, 4), 0);
+  const unsigned char endian_le[4] = {0x04, 0x03, 0x02, 0x01};
+  EXPECT_EQ(std::memcmp(bytes.data() + 12, endian_le, 4), 0);
+}
+
+TEST(GoldenFixtureV2, MatchesFreshBuild) {
+  // Regenerate (only on a deliberate format bump) with:
+  //   pgtool build tests/data/golden.el --kinds bf,kmv --orient both
+  //     -o tests/data/golden_v2.pgs
+  // i.e. default parameters (budget 0.25, b = 2, seed 42) for all four
+  // substrates: BF/sym (primary), BF/dag, KMV/sym, KMV/dag.
+  const io::Snapshot snap = io::load_snapshot(data_path("golden_v2.pgs"));
+  EXPECT_EQ(snap.info().version, 2u);
+  EXPECT_EQ(snap.info().kind, SketchKind::kBloomFilter);
+  EXPECT_FALSE(snap.info().degree_oriented);
+  EXPECT_EQ(io::describe_substrates(snap.info().substrates),
+            "BF/sym, BF/dag, KMV/sym, KMV/dag");
+
+  const CsrGraph g = io::read_edge_list(data_path("golden.el"));
+  const CsrGraph dag = degree_orient(g);
+  for (const SketchKind kind : {SketchKind::kBloomFilter, SketchKind::kKmv}) {
+    ProbGraphConfig cfg;
+    cfg.kind = kind;
+    const ProbGraph fresh_sym(g, cfg);
+    ASSERT_NE(snap.find_substrate(kind, false), nullptr);
+    expect_bit_identical(g, fresh_sym, *snap.find_substrate(kind, false));
+
+    cfg.budget_reference_bytes = g.memory_bytes();
+    const ProbGraph fresh_dag(dag, cfg);
+    ASSERT_NE(snap.find_substrate(kind, true), nullptr);
+    expect_bit_identical(dag, fresh_dag, *snap.find_substrate(kind, true));
+  }
 }
 
 }  // namespace

@@ -11,9 +11,18 @@
 //   pgtool pair      <graph> --pairs U:V[,U:V...] [--kind KIND] [options]
 //   pgtool lp        <graph> [--topk K] [--measure M] [options]
 //   pgtool stats     <graph>              basic graph statistics
-//   pgtool build     <graph> -o <file.pgs> [--orient] [options]
+//   pgtool build     <graph> -o <file.pgs> [--orient [both|dag|sym]]
+//                    [--kinds bf,kmv,...] [options]
 //                                         persist CSR + sketches to a
-//                                         snapshot (build once, map many)
+//                                         snapshot (build once, map many).
+//                                         --kinds packs one substrate per
+//                                         listed sketch kind and --orient
+//                                         both packs every kind in both
+//                                         orientations, so ONE file
+//                                         answers counting queries from
+//                                         the DAG sketches and
+//                                         neighborhood queries from the
+//                                         symmetric ones
 //   pgtool serve     <file.pgs> [--listen PORT [--max-conns N]]
 //                                         long-lived session: map the
 //                                         snapshot once, answer one query
@@ -36,11 +45,12 @@
 // <graph> is a path, or "kron:SCALE:EDGEFACTOR" for a generated graph.
 // Every command except build/serve also accepts `--snapshot <file.pgs>` in
 // place of <graph>: the snapshot is mmap'ed and estimates are served
-// zero-copy out of the mapping (sketch options then come from the file).
-// Counting estimates need a snapshot built with --orient (they run on the
-// degree-oriented DAG); neighborhood queries (cluster, cc, pair, lp) need
-// one built without it. Flags are validated against the command: unknown,
-// duplicate, or inapplicable flags are rejected, not silently accepted.
+// zero-copy out of the mapping (sketch parameters then come from the file;
+// `--sketch KIND` routes to that sketch substrate of a multi-substrate
+// snapshot). Counting estimates need a DAG substrate (--orient or --orient
+// both); neighborhood queries (cluster, cc, pair, lp) need a symmetric
+// one. Flags are validated against the command: unknown, duplicate, or
+// inapplicable flags are rejected, not silently accepted.
 //
 // Options:
 //   --sketch bf|1h|kh|kmv   representation (default bf; "exact" disables PG)
@@ -58,11 +68,16 @@
 //   --seed S                sketch seed (default 42)
 //   --snapshot FILE         serve from a .pgs snapshot instead of <graph>
 //   -o, --output FILE       (build) snapshot output path
-//   --orient                (build) sketch the degree-oriented DAG
+//   --orient [both|dag|sym] (build) sketch the degree-oriented DAG; "both"
+//                           packs the symmetric AND the DAG substrates
+//   --kinds K1,K2,...       (build) pack one substrate per sketch kind
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +87,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -111,6 +127,7 @@ enum : unsigned {
   kFTopK = 1u << 15,
   kFListen = 1u << 16,
   kFMaxConns = 1u << 17,
+  kFKinds = 1u << 18,
 };
 
 /// The sketch-construction flags shared by every command that may build or
@@ -144,7 +161,11 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"--topk", nullptr, kFTopK, true},
     {"--listen", nullptr, kFListen, true},
     {"--max-conns", nullptr, kFMaxConns, true},
+    {"--kinds", nullptr, kFKinds, true},
 };
+
+/// Which orientations `build` sketches (and packs into the snapshot).
+enum class OrientMode { kSym, kDag, kBoth };
 
 struct Args {
   std::string command;
@@ -155,10 +176,14 @@ struct Args {
   std::string output;    // .pgs output (build)
   std::optional<std::uint16_t> listen;  // serve: TCP port (0 = ephemeral)
   int max_conns = 16;                   // serve --listen: live-session cap
-  bool orient = false;
+  OrientMode orient = OrientMode::kSym;
+  std::vector<SketchKind> kinds;        // build --kinds (empty: just pg.kind)
+  std::optional<SketchKind> route_kind; // --sketch over --snapshot: substrate routing
   bool exact = false;
   bool estimator_set = false;
-  bool sketch_flags_set = false;
+  bool sketch_kind_set = false;        // --sketch KIND given
+  bool sketch_flags_set = false;       // any sketch-construction flag given
+  bool sketch_param_set = false;       // a non---sketch construction flag given
   ProbGraphConfig pg;
   double tau = 0.1;
   unsigned kclique = 5;
@@ -206,8 +231,9 @@ constexpr CommandSpec kCommands[] = {
      "lp <graph>|--snapshot <file.pgs> [--topk K] [--measure M]", run_lp},
     {"stats", kFSnapshot | kFThreads, false, "stats <graph>|--snapshot <file.pgs>",
      run_stats},
-    {"build", kSketchFlags | kFOutput | kFOrient | kFThreads, false,
-     "build <graph> -o <file.pgs> [--orient]", run_build},
+    {"build", kSketchFlags | kFOutput | kFOrient | kFThreads | kFKinds, false,
+     "build <graph> -o <file.pgs> [--orient [both|dag|sym]] [--kinds bf,kmv,...]",
+     run_build},
     {"serve", kFThreads | kFListen | kFMaxConns, true,
      "serve <file.pgs> [--listen PORT [--max-conns N]]", run_serve},
     {"client", 0, false, "client <host> <port>", run_client, true},
@@ -227,9 +253,11 @@ void print_usage(std::FILE* to) {
                "  [--kind intersection|jaccard|overlap|common|total]\n"
                "  [--pairs U:V[,U:V...]] [--topk K]\n"
                "build persists the CSR graph plus fully-built sketches; --snapshot\n"
-               "mmaps such a file and serves estimates zero-copy. Counting estimates\n"
-               "(tc, 4cc, kclique) need a snapshot built with --orient; neighborhood\n"
-               "queries (cluster, cc, pair, lp) need one built without it.\n"
+               "mmaps such a file and serves estimates zero-copy. A snapshot can pack\n"
+               "SEVERAL substrates (--kinds bf,kmv --orient both): counting estimates\n"
+               "(tc, 4cc, kclique) are answered by a DAG substrate, neighborhood\n"
+               "queries (cluster, cc, pair, lp) by a symmetric one, and --sketch KIND\n"
+               "routes to a specific carried kind (default: the file's primary).\n"
                "serve maps the snapshot once and answers one query per line (send\n"
                "'help' on the session for the request grammar) — over stdin, or as a\n"
                "concurrent TCP server with --listen PORT (127.0.0.1; PORT 0 picks an\n"
@@ -244,7 +272,10 @@ void print_usage(std::FILE* to) {
   std::exit(2);
 }
 
-// --- Strict numeric parsing: the whole token must be consumed. ---
+// --- Strict numeric parsing: the whole token must be consumed, and a
+// --- floating value must be finite — std::from_chars accepts "nan" and
+// --- "inf", which would silently poison every threshold/budget downstream
+// --- (e.g. a nan tau makes every similarity comparison false).
 
 template <typename T>
 T parse_number(const std::string& flag, std::string_view s) {
@@ -253,7 +284,36 @@ T parse_number(const std::string& flag, std::string_view s) {
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
     fail("flag " + flag + " expects a number, got '" + std::string(s) + "'");
   }
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(out)) {
+      fail("flag " + flag + " expects a finite number, got '" + std::string(s) + "'");
+    }
+  }
   return out;
+}
+
+/// Parse a `--kinds` comma list ("bf,kmv") into a deduplicated kind list,
+/// preserving order (the FIRST kind becomes the snapshot's primary
+/// substrate — the default routing target of kind-less queries).
+std::vector<SketchKind> parse_kinds(const std::string& spec) {
+  std::vector<SketchKind> kinds;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view item(spec.data() + pos, comma - pos);
+    const auto kind = parse_sketch_kind(item);
+    if (!kind) {
+      fail("--kinds entries must be sketch kinds (bf, kh, 1h, kmv), got '" +
+           std::string(item) + "'");
+    }
+    if (std::find(kinds.begin(), kinds.end(), *kind) == kinds.end()) {
+      kinds.push_back(*kind);
+    }
+    pos = comma + 1;
+    if (comma == spec.size()) break;
+  }
+  if (kinds.empty()) fail("--kinds requires at least one sketch kind");
+  return kinds;
 }
 
 std::vector<engine::VertexPair> parse_pairs(const std::string& spec) {
@@ -313,7 +373,15 @@ Args parse(int argc, char** argv) {
 
   unsigned seen = 0;
   for (int i = 2; i < argc; ++i) {
-    const std::string token = argv[i];
+    std::string token = argv[i];
+    // `--orient=MODE` is the lookahead-free spelling: `--orient both`
+    // consumes a following bare `both`, which is ambiguous when a graph
+    // file is literally named both/dag/sym.
+    std::string orient_inline;
+    if (token.rfind("--orient=", 0) == 0) {
+      orient_inline = token.substr(9);
+      token = "--orient";
+    }
     const FlagSpec* flag = token.rfind('-', 0) == 0 ? find_flag(token) : nullptr;
     if (flag == nullptr) {
       if (token.rfind('-', 0) == 0) fail("unknown flag '" + token + "'");
@@ -345,6 +413,7 @@ Args parse(int argc, char** argv) {
           a.exact = true;
         } else if (const auto kind = parse_sketch_kind(value)) {
           a.pg.kind = *kind;
+          a.sketch_kind_set = true;
         } else {
           fail("unknown sketch kind '" + value + "' (expected bf, 1h, kh, kmv, or exact)");
         }
@@ -355,23 +424,28 @@ Args parse(int argc, char** argv) {
         a.pg.bf_estimator = *e;
         a.estimator_set = true;
         a.sketch_flags_set = true;
+        a.sketch_param_set = true;
         break;
       }
       case kFBudget:
         a.pg.storage_budget = parse_number<double>(token, value);
         a.sketch_flags_set = true;
+        a.sketch_param_set = true;
         break;
       case kFBfHashes:
         a.pg.bf_hashes = parse_number<std::uint32_t>(token, value);
         a.sketch_flags_set = true;
+        a.sketch_param_set = true;
         break;
       case kFK:
         a.pg.minhash_k = parse_number<std::uint32_t>(token, value);
         a.sketch_flags_set = true;
+        a.sketch_param_set = true;
         break;
       case kFSeed:
         a.pg.seed = parse_number<std::uint64_t>(token, value);
         a.sketch_flags_set = true;
+        a.sketch_param_set = true;
         break;
       case kFKClique:
         a.kclique = parse_number<unsigned>(token, value);
@@ -398,8 +472,36 @@ Args parse(int argc, char** argv) {
       case kFOutput:
         a.output = value;
         break;
-      case kFOrient:
-        a.orient = true;
+      case kFOrient: {
+        // --orient takes an OPTIONAL value: bare --orient keeps its v1
+        // meaning (DAG only); "both" packs both orientations; "dag"/"sym"
+        // spell the single-orientation modes explicitly. The `--orient=MODE`
+        // spelling never consumes the next token.
+        std::string_view mode = orient_inline;
+        bool lookahead = false;
+        if (mode.empty() && i + 1 < argc) {
+          const std::string_view next = argv[i + 1];
+          if (next == "both" || next == "dag" || next == "sym") {
+            mode = next;
+            lookahead = true;
+          }
+        }
+        if (mode == "both") {
+          a.orient = OrientMode::kBoth;
+        } else if (mode == "dag") {
+          a.orient = OrientMode::kDag;
+        } else if (mode == "sym") {
+          a.orient = OrientMode::kSym;
+        } else if (mode.empty()) {
+          a.orient = OrientMode::kDag;  // bare --orient
+        } else {
+          fail("--orient expects both, dag, or sym (got '" + std::string(mode) + "')");
+        }
+        if (lookahead) ++i;
+        break;
+      }
+      case kFKinds:
+        a.kinds = parse_kinds(value);
         break;
       case kFPairs:
         a.pairs = parse_pairs(value);
@@ -439,6 +541,9 @@ Args parse(int argc, char** argv) {
     if (a.input.empty()) fail("build requires an input <graph>");
     if (a.output.empty()) fail("build requires an output path (-o <file.pgs>)");
     if (a.exact) fail("--sketch exact has no sketches to persist");
+    if (!a.kinds.empty() && a.sketch_kind_set) {
+      fail("give either --sketch or --kinds, not both");
+    }
   } else if (cmd.positional_is_pgs) {
     if (a.input.empty()) fail(a.command + " requires a snapshot path (<file.pgs>)");
   } else {
@@ -449,10 +554,16 @@ Args parse(int argc, char** argv) {
     if (a.input.empty() && a.snapshot.empty()) {
       fail("missing input: give <graph> or --snapshot <file.pgs>");
     }
-    if (!a.snapshot.empty() && a.sketch_flags_set && !a.exact) {
-      std::fprintf(stderr,
-                   "pgtool: warning: sketch flags are ignored with --snapshot; the "
-                   "representation comes from the file\n");
+    if (!a.snapshot.empty() && !a.exact) {
+      // --sketch KIND routes to that substrate of a multi-substrate
+      // snapshot; the remaining sketch-construction flags have nothing to
+      // configure (the file's parameters win) and are warned about.
+      if (a.sketch_kind_set) a.route_kind = a.pg.kind;
+      if (a.sketch_param_set) {
+        std::fprintf(stderr,
+                     "pgtool: warning: sketch flags other than --sketch are ignored "
+                     "with --snapshot; the representation comes from the file\n");
+      }
     }
   }
   if (a.command == "pair" && a.pairs.empty()) {
@@ -478,10 +589,9 @@ engine::Engine make_engine(const Args& a) {
     util::Timer load_timer;
     engine::Engine e = engine::Engine::from_snapshot(a.snapshot);
     const io::SnapshotInfo& info = *e.snapshot_info();
-    std::printf("snapshot: %s, %s sketches%s, %.2f MB file, loaded in %.4fs "
-                "(original construction %.4fs)\n",
-                a.snapshot.c_str(), to_string(info.kind),
-                info.degree_oriented ? " (degree-oriented)" : "",
+    std::printf("snapshot: %s, substrates [%s], %.2f MB file, loaded in %.4fs "
+                "(primary construction %.4fs)\n",
+                a.snapshot.c_str(), io::describe_substrates(info.substrates).c_str(),
                 static_cast<double>(info.file_bytes) / 1e6, load_timer.seconds(),
                 info.construction_seconds);
     print_graph_line(e.graph());
@@ -504,11 +614,11 @@ int run_counting(const Args& a) {
   engine::Engine e = make_engine(a);
   engine::Query q;
   if (a.command == "tc") {
-    q = engine::TriangleCount{a.exact};
+    q = engine::TriangleCount{a.exact, a.route_kind};
   } else if (a.command == "4cc") {
-    q = engine::FourCliqueCount{a.exact};
+    q = engine::FourCliqueCount{a.exact, a.route_kind};
   } else {
-    q = engine::KCliqueCount{a.kclique, a.exact};
+    q = engine::KCliqueCount{a.kclique, a.exact, a.route_kind};
   }
   const engine::QueryResult r = e.run(q);
 
@@ -546,7 +656,7 @@ int run_counting(const Args& a) {
 int run_cluster(const Args& a) {
   engine::Engine e = make_engine(a);
   const engine::QueryResult r =
-      e.run(engine::Cluster{a.measure_cluster, a.tau, a.exact});
+      e.run(engine::Cluster{a.measure_cluster, a.tau, a.exact, a.route_kind});
   if (r.exact) {
     std::printf("exact clustering: %zu clusters, %llu kept edges, %.4fs\n",
                 r.cluster->num_clusters,
@@ -565,7 +675,7 @@ int run_cluster(const Args& a) {
 
 int run_cc(const Args& a) {
   engine::Engine e = make_engine(a);
-  const engine::QueryResult r = e.run(engine::ClusteringCoeff{a.exact});
+  const engine::QueryResult r = e.run(engine::ClusteringCoeff{a.exact, a.route_kind});
   if (r.exact) {
     std::printf("exact global clustering coefficient = %s (%.4fs)\n",
                 engine::format_estimate(r.value).c_str(), r.elapsed_seconds);
@@ -582,7 +692,8 @@ int run_cc(const Args& a) {
 
 int run_pair(const Args& a) {
   engine::Engine e = make_engine(a);
-  const engine::QueryResult r = e.run(engine::PairEstimate{a.kind, a.pairs, a.exact});
+  const engine::QueryResult r =
+      e.run(engine::PairEstimate{a.kind, a.pairs, a.exact, a.route_kind});
   const char* scheme = r.exact ? "exact" : to_string(r.sketch.kind);
   for (const engine::PairValue& p : r.pairs) {
     std::printf("%s %s(%u, %u) = %s\n", scheme, engine::to_string(a.kind), p.u, p.v,
@@ -597,7 +708,7 @@ int run_pair(const Args& a) {
 int run_lp(const Args& a) {
   engine::Engine e = make_engine(a);
   const engine::QueryResult r =
-      e.run(engine::LinkPredict{a.topk, a.measure_lp, a.exact});
+      e.run(engine::LinkPredict{a.topk, a.measure_lp, a.exact, a.route_kind});
   std::printf("%s top-%u predicted links by %s:\n",
               r.exact ? "exact" : to_string(r.sketch.kind), a.topk,
               to_string(a.measure_lp));
@@ -616,6 +727,9 @@ int run_stats(const Args& a) {
               r.stats->degree_moment2, r.stats->degree_moment3);
   std::printf("CSR memory: %.2f MB%s\n", static_cast<double>(r.stats->csr_bytes) / 1e6,
               r.stats->mapped ? " (mmap-served)" : "");
+  if (const io::SnapshotInfo* info = e.snapshot_info()) {
+    std::printf("substrates: %s\n", io::describe_substrates(info->substrates).c_str());
+  }
   return 0;
 }
 
@@ -623,38 +737,52 @@ int run_build(const Args& a) {
   const CsrGraph g = load_graph(a.input);
   print_graph_line(g);
 
-  ProbGraphConfig cfg = a.pg;
-  io::SnapshotMeta meta;
-  std::optional<CsrGraph> oriented;
-  const CsrGraph* sketch_graph = &g;
-  if (a.orient) {
-    meta.degree_oriented = true;
-    // Keep the §V-A budget meaning of "additional memory on top of the
-    // CSR of G" — exactly what the serving commands do locally.
-    cfg.budget_reference_bytes = g.memory_bytes();
-    oriented.emplace(degree_orient(g));
-    sketch_graph = &*oriented;
+  // One substrate per (kind, orientation), kind-major with the symmetric
+  // orientation first — so the FIRST listed kind's symmetric sketches (or
+  // its DAG ones under plain --orient) are the snapshot's primary
+  // substrate, the default routing target of kind-less queries.
+  std::vector<SketchKind> kinds = a.kinds;
+  if (kinds.empty()) kinds = {a.pg.kind};
+  const io::SubstrateSet set =
+      io::build_substrates(g, kinds, /*symmetric=*/a.orient != OrientMode::kDag,
+                           /*degree_oriented=*/a.orient != OrientMode::kSym, a.pg);
+  std::size_t sketch_bytes = 0;
+  double construction = 0.0;
+  for (const ProbGraph& pg : set.sketches) {
+    sketch_bytes += pg.memory_bytes();
+    construction += pg.construction_seconds();
   }
-  const ProbGraph pg(*sketch_graph, cfg);
+
   util::Timer timer;
-  io::save_snapshot(a.output, pg, meta);
-  std::printf("wrote %s: %s sketches%s, %.2f MB sketch arena (relmem %.2f), "
-              "construction %.4fs, save %.4fs\n",
-              a.output.c_str(), to_string(pg.kind()),
-              meta.degree_oriented ? " over the degree-oriented DAG" : "",
-              static_cast<double>(pg.memory_bytes()) / 1e6, pg.relative_memory(),
-              pg.construction_seconds(), timer.seconds());
+  io::save_snapshot(a.output, set.substrates);
+  std::vector<io::SubstrateInfo> infos;
+  for (const io::SnapshotSubstrate& s : set.substrates) {
+    infos.push_back({s.pg->kind(), s.degree_oriented, s.pg->construction_seconds()});
+  }
+  std::printf("wrote %s: substrates [%s], %.2f MB sketch arenas "
+              "(relmem %.2f of the CSR), construction %.4fs, save %.4fs\n",
+              a.output.c_str(), io::describe_substrates(infos).c_str(),
+              static_cast<double>(sketch_bytes) / 1e6,
+              static_cast<double>(sketch_bytes) / static_cast<double>(g.memory_bytes()),
+              construction, timer.seconds());
   return 0;
 }
 
 // SIGINT/SIGTERM → graceful server stop. The pointer is published before
 // the handlers are installed and cleared after they are restored, so the
-// handler only ever sees a live server.
-net::Server* volatile g_signal_server = nullptr;
+// handler only ever sees a live server. `volatile` is NOT enough here: it
+// neither orders the publication against the handler installation nor
+// guarantees a tear-free cross-thread read (signals may be delivered on
+// any thread once --listen sessions exist). A lock-free std::atomic gives
+// both; the handler's relaxed load is async-signal-safe precisely because
+// it is lock-free.
+std::atomic<net::Server*> g_signal_server{nullptr};
+static_assert(std::atomic<net::Server*>::is_always_lock_free,
+              "the signal handler requires a lock-free atomic pointer");
 
 extern "C" void stop_signal_handler(int) {
-  net::Server* const s = g_signal_server;
-  if (s != nullptr) s->request_stop();  // async-signal-safe
+  net::Server* const s = g_signal_server.load(std::memory_order_relaxed);
+  if (s != nullptr) s->request_stop();  // async-signal-safe (self-pipe write)
 }
 
 int run_serve(const Args& a) {
@@ -666,10 +794,10 @@ int run_serve(const Args& a) {
 
   if (!a.listen) {
     std::fprintf(stderr,
-                 "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; one query "
+                 "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; one query "
                  "per line, 'help' for the grammar, 'quit' to exit\n",
-                 a.input.c_str(), e.graph().num_vertices(), to_string(info.kind),
-                 info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds());
+                 a.input.c_str(), e.graph().num_vertices(),
+                 io::describe_substrates(info.substrates).c_str(), load_timer.seconds());
     const std::size_t answered = engine::serve_session(e, std::cin, std::cout);
     std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
                  answered == 1 ? "y" : "ies");
@@ -681,21 +809,21 @@ int run_serve(const Args& a) {
   opts.max_conns = a.max_conns;
   net::Server server(e, opts);
   std::fprintf(stderr,
-               "pgtool serve: %s — n=%u, %s sketches%s, mapped in %.4fs; listening "
+               "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; listening "
                "on 127.0.0.1:%u (max %d concurrent sessions over one mapping), "
                "SIGINT/SIGTERM to stop\n",
-               a.input.c_str(), e.graph().num_vertices(), to_string(info.kind),
-               info.degree_oriented ? " (degree-oriented)" : "", load_timer.seconds(),
+               a.input.c_str(), e.graph().num_vertices(),
+               io::describe_substrates(info.substrates).c_str(), load_timer.seconds(),
                static_cast<unsigned>(server.port()), a.max_conns);
 
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
-  g_signal_server = &server;
+  g_signal_server.store(&server);  // published (seq_cst) before the handlers exist
   std::signal(SIGINT, stop_signal_handler);
   std::signal(SIGTERM, stop_signal_handler);
   server.run();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
-  g_signal_server = nullptr;
+  g_signal_server.store(nullptr);  // cleared only after the handlers are gone
 
   const net::Server::Counters c = server.counters();
   std::fprintf(stderr,
