@@ -8,6 +8,7 @@
 #include "core/backends.hpp"
 #include "core/estimators.hpp"
 #include "core/intersect.hpp"
+#include "core/kernels/kernels.hpp"
 #include "graph/orientation.hpp"
 #include "util/bitvector.hpp"
 
@@ -47,6 +48,8 @@ double four_clique_bf(const CsrGraph& dag, const Backend be) {
 #pragma omp parallel reduction(+ : total)
   {
     std::vector<VertexId> c3;
+    std::vector<std::uint64_t> uv;      // B_u AND B_v, materialized once per (u, v)
+    std::vector<std::uint64_t> counts;  // batched and3 popcounts over C3
 #pragma omp for schedule(dynamic, 32)
     for (std::int64_t u = 0; u < static_cast<std::int64_t>(n); ++u) {
       const auto bf_u = be.bf(static_cast<VertexId>(u));
@@ -58,9 +61,17 @@ double four_clique_bf(const CsrGraph& dag, const Backend be) {
           if (bf_u.contains(x)) c3.push_back(x);
         }
         if (c3.empty()) continue;
+        // popcount(B_u & B_v & B_w) over all w ∈ C3 as one batched sweep:
+        // the (u, v) AND is hoisted out of the w loop — it was recomputed
+        // |C3| times inside and3_popcount — and the candidate filters
+        // stream against the hot uv row. Integer popcounts: bit-identical.
         const auto wv = be.words(v);
-        for (const VertexId w : c3) {
-          const std::uint64_t ones = util::and3_popcount(wu, wv, be.words(w));
+        uv.resize(wu.size());
+        for (std::size_t i = 0; i < wu.size(); ++i) uv[i] = wu[i] & wv[i];
+        counts.resize(c3.size());
+        kernels::and_popcount_batch(uv, be.arena, be.words_per_vertex, c3,
+                                    counts.data());
+        for (const std::uint64_t ones : counts) {
           total += est::bf_intersection_and(ones, be.bits, be.hashes);
         }
       }

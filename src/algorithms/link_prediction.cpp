@@ -1,6 +1,7 @@
 #include "algorithms/link_prediction.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -158,12 +159,20 @@ namespace {
 /// structural (memory-free) dedup, score them, and keep only the top_k
 /// best in a bounded heap — the candidate space is O(Σ_v d_v²), so
 /// materializing scores or a dedup set would dwarf the k-element answer on
-/// large graphs; this path's memory is O(top_k). The heap's front is the
-/// worst kept link, ties broken by (u, v) so the output is deterministic
-/// regardless of enumeration order.
-template <typename ScoreFn>
+/// large graphs; this path's memory is O(top_k) + one wedge run. The
+/// heap's front is the worst kept link, ties broken by (u, v) so the
+/// output is deterministic regardless of enumeration order.
+///
+/// Scoring is batched: the enumeration emits candidates in runs sharing
+/// the left vertex `a` (a fixed wedge center and left endpoint yields all
+/// its right endpoints consecutively), and each run is scored through one
+/// `batch_score(a, bs, out)` call so sketch backends can use their
+/// cache-blocked batched estimators. Runs are flushed in enumeration
+/// order and scores consumed in candidate order — the heap sees the exact
+/// sequence the old per-pair loop produced.
+template <typename BatchScoreFn>
 std::vector<ScoredLink> top_k_links(const CsrGraph& g, std::size_t top_k,
-                                    ScoreFn&& score_fn) {
+                                    BatchScoreFn&& batch_score) {
   const auto better = [](const ScoredLink& x, const ScoredLink& y) {
     if (x.score != y.score) return x.score > y.score;
     if (x.u != y.u) return x.u < y.u;
@@ -174,8 +183,7 @@ std::vector<ScoredLink> top_k_links(const CsrGraph& g, std::size_t top_k,
   // top_k is a caller-supplied request value (CLI/protocol); don't commit
   // O(top_k) memory before a single candidate justifies it.
   heap.reserve(std::min<std::size_t>(top_k, 1024));
-  for_each_distance2_candidate<true>(g, [&](VertexId a, VertexId b) {
-    const ScoredLink link{a, b, score_fn(a, b)};
+  const auto consider = [&](const ScoredLink& link) {
     if (heap.size() < top_k) {
       heap.push_back(link);
       std::push_heap(heap.begin(), heap.end(), better);
@@ -184,7 +192,25 @@ std::vector<ScoredLink> top_k_links(const CsrGraph& g, std::size_t top_k,
       heap.back() = link;
       std::push_heap(heap.begin(), heap.end(), better);
     }
+  };
+  VertexId run_a = 0;
+  std::vector<VertexId> run_bs;
+  std::vector<double> run_scores;
+  const auto flush = [&] {
+    if (run_bs.empty()) return;
+    run_scores.resize(run_bs.size());
+    batch_score(run_a, {run_bs.data(), run_bs.size()}, run_scores.data());
+    for (std::size_t i = 0; i < run_bs.size(); ++i) {
+      consider({run_a, run_bs[i], run_scores[i]});
+    }
+    run_bs.clear();
+  };
+  for_each_distance2_candidate<true>(g, [&](VertexId a, VertexId b) {
+    if (!run_bs.empty() && a != run_a) flush();
+    run_a = a;
+    run_bs.push_back(b);
   });
+  flush();
   std::sort_heap(heap.begin(), heap.end(), better);  // best-first output
   return heap;
 }
@@ -193,18 +219,22 @@ std::vector<ScoredLink> top_k_links(const CsrGraph& g, std::size_t top_k,
 
 std::vector<ScoredLink> top_k_links_exact(const CsrGraph& g, SimilarityMeasure measure,
                                           std::size_t top_k) {
-  return top_k_links(g, top_k, [&](VertexId a, VertexId b) {
-    return similarity_exact(g, a, b, measure);
-  });
+  return top_k_links(g, top_k,
+                     [&](VertexId a, std::span<const VertexId> bs, double* out) {
+                       for (std::size_t i = 0; i < bs.size(); ++i) {
+                         out[i] = similarity_exact(g, a, bs[i], measure);
+                       }
+                     });
 }
 
 std::vector<ScoredLink> top_k_links_probgraph(const ProbGraph& pg,
                                               SimilarityMeasure measure,
                                               std::size_t top_k) {
   return pg.visit_backend([&](const auto& be) {
-    return top_k_links(pg.graph(), top_k, [&](VertexId a, VertexId b) {
-      return similarity_backend(be, a, b, measure);
-    });
+    return top_k_links(pg.graph(), top_k,
+                       [&](VertexId a, std::span<const VertexId> bs, double* out) {
+                         similarity_backend_batch(be, a, bs, measure, out);
+                       });
   });
 }
 

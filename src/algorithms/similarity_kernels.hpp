@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "algorithms/vertex_similarity.hpp"
@@ -90,6 +91,59 @@ double similarity_backend(const Backend& be, VertexId u, VertexId v,
       });
   }
   return 0.0;
+}
+
+/// Batched similarity scoring: out[i] = similarity_backend(be, u, cands[i],
+/// measure), bit-identical to the per-pair loop. The intersection-reducible
+/// measures run one est_intersection_batch sweep (cache-blocked on the
+/// Bloom backends) and derive the measure in place through the backend's
+/// *_from_intersection helpers — the same code path the per-pair est_*
+/// methods evaluate. Two measure families cannot reduce to the raw batch
+/// and fall back to the pair loop: native-Jaccard sketches (MinHash scores
+/// Jaccard directly, not via est_intersection) and the weighted measures
+/// (need intersection *elements*, not a cardinality).
+template <typename Backend>
+void similarity_backend_batch(const Backend& be, VertexId u,
+                              std::span<const VertexId> cands,
+                              SimilarityMeasure measure, double* out) {
+  const auto derive_from_raw = [&](auto&& helper) {
+    be.est_intersection_batch(u, cands, out);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      out[i] = helper(u, cands[i], out[i]);
+    }
+  };
+  switch (measure) {
+    case SimilarityMeasure::kJaccard:
+      if constexpr (Backend::kNativeJaccard) {
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          out[i] = be.est_jaccard(u, cands[i]);
+        }
+      } else {
+        derive_from_raw([&](VertexId a, VertexId b, double raw) {
+          return be.jaccard_from_intersection(a, b, raw);
+        });
+      }
+      return;
+    case SimilarityMeasure::kOverlap:
+      derive_from_raw([&](VertexId a, VertexId b, double raw) {
+        return be.overlap_from_intersection(a, b, raw);
+      });
+      return;
+    case SimilarityMeasure::kCommonNeighbors:
+      be.est_intersection_batch(u, cands, out);
+      return;
+    case SimilarityMeasure::kTotalNeighbors:
+      derive_from_raw([&](VertexId a, VertexId b, double raw) {
+        return be.total_from_intersection(a, b, raw);
+      });
+      return;
+    case SimilarityMeasure::kAdamicAdar:
+    case SimilarityMeasure::kResourceAllocation:
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        out[i] = similarity_backend(be, u, cands[i], measure);
+      }
+      return;
+  }
 }
 
 }  // namespace probgraph::algo

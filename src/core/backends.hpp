@@ -35,6 +35,7 @@
 
 #include "core/bloom_filter.hpp"
 #include "core/estimators.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/minhash.hpp"
 #include "core/prob_graph.hpp"
 #include "graph/csr_graph.hpp"
@@ -47,6 +48,11 @@ namespace probgraph {
 /// over the backend's raw `est_intersection`.
 template <typename Derived>
 struct SketchBackendBase {
+  /// True when est_jaccard is the direct sketch estimate rather than a
+  /// function of est_intersection; batch consumers must then score Jaccard
+  /// per pair instead of deriving it from the raw intersection batch.
+  static constexpr bool kNativeJaccard = false;
+
   const CsrGraph* graph = nullptr;
 
   [[nodiscard]] const Derived& derived() const noexcept {
@@ -62,25 +68,51 @@ struct SketchBackendBase {
   /// near-saturated filters, BF/AND can overshoot on skewed graphs. Every
   /// derived measure funnels through this one definition so all algorithms
   /// see consistent estimates.
-  [[nodiscard]] double est_intersection_clamped(VertexId u, VertexId v) const noexcept {
+  ///
+  /// The *_from_intersection family below is the single source of truth
+  /// for the derived measures: the per-pair est_* methods and the batched
+  /// sweeps both evaluate through it, so a batch is bit-identical to the
+  /// pair loop by construction.
+  [[nodiscard]] double clamp_intersection(VertexId u, VertexId v, double raw) const noexcept {
     const double cap = degree(u) + degree(v);
-    return std::clamp(derived().est_intersection(u, v), 0.0, cap);
+    return std::clamp(raw, 0.0, cap);
   }
 
-  /// J = |X∩Y| / (|X| + |Y| − |X∩Y|) (Listing 6). MinHash backends shadow
-  /// this with the direct sketch estimate.
-  [[nodiscard]] double est_jaccard(VertexId u, VertexId v) const noexcept {
+  [[nodiscard]] double est_intersection_clamped(VertexId u, VertexId v) const noexcept {
+    return clamp_intersection(u, v, derived().est_intersection(u, v));
+  }
+
+  /// J = |X∩Y| / (|X| + |Y| − |X∩Y|) (Listing 6) from a raw intersection
+  /// estimate.
+  [[nodiscard]] double jaccard_from_intersection(VertexId u, VertexId v,
+                                                 double raw) const noexcept {
     const double du = degree(u), dv = degree(v);
     if (du + dv == 0.0) return 0.0;
-    const double inter = est_intersection_clamped(u, v);
+    const double inter = clamp_intersection(u, v, raw);
     const double uni = du + dv - inter;
     return uni <= 0.0 ? 1.0 : inter / uni;
   }
 
-  [[nodiscard]] double est_overlap(VertexId u, VertexId v) const noexcept {
+  [[nodiscard]] double overlap_from_intersection(VertexId u, VertexId v,
+                                                 double raw) const noexcept {
     const double denom = std::min(degree(u), degree(v));
     if (denom == 0.0) return 0.0;
-    return est_intersection_clamped(u, v) / denom;
+    return clamp_intersection(u, v, raw) / denom;
+  }
+
+  [[nodiscard]] double total_from_intersection(VertexId u, VertexId v,
+                                               double raw) const noexcept {
+    return degree(u) + degree(v) - clamp_intersection(u, v, raw);
+  }
+
+  /// MinHash backends shadow est_jaccard with the direct sketch estimate
+  /// (and set kNativeJaccard).
+  [[nodiscard]] double est_jaccard(VertexId u, VertexId v) const noexcept {
+    return jaccard_from_intersection(u, v, derived().est_intersection(u, v));
+  }
+
+  [[nodiscard]] double est_overlap(VertexId u, VertexId v) const noexcept {
+    return overlap_from_intersection(u, v, derived().est_intersection(u, v));
   }
 
   [[nodiscard]] double est_common_neighbors(VertexId u, VertexId v) const noexcept {
@@ -88,7 +120,18 @@ struct SketchBackendBase {
   }
 
   [[nodiscard]] double est_total_neighbors(VertexId u, VertexId v) const noexcept {
-    return degree(u) + degree(v) - est_intersection_clamped(u, v);
+    return total_from_intersection(u, v, derived().est_intersection(u, v));
+  }
+
+  /// Batched raw-intersection sweep: out[i] = est_intersection(u, cands[i])
+  /// for every candidate, bit-identical to the per-pair loop. Backends with
+  /// a batch-friendly memory shape (the Bloom family) shadow this with a
+  /// cache-blocked kernel sweep; this generic fallback is the loop itself.
+  void est_intersection_batch(VertexId u, std::span<const VertexId> cands,
+                              double* out) const {
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      out[i] = derived().est_intersection(u, cands[i]);
+    }
   }
 };
 
@@ -113,6 +156,14 @@ struct BloomBackendBase : SketchBackendBase<Derived> {
   [[nodiscard]] BloomFilterView bf(VertexId v) const noexcept {
     return {words(v), bits, hashes, family};
   }
+
+  /// Per-thread scratch for the batched popcount sweeps (reused across the
+  /// millions of batches an algorithm sweep issues on each thread).
+  [[nodiscard]] static std::vector<std::uint64_t>& counts_scratch(std::size_t n) {
+    static thread_local std::vector<std::uint64_t> counts;
+    counts.resize(n);
+    return counts;
+  }
 };
 
 /// Eq. (2): Swamidass on popcount(B_u AND B_v). The paper's default.
@@ -122,6 +173,17 @@ struct BloomAndBackend final : BloomBackendBase<BloomAndBackend> {
   [[nodiscard]] double est_intersection(VertexId u, VertexId v) const noexcept {
     return est::bf_intersection_and(util::and_popcount(words(u), words(v)), bits, hashes);
   }
+
+  /// Cache-blocked sweep: u's filter stays hot while candidate rows
+  /// stream; same popcounts, same estimator, bit-identical to the loop.
+  void est_intersection_batch(VertexId u, std::span<const VertexId> cands,
+                              double* out) const {
+    auto& counts = counts_scratch(cands.size());
+    kernels::and_popcount_batch(words(u), arena, words_per_vertex, cands, counts.data());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      out[i] = est::bf_intersection_and(counts[i], bits, hashes);
+    }
+  }
 };
 
 /// Eq. (4): the B→∞ limiting estimator B_{X∩Y,1}/b.
@@ -130,6 +192,15 @@ struct BloomLimitBackend final : BloomBackendBase<BloomLimitBackend> {
 
   [[nodiscard]] double est_intersection(VertexId u, VertexId v) const noexcept {
     return est::bf_intersection_limit(util::and_popcount(words(u), words(v)), hashes);
+  }
+
+  void est_intersection_batch(VertexId u, std::span<const VertexId> cands,
+                              double* out) const {
+    auto& counts = counts_scratch(cands.size());
+    kernels::and_popcount_batch(words(u), arena, words_per_vertex, cands, counts.data());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      out[i] = est::bf_intersection_limit(counts[i], hashes);
+    }
   }
 };
 
@@ -141,11 +212,22 @@ struct BloomOrBackend final : BloomBackendBase<BloomOrBackend> {
     return est::bf_intersection_or(this->degree(u), this->degree(v),
                                    util::or_popcount(words(u), words(v)), bits, hashes);
   }
+
+  void est_intersection_batch(VertexId u, std::span<const VertexId> cands,
+                              double* out) const {
+    auto& counts = counts_scratch(cands.size());
+    kernels::or_popcount_batch(words(u), arena, words_per_vertex, cands, counts.data());
+    const double du = this->degree(u);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      out[i] = est::bf_intersection_or(du, this->degree(cands[i]), counts[i], bits, hashes);
+    }
+  }
 };
 
 /// k-hash MinHash: slot-wise signature comparison, Eq. (5).
 struct KHashBackend final : SketchBackendBase<KHashBackend> {
   static constexpr SketchKind kKind = SketchKind::kKHash;
+  static constexpr bool kNativeJaccard = true;  // direct slot-match estimate
 
   const std::uint64_t* arena = nullptr;
   std::uint32_t k = 0;
@@ -193,6 +275,7 @@ struct KHashBackend final : SketchBackendBase<KHashBackend> {
 /// 1-hash (bottom-k) MinHash: union-restricted sorted merge, §IV-D.
 struct OneHashBackend final : SketchBackendBase<OneHashBackend> {
   static constexpr SketchKind kKind = SketchKind::kOneHash;
+  static constexpr bool kNativeJaccard = true;  // direct union-merge estimate
 
   const BottomKEntry* arena = nullptr;
   const std::uint32_t* sizes = nullptr;
@@ -240,25 +323,12 @@ struct KmvBackend final : SketchBackendBase<KmvBackend> {
   }
 
   [[nodiscard]] double est_intersection(VertexId u, VertexId v) const noexcept {
-    const auto vu = values(u);
-    const auto vv = values(v);
-    // Union-of-sorted-lists with the k smallest, then Eq. (41).
-    std::size_t i = 0, j = 0;
-    std::uint32_t taken = 0;
-    double last = 0.0;
-    while (taken < k && (i < vu.size() || j < vv.size())) {
-      if (j >= vv.size() || (i < vu.size() && vu[i] < vv[j])) {
-        last = vu[i++];
-      } else if (i < vu.size() && vu[i] == vv[j]) {
-        last = vu[i++];
-        ++j;
-      } else {
-        last = vv[j++];
-      }
-      ++taken;
-    }
+    // Union-of-sorted-lists with the k smallest (kernel-layer min_merge,
+    // scalar by contract — double compare order is part of the estimator),
+    // then Eq. (41).
+    const auto [taken, kth] = kernels::min_merge(values(u), values(v), k);
     const double est_union =
-        (taken < k) ? static_cast<double>(taken) : static_cast<double>(k - 1) / last;
+        (taken < k) ? static_cast<double>(taken) : static_cast<double>(k - 1) / kth;
     return std::max(0.0, degree(u) + degree(v) - est_union);
   }
 };

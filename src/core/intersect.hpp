@@ -1,20 +1,25 @@
-// Exact set-intersection cardinality kernels (Fig. 1 panel 2).
+// Exact set-intersection cardinality primitives (Fig. 1 panel 2) — thin
+// facade over the kernel layer (src/core/kernels/), which owns the tuned
+// implementations at every SIMD level.
 //
-// The tuned exact baselines use the two classic variants:
+// The two classic variants the exact baselines use:
 //   * merge     — simultaneous scan of two sorted arrays, O(|X| + |Y|);
 //                 best when the sets have similar sizes,
 //   * galloping — for each element of the smaller set, exponential +
 //                 binary search in the larger, O(|X| log |Y|); best when
 //                 the sizes differ by a large factor.
-// `intersect_size_adaptive` picks between them with the standard size-ratio
-// heuristic, which is what the GMS/GAP baselines do.
+// `intersect_size_adaptive` and `intersect_into` pick between them with
+// the standard size-ratio heuristic (what the GMS/GAP baselines do) and
+// dispatch to the active SIMD level; `intersect_size_merge` /
+// `intersect_size_gallop` name the variants explicitly (also dispatched)
+// for the callers and benches that select a kernel by hand.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/kernels/kernels.hpp"
 #include "util/types.hpp"
 
 namespace probgraph {
@@ -22,76 +27,31 @@ namespace probgraph {
 /// Merge-based |X ∩ Y| over sorted spans.
 [[nodiscard]] inline std::uint64_t intersect_size_merge(std::span<const VertexId> x,
                                                         std::span<const VertexId> y) noexcept {
-  std::uint64_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < x.size() && j < y.size()) {
-    if (x[i] < y[j]) {
-      ++i;
-    } else if (y[j] < x[i]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return kernels::intersect_count_merge(x, y);
 }
 
 /// Galloping (exponential + binary search) |X ∩ Y|; `x` should be the
 /// smaller span.
 [[nodiscard]] inline std::uint64_t intersect_size_gallop(std::span<const VertexId> x,
                                                          std::span<const VertexId> y) noexcept {
-  if (x.size() > y.size()) return intersect_size_gallop(y, x);
-  std::uint64_t count = 0;
-  std::size_t lo = 0;
-  for (const VertexId v : x) {
-    // Exponential probe from the last found position.
-    std::size_t step = 1;
-    std::size_t hi = lo;
-    while (hi < y.size() && y[hi] < v) {
-      lo = hi;
-      hi += step;
-      step <<= 1;
-    }
-    hi = std::min(hi, y.size());
-    const auto it = std::lower_bound(y.begin() + static_cast<std::ptrdiff_t>(lo),
-                                     y.begin() + static_cast<std::ptrdiff_t>(hi), v);
-    lo = static_cast<std::size_t>(it - y.begin());
-    if (lo < y.size() && y[lo] == v) {
-      ++count;
-      ++lo;
-    }
-  }
-  return count;
+  return kernels::intersect_count_gallop(x, y);
 }
 
-/// Size-ratio dispatch between merge and galloping. The crossover factor 32
-/// is the usual rule of thumb (galloping wins once |Y| >> |X| log |X|).
+/// Size-ratio dispatch between merge and galloping (galloping wins once
+/// |Y| >> |X| log |X|; see kernels::kGallopCrossover).
 [[nodiscard]] inline std::uint64_t intersect_size_adaptive(std::span<const VertexId> x,
                                                            std::span<const VertexId> y) noexcept {
-  const std::size_t small = std::min(x.size(), y.size());
-  const std::size_t large = std::max(x.size(), y.size());
-  if (small == 0) return 0;
-  return (large / small >= 32) ? intersect_size_gallop(x, y) : intersect_size_merge(x, y);
+  return kernels::intersect_count(x, y);
 }
 
-/// Materializing merge intersection (needed by exact 4-clique counting,
-/// which iterates over the elements of C3 = N+u ∩ N+v). Appends to `out`.
+/// Materializing intersection (needed by exact 4-clique counting, which
+/// iterates over the elements of C3 = N+u ∩ N+v). Appends to `out`,
+/// ascending. Uses the same size-ratio heuristic as
+/// `intersect_size_adaptive`, so skewed pairs gallop instead of paying
+/// the full O(|X| + |Y|) merge.
 inline void intersect_into(std::span<const VertexId> x, std::span<const VertexId> y,
                            std::vector<VertexId>& out) {
-  std::size_t i = 0, j = 0;
-  while (i < x.size() && j < y.size()) {
-    if (x[i] < y[j]) {
-      ++i;
-    } else if (y[j] < x[i]) {
-      ++j;
-    } else {
-      out.push_back(x[i]);
-      ++i;
-      ++j;
-    }
-  }
+  kernels::intersect_into(x, y, out);
 }
 
 }  // namespace probgraph

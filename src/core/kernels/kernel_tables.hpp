@@ -1,0 +1,16 @@
+// Internal: per-ISA kernel tables, one per SIMD translation unit. Each
+// accessor is DEFINED only when its TU was compiled with the matching ISA
+// flags (the TUs compile to empty otherwise), and REFERENCED only behind
+// the PROBGRAPH_HAVE_* macro CMake defines alongside those flags — so a
+// build never links against a table it did not compile.
+#pragma once
+
+#include "core/kernels/kernels.hpp"
+
+namespace probgraph::kernels::detail {
+
+const KernelTable& avx2_table() noexcept;
+const KernelTable& avx512_table() noexcept;
+const KernelTable& neon_table() noexcept;
+
+}  // namespace probgraph::kernels::detail

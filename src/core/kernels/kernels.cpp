@@ -1,0 +1,147 @@
+// Kernel dispatch: assemble the function table for the best SIMD level
+// the build compiled in AND the running CPU supports, capped by the
+// PROBGRAPH_KERNELS environment variable. Resolved exactly once.
+//
+// The SIMD TUs (kernels_avx2.cpp, kernels_avx512.cpp, kernels_neon.cpp)
+// are compiled with per-file ISA flags and guarded so they compile to
+// empty TUs when the flags are absent; this TU references their tables
+// only behind the matching PROBGRAPH_HAVE_* macros, which CMake defines
+// exactly when it added the flags. Nothing here executes an instruction
+// the CPU did not report via cpuid.
+#include "core/kernels/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kernels/kernel_tables.hpp"
+
+namespace probgraph::kernels {
+
+namespace detail {
+
+namespace {
+
+// Raw-pointer adapters over the scalar reference implementations.
+std::uint64_t s_icm(const VertexId* x, std::size_t nx, const VertexId* y,
+                    std::size_t ny) noexcept {
+  return scalar::intersect_count_merge({x, nx}, {y, ny});
+}
+std::uint64_t s_icg(const VertexId* x, std::size_t nx, const VertexId* y,
+                    std::size_t ny) noexcept {
+  return scalar::intersect_count_gallop({x, nx}, {y, ny});
+}
+void s_iim(const VertexId* x, std::size_t nx, const VertexId* y, std::size_t ny,
+           std::vector<VertexId>& out) {
+  scalar::intersect_into_merge({x, nx}, {y, ny}, out);
+}
+void s_iig(const VertexId* x, std::size_t nx, const VertexId* y, std::size_t ny,
+           std::vector<VertexId>& out) {
+  scalar::intersect_into_gallop({x, nx}, {y, ny}, out);
+}
+
+constexpr KernelTable kScalarTable = {
+    s_icm,
+    s_icg,
+    s_iim,
+    s_iig,
+    scalar::and_popcount,
+    scalar::or_popcount,
+    scalar::and3_popcount,
+    scalar::popcount,
+    scalar::match_count_u64,
+};
+
+/// The PROBGRAPH_KERNELS cap: "scalar" forces the portable path,
+/// "avx2"/"avx512"/"neon" cap the auto-detected level at that tier (the
+/// CPU check still applies — asking for a level the CPU lacks falls back).
+Level level_cap() noexcept {
+  const char* env = std::getenv("PROBGRAPH_KERNELS");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 || env[0] == '\0') {
+    return Level::kAvx512;  // highest tier == no cap
+  }
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "neon") == 0) return Level::kNeon;
+  if (std::strcmp(env, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(env, "avx512") == 0) return Level::kAvx512;
+  return Level::kAvx512;  // unknown value: ignore, auto-detect
+}
+
+struct Resolved {
+  KernelTable table;
+  Level level;
+};
+
+Resolved resolve() noexcept {
+  Resolved r{kScalarTable, Level::kScalar};
+  // Unused in a scalar-only build (PROBGRAPH_SIMD=OFF compiles no tables
+  // to cap).
+  [[maybe_unused]] const Level cap = level_cap();
+#if defined(PROBGRAPH_HAVE_AVX2)
+  if (cap >= Level::kAvx2 && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("popcnt")) {
+    // AVX2 overrides: sorted merge intersection + popcount family + slot
+    // match. Galloping stays scalar on every level — the vectorized window
+    // scan measured slower than the branch-predictable binary search (see
+    // kernels_avx2.cpp).
+    r.table.intersect_count_merge = avx2_table().intersect_count_merge;
+    r.table.intersect_into_merge = avx2_table().intersect_into_merge;
+    r.table.and_popcount = avx2_table().and_popcount;
+    r.table.or_popcount = avx2_table().or_popcount;
+    r.table.and3_popcount = avx2_table().and3_popcount;
+    r.table.popcount = avx2_table().popcount;
+    r.table.match_count_u64 = avx2_table().match_count_u64;
+    r.level = Level::kAvx2;
+  }
+#endif
+#if defined(PROBGRAPH_HAVE_AVX512)
+  if (cap >= Level::kAvx512 && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vpopcntdq") && __builtin_cpu_supports("avx512bw")) {
+    // AVX512 overrides only the popcount family (VPOPCNTDQ counts eight
+    // words per instruction); the shuffle-based intersection stays AVX2.
+    r.table.and_popcount = avx512_table().and_popcount;
+    r.table.or_popcount = avx512_table().or_popcount;
+    r.table.and3_popcount = avx512_table().and3_popcount;
+    r.table.popcount = avx512_table().popcount;
+    r.level = Level::kAvx512;
+  }
+#endif
+#if defined(PROBGRAPH_HAVE_NEON)
+  if (cap >= Level::kNeon) {
+    // NEON is baseline on AArch64 — no cpuid gate needed. Popcount family
+    // and slot match are vectorized; sorted intersection stays scalar
+    // (documented fallback).
+    r.table.and_popcount = neon_table().and_popcount;
+    r.table.or_popcount = neon_table().or_popcount;
+    r.table.and3_popcount = neon_table().and3_popcount;
+    r.table.popcount = neon_table().popcount;
+    r.table.match_count_u64 = neon_table().match_count_u64;
+    r.level = Level::kNeon;
+  }
+#endif
+  return r;
+}
+
+const Resolved& resolved() noexcept {
+  static const Resolved r = resolve();
+  return r;
+}
+
+}  // namespace
+
+const KernelTable& table() noexcept { return resolved().table; }
+
+}  // namespace detail
+
+Level active_level() noexcept { return detail::resolved().level; }
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kNeon: return "neon";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace probgraph::kernels

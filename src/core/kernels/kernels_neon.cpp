@@ -1,0 +1,120 @@
+// NEON kernel implementations for AArch64, where Advanced SIMD is
+// baseline (no runtime feature check needed). vcnt counts bits per byte;
+// vpaddl chains widen byte counts to 64-bit lanes. The popcount family
+// and the MinHash slot match are vectorized; sorted intersection falls
+// back to scalar on this architecture (documented in the README — the
+// block-broadcast scheme needs cheap 8-lane 32-bit permutes, which NEON's
+// 128-bit registers do not give us; measure before porting).
+//
+// Bit-identical to kernels::scalar (integer counts only).
+#if defined(__ARM_NEON) && (defined(__aarch64__) || defined(_M_ARM64))
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "core/kernels/kernel_tables.hpp"
+
+namespace probgraph::kernels::detail {
+
+namespace {
+
+/// Popcount of one 128-bit vector as a u64 scalar.
+inline std::uint64_t vpopcnt128(uint8x16_t v) noexcept {
+  return vaddvq_u64(vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+}
+
+template <typename Op>
+inline std::uint64_t combine_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                           std::size_t n, Op op) noexcept {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8x16_t v0 =
+        vreinterpretq_u8_u64(op(vld1q_u64(a + i), vld1q_u64(b + i)));
+    const uint8x16_t v1 =
+        vreinterpretq_u8_u64(op(vld1q_u64(a + i + 2), vld1q_u64(b + i + 2)));
+    total += vpopcnt128(v0) + vpopcnt128(v1);
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(op.scalar(a[i], b[i])));
+  }
+  return total;
+}
+
+struct AndOp {
+  uint64x2_t operator()(uint64x2_t x, uint64x2_t y) const noexcept { return vandq_u64(x, y); }
+  std::uint64_t scalar(std::uint64_t x, std::uint64_t y) const noexcept { return x & y; }
+};
+struct OrOp {
+  uint64x2_t operator()(uint64x2_t x, uint64x2_t y) const noexcept { return vorrq_u64(x, y); }
+  std::uint64_t scalar(std::uint64_t x, std::uint64_t y) const noexcept { return x | y; }
+};
+
+std::uint64_t and_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) noexcept {
+  return combine_popcount_neon(a, b, n, AndOp{});
+}
+
+std::uint64_t or_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) noexcept {
+  return combine_popcount_neon(a, b, n, OrOp{});
+}
+
+std::uint64_t and3_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                 const std::uint64_t* c, std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v =
+        vandq_u64(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)), vld1q_u64(c + i));
+    total += vpopcnt128(vreinterpretq_u8_u64(v));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i] & c[i]));
+  }
+  return total;
+}
+
+std::uint64_t popcount_neon(const std::uint64_t* w, std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    total += vpopcnt128(vreinterpretq_u8_u64(vld1q_u64(w + i)));
+  }
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(__builtin_popcountll(w[i]));
+  return total;
+}
+
+std::uint32_t match_count_u64_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                   std::size_t n, std::uint64_t empty) noexcept {
+  const uint64x2_t vempty = vdupq_n_u64(empty);
+  std::uint64_t matches = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    const uint64x2_t hit = vbicq_u64(vceqq_u64(va, vb), vceqq_u64(va, vempty));
+    // Each hit lane is all-ones: shift down to 1 and horizontal-add.
+    matches += vaddvq_u64(vshrq_n_u64(hit, 63));
+  }
+  for (; i < n; ++i) matches += (a[i] != empty && a[i] == b[i]) ? 1U : 0U;
+  return static_cast<std::uint32_t>(matches);
+}
+
+}  // namespace
+
+const KernelTable& neon_table() noexcept {
+  // Sorted-intersection entries are null: the dispatcher keeps scalar for
+  // them on NEON and must not read these slots.
+  static constexpr KernelTable t = {
+      nullptr,          nullptr,         nullptr,        nullptr,
+      and_popcount_neon, or_popcount_neon, and3_popcount_neon, popcount_neon,
+      match_count_u64_neon,
+  };
+  return t;
+}
+
+}  // namespace probgraph::kernels::detail
+
+#endif  // __ARM_NEON && aarch64

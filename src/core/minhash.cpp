@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/kernels/kernels.hpp"
+
 namespace probgraph {
 
 KHashSketch::KHashSketch(std::uint32_t k, std::uint64_t seed)
@@ -28,12 +30,8 @@ void KHashSketch::build(std::span<const VertexId> xs) noexcept {
 
 std::uint32_t KHashSketch::matching_slots(std::span<const std::uint64_t> a,
                                           std::span<const std::uint64_t> b) noexcept {
-  const std::size_t k = std::min(a.size(), b.size());
-  std::uint32_t matches = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    matches += (a[i] != kEmptySlot && a[i] == b[i]) ? 1U : 0U;
-  }
-  return matches;
+  // The k-entry scan is a kernel-layer primitive (SIMD slot compare).
+  return kernels::match_count_u64(a, b, kEmptySlot);
 }
 
 double KHashSketch::jaccard(const KHashSketch& other) const noexcept {

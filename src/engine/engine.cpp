@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "algorithms/clique_count.hpp"
 #include "algorithms/clustering.hpp"
 #include "algorithms/clustering_coefficient.hpp"
 #include "algorithms/kclique.hpp"
 #include "algorithms/link_prediction.hpp"
+#include "algorithms/similarity_kernels.hpp"
 #include "algorithms/triangle_count.hpp"
 #include "algorithms/vertex_similarity.hpp"
 #include "core/backends.hpp"
@@ -35,20 +38,33 @@ algo::SimilarityMeasure exact_measure(EstimateKind kind) noexcept {
   return algo::SimilarityMeasure::kCommonNeighbors;
 }
 
-/// Per-pair estimate under a concrete backend — the monomorphic core of
-/// the batched PairEstimate sweep. Matches ProbGraph::est_* bit for bit
-/// (those wrappers resolve to the same backend calls).
+/// Batched PairEstimate sweep under a concrete backend: consecutive pairs
+/// sharing a left vertex are scored through one similarity_backend_batch
+/// call (cache-blocked batched estimators on the Bloom backends), so a
+/// serving client streaming {u, v1}, {u, v2}, ... gets the batch path
+/// automatically. EstimateKind maps onto SimilarityMeasure exactly
+/// (exact_measure above), and the batch is bit-identical to the per-pair
+/// loop, so replies match ProbGraph::est_* bit for bit.
 template <typename Backend>
-double estimate_backend(const Backend& be, VertexId u, VertexId v,
-                        EstimateKind kind) noexcept {
-  switch (kind) {
-    case EstimateKind::kIntersection: return be.est_intersection(u, v);
-    case EstimateKind::kJaccard: return be.est_jaccard(u, v);
-    case EstimateKind::kOverlap: return be.est_overlap(u, v);
-    case EstimateKind::kCommonNeighbors: return be.est_common_neighbors(u, v);
-    case EstimateKind::kTotalNeighbors: return be.est_total_neighbors(u, v);
+void pair_sweep_backend(const Backend& be, std::span<const VertexPair> pairs,
+                        EstimateKind kind, QueryResult& r) {
+  const algo::SimilarityMeasure m = exact_measure(kind);
+  std::vector<VertexId> run_vs;
+  std::vector<double> run_scores;
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const VertexId u = pairs[i].u;
+    std::size_t j = i;
+    run_vs.clear();
+    while (j < pairs.size() && pairs[j].u == u) run_vs.push_back(pairs[j++].v);
+    run_scores.resize(run_vs.size());
+    algo::similarity_backend_batch(be, u, {run_vs.data(), run_vs.size()}, m,
+                                   run_scores.data());
+    for (std::size_t t = 0; t < run_vs.size(); ++t) {
+      r.pairs.push_back({u, run_vs[t], run_scores[t]});
+    }
+    i = j;
   }
-  return 0.0;
 }
 
 /// Theorem VII.1 deviation bound for a triangle-count estimate, evaluated
@@ -440,9 +456,7 @@ QueryResult Engine::exec(const PairEstimate& q) {
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   pg.visit_backend([&](const auto& be) {
-    for (const VertexPair& p : q.pairs) {
-      r.pairs.push_back({p.u, p.v, estimate_backend(be, p.u, p.v, q.kind)});
-    }
+    pair_sweep_backend(be, {q.pairs.data(), q.pairs.size()}, q.kind, r);
   });
   r.elapsed_seconds = timer.seconds();
   // Deviation-bound metadata for the cardinality kinds: a union bound over

@@ -1,52 +1,36 @@
 #include "util/bitvector.hpp"
 
-#include <bit>
 #include <cassert>
+
+#include "core/kernels/kernels.hpp"
+
+// The word-combine + popcount reductions forward to the kernel layer
+// (src/core/kernels/), which selects scalar/AVX2/AVX512/NEON once at
+// startup. Counts are bit-identical across levels.
 
 namespace probgraph::util {
 
 std::uint64_t and_popcount(std::span<const std::uint64_t> a,
                            std::span<const std::uint64_t> b) noexcept {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  std::size_t i = 0;
-  // 4-way unroll: keeps four independent popcnt chains in flight.
-  for (; i + 4 <= n; i += 4) {
-    c0 += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
-    c1 += static_cast<std::uint64_t>(std::popcount(a[i + 1] & b[i + 1]));
-    c2 += static_cast<std::uint64_t>(std::popcount(a[i + 2] & b[i + 2]));
-    c3 += static_cast<std::uint64_t>(std::popcount(a[i + 3] & b[i + 3]));
-  }
-  for (; i < n; ++i) c0 += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
-  return c0 + c1 + c2 + c3;
+  return kernels::and_popcount(a, b);
 }
 
 std::uint64_t and3_popcount(std::span<const std::uint64_t> a,
                             std::span<const std::uint64_t> b,
                             std::span<const std::uint64_t> c) noexcept {
   assert(a.size() == b.size() && b.size() == c.size());
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<std::uint64_t>(std::popcount(a[i] & b[i] & c[i]));
-  }
-  return acc;
+  return kernels::and3_popcount(a, b, c);
 }
 
 std::uint64_t or_popcount(std::span<const std::uint64_t> a,
                           std::span<const std::uint64_t> b) noexcept {
   assert(a.size() == b.size());
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<std::uint64_t>(std::popcount(a[i] | b[i]));
-  }
-  return acc;
+  return kernels::or_popcount(a, b);
 }
 
 std::uint64_t popcount(std::span<const std::uint64_t> words) noexcept {
-  std::uint64_t acc = 0;
-  for (const std::uint64_t w : words) acc += static_cast<std::uint64_t>(std::popcount(w));
-  return acc;
+  return kernels::popcount(words);
 }
 
 std::uint64_t BitVector::count_ones() const noexcept { return popcount(words_); }

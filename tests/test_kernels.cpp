@@ -1,0 +1,248 @@
+// Differential tests for the SIMD kernel layer (src/core/kernels/): the
+// dispatched kernels (whatever level cpuid selected — AVX2/AVX512/NEON on
+// capable hosts, scalar otherwise) must match the portable scalar
+// reference bit for bit on sorted sets and bitvectors across the edge
+// cases that break vector code: empty spans, single elements, sizes
+// straddling the 8/16-lane block boundaries, odd tail words, and the
+// duplicate-free invariant. Plus the backend-level guarantee: the batched
+// est_intersection sweep equals the per-pair loop bitwise.
+//
+// On a host without SIMD support (or with PROBGRAPH_SIMD=OFF) the
+// dispatched kernels ARE the scalar ones and these tests degenerate to
+// self-comparison — still useful as API coverage, and the CI matrix runs
+// at least one leg where the levels differ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/backends.hpp"
+#include "core/intersect.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/prob_graph.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pb = probgraph;
+namespace pk = probgraph::kernels;
+
+namespace {
+
+std::vector<pb::VertexId> random_sorted_set(std::size_t size, pb::VertexId universe,
+                                            pb::util::Xoshiro256& rng) {
+  std::unordered_set<pb::VertexId> used;
+  while (used.size() < size) {
+    used.insert(static_cast<pb::VertexId>(rng.bounded(universe)));
+  }
+  std::vector<pb::VertexId> out(used.begin(), used.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, pb::util::Xoshiro256& rng) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) x = rng();
+  return w;
+}
+
+// Sizes straddling the AVX2 8-lane / AVX512 8-word / unroll-16 boundaries.
+constexpr std::size_t kBoundarySizes[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65};
+
+TEST(Kernels, ActiveLevelIsNamed) {
+  const char* name = pk::level_name(pk::active_level());
+  EXPECT_TRUE(name != nullptr && name[0] != '\0');
+}
+
+TEST(Kernels, IntersectCountMatchesScalarOnBoundarySizes) {
+  pb::util::Xoshiro256 rng(7);
+  for (const std::size_t na : kBoundarySizes) {
+    for (const std::size_t nb : kBoundarySizes) {
+      // Small universe forces overlaps; loop a few draws per shape.
+      for (int rep = 0; rep < 4; ++rep) {
+        const auto a = random_sorted_set(na, 200, rng);
+        const auto b = random_sorted_set(nb, 200, rng);
+        const auto expected = pk::scalar::intersect_count_merge(a, b);
+        EXPECT_EQ(pk::intersect_count_merge(a, b), expected)
+            << "merge na=" << na << " nb=" << nb;
+        EXPECT_EQ(pk::intersect_count_gallop(a, b), expected)
+            << "gallop na=" << na << " nb=" << nb;
+        EXPECT_EQ(pk::intersect_count(a, b), expected)
+            << "adaptive na=" << na << " nb=" << nb;
+      }
+    }
+  }
+}
+
+TEST(Kernels, IntersectCountRandomizedLargeAndSkewed) {
+  pb::util::Xoshiro256 rng(11);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t na = 1 + rng.bounded(2000);
+    const std::size_t nb = 1 + rng.bounded(2000) * (rep % 5 == 0 ? 8 : 1);
+    const auto universe = static_cast<pb::VertexId>(2 * (na + nb) + 1);
+    const auto a = random_sorted_set(na, universe, rng);
+    const auto b = random_sorted_set(nb, universe, rng);
+    const auto expected = pk::scalar::intersect_count_merge(a, b);
+    EXPECT_EQ(pk::intersect_count_merge(a, b), expected);
+    EXPECT_EQ(pk::intersect_count_gallop(a, b), expected);
+    EXPECT_EQ(pk::scalar::intersect_count_gallop(a, b), expected);
+    EXPECT_EQ(pk::intersect_count(a, b), expected);
+  }
+}
+
+TEST(Kernels, IntersectIntoMatchesScalarAndStaysSorted) {
+  pb::util::Xoshiro256 rng(13);
+  for (int rep = 0; rep < 60; ++rep) {
+    const std::size_t na = rng.bounded(300);
+    const std::size_t nb = rng.bounded(300) * (rep % 4 == 0 ? 40 : 1);
+    const auto universe = static_cast<pb::VertexId>(na + nb + 50);
+    const auto a = random_sorted_set(na, universe, rng);
+    const auto b = random_sorted_set(nb, universe, rng);
+
+    std::vector<pb::VertexId> expected;
+    pk::scalar::intersect_into_merge(a, b, expected);
+
+    std::vector<pb::VertexId> got;
+    pk::intersect_into(a, b, got);  // adaptive + dispatched
+    EXPECT_EQ(got, expected);
+
+    got.clear();
+    pk::scalar::intersect_into_gallop(a, b, got);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(Kernels, IntersectIntoAppendsWithoutClearing) {
+  const std::vector<pb::VertexId> a{1, 3, 5};
+  const std::vector<pb::VertexId> b{3, 5, 9};
+  std::vector<pb::VertexId> out{42};
+  pk::intersect_into(a, b, out);
+  EXPECT_EQ(out, (std::vector<pb::VertexId>{42, 3, 5}));
+}
+
+TEST(Kernels, PopcountFamilyMatchesScalarOnOddTails) {
+  pb::util::Xoshiro256 rng(17);
+  for (const std::size_t n : kBoundarySizes) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const auto a = random_words(n, rng);
+      const auto b = random_words(n, rng);
+      const auto c = random_words(n, rng);
+      EXPECT_EQ(pk::and_popcount(a, b), pk::scalar::and_popcount(a.data(), b.data(), n))
+          << "and n=" << n;
+      EXPECT_EQ(pk::or_popcount(a, b), pk::scalar::or_popcount(a.data(), b.data(), n))
+          << "or n=" << n;
+      EXPECT_EQ(pk::and3_popcount(a, b, c),
+                pk::scalar::and3_popcount(a.data(), b.data(), c.data(), n))
+          << "and3 n=" << n;
+      EXPECT_EQ(pk::popcount(a), pk::scalar::popcount(a.data(), n)) << "pop n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, PopcountExtremes) {
+  const std::vector<std::uint64_t> zeros(33, 0);
+  const std::vector<std::uint64_t> ones(33, ~std::uint64_t{0});
+  EXPECT_EQ(pk::popcount(zeros), 0u);
+  EXPECT_EQ(pk::popcount(ones), 33u * 64u);
+  EXPECT_EQ(pk::and_popcount(zeros, ones), 0u);
+  EXPECT_EQ(pk::or_popcount(zeros, ones), 33u * 64u);
+  EXPECT_EQ(pk::and3_popcount(ones, ones, ones), 33u * 64u);
+}
+
+TEST(Kernels, MatchCountSkipsEmptySlots) {
+  pb::util::Xoshiro256 rng(23);
+  for (const std::size_t n : kBoundarySizes) {
+    for (int rep = 0; rep < 4; ++rep) {
+      auto a = random_words(n, rng);
+      auto b = random_words(n, rng);
+      // Force matches, empty-slot collisions, and empty-vs-empty pairs.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = rng.bounded(4);
+        if (r == 0) b[i] = a[i];
+        if (r == 1) a[i] = pb::kEmptySlot;
+        if (r == 2) {
+          a[i] = pb::kEmptySlot;
+          b[i] = pb::kEmptySlot;
+        }
+      }
+      EXPECT_EQ(pk::match_count_u64(a, b, pb::kEmptySlot),
+                pk::scalar::match_count_u64(a.data(), b.data(), n, pb::kEmptySlot))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, MinMergeMatchesKmvSemantics) {
+  // Distinct interleaved values plus shared values consumed from both
+  // sides but counted once.
+  const std::vector<double> a{0.1, 0.3, 0.5};
+  const std::vector<double> b{0.2, 0.3, 0.6};
+  const auto r = pk::min_merge(a, b, 4);
+  EXPECT_EQ(r.taken, 4u);
+  EXPECT_DOUBLE_EQ(r.kth, 0.5);
+  // Exhaustion before k.
+  const auto r2 = pk::min_merge(a, b, 10);
+  EXPECT_EQ(r2.taken, 5u);  // {0.1, 0.2, 0.3, 0.5, 0.6}
+  EXPECT_DOUBLE_EQ(r2.kth, 0.6);
+  const auto r3 = pk::min_merge({}, {}, 5);
+  EXPECT_EQ(r3.taken, 0u);
+}
+
+// Backend-level guarantee: batched sweep == per-pair loop, bitwise, for
+// every sketch kind (Bloom overrides the batch with the cache-blocked
+// kernel; the others exercise the generic fallback).
+TEST(Kernels, BackendBatchMatchesPairLoopBitwise) {
+  const pb::CsrGraph g = pb::gen::kronecker(9, 8.0, 99);
+  for (const pb::SketchKind kind :
+       {pb::SketchKind::kBloomFilter, pb::SketchKind::kKHash, pb::SketchKind::kOneHash,
+        pb::SketchKind::kKmv}) {
+    for (const pb::BfEstimator est :
+         {pb::BfEstimator::kAnd, pb::BfEstimator::kLimit, pb::BfEstimator::kOr}) {
+      if (kind != pb::SketchKind::kBloomFilter && est != pb::BfEstimator::kAnd) continue;
+      pb::ProbGraphConfig cfg;
+      cfg.kind = kind;
+      cfg.bf_estimator = est;
+      cfg.storage_budget = 0.25;
+      const pb::ProbGraph pg(g, cfg);
+      pg.visit_backend([&](const auto& be) {
+        std::vector<double> batch;
+        for (pb::VertexId u = 0; u < g.num_vertices(); u += 7) {
+          const auto cands = g.neighbors(u);
+          if (cands.empty()) continue;
+          batch.assign(cands.size(), -1.0);
+          be.est_intersection_batch(u, cands, batch.data());
+          for (std::size_t i = 0; i < cands.size(); ++i) {
+            const double expected = be.est_intersection(u, cands[i]);
+            // Bitwise identity, not tolerance: the batch must be the same
+            // computation.
+            EXPECT_EQ(batch[i], expected)
+                << "kind=" << static_cast<int>(kind) << " u=" << u << " i=" << i;
+          }
+        }
+      });
+    }
+  }
+}
+
+// The derived-measure helpers must agree with the per-pair estimators
+// (they are the same code path; this pins the refactor).
+TEST(Kernels, DerivedMeasuresAgreeWithHelpers) {
+  const pb::CsrGraph g = pb::gen::kronecker(8, 8.0, 5);
+  pb::ProbGraphConfig cfg;
+  cfg.kind = pb::SketchKind::kBloomFilter;
+  cfg.storage_budget = 0.25;
+  const pb::ProbGraph pg(g, cfg);
+  pg.visit_backend([&](const auto& be) {
+    for (pb::VertexId u = 0; u < g.num_vertices(); u += 11) {
+      for (const pb::VertexId v : g.neighbors(u)) {
+        const double raw = be.est_intersection(u, v);
+        EXPECT_EQ(be.est_jaccard(u, v), be.jaccard_from_intersection(u, v, raw));
+        EXPECT_EQ(be.est_overlap(u, v), be.overlap_from_intersection(u, v, raw));
+        EXPECT_EQ(be.est_total_neighbors(u, v), be.total_from_intersection(u, v, raw));
+      }
+    }
+  });
+}
+
+}  // namespace
