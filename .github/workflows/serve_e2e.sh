@@ -20,12 +20,29 @@
 # neighborhood script (symmetric substrates) — and each transcript must
 # match its checked-in expectation byte for byte.
 #
+# Phase 1 also exercises the observability surface: the server runs with
+# --metrics-port, and WHILE the 4 clients are in flight the script scrapes
+# GET /metrics (bash /dev/tcp — no curl dependency on minimal runners) and
+# requires a Prometheus exposition carrying the query counters. The
+# transcript diffs then double as proof that scraping never perturbs reply
+# bytes.
+#
 # Usage: serve_e2e.sh <path-to-pgtool> [port]
 set -euo pipefail
 
 PGTOOL="${1:?usage: serve_e2e.sh <path-to-pgtool> [port]}"
 PORT="${2:-19777}"
+METRICS_PORT=$((PORT + 2))
 CLIENTS=4
+
+# One HTTP/1.0 GET against the scrape endpoint via bash's /dev/tcp.
+scrape_metrics() {
+  local port="$1" out="$2"
+  exec 9<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+  cat <&9 > "$out"
+  exec 9>&- 9<&-
+}
 
 wait_ready() {
   local port="$1" pid="$2"
@@ -44,9 +61,11 @@ wait_ready() {
   fi
 }
 
-# --- Phase 1: v1 snapshot, 4 identical concurrent sessions. ---
+# --- Phase 1: v1 snapshot, 4 identical concurrent sessions, scraped
+# --- mid-flight. ---
 
-"$PGTOOL" serve tests/data/golden.pgs --threads 1 --listen "$PORT" --max-conns 8 &
+"$PGTOOL" serve tests/data/golden.pgs --threads 1 --listen "$PORT" \
+  --max-conns 8 --metrics-port "$METRICS_PORT" &
 SERVE_PID=$!
 wait_ready "$PORT" "$SERVE_PID"
 
@@ -56,6 +75,16 @@ for i in $(seq 1 "$CLIENTS"); do
     < tests/data/serve_session.txt > "net_replies_$i.txt" &
   pids="$pids $!"
 done
+
+# Scrape while the clients race. Only the always-present families are
+# asserted here — the query families register lazily on the first query,
+# which this scrape may legitimately beat; the post-session scrape below
+# pins those.
+scrape_metrics "$METRICS_PORT" metrics_scrape.txt
+grep -q '^HTTP/1.0 200 OK' metrics_scrape.txt
+grep -q 'probgraph_kernel_dispatch_level' metrics_scrape.txt
+echo "mid-flight /metrics scrape is valid Prometheus text"
+
 for p in $pids; do
   wait "$p"
 done
@@ -63,7 +92,17 @@ done
 for i in $(seq 1 "$CLIENTS"); do
   diff -u tests/data/serve_session.expected "net_replies_$i.txt"
 done
-echo "all $CLIENTS concurrent transcripts byte-identical"
+echo "all $CLIENTS concurrent transcripts byte-identical (while scraped)"
+
+# One more scrape after the sessions finished: their queries must now be
+# visible — per-type counters, latency quantiles, and substrate routing
+# (a tc query ran in every transcript).
+scrape_metrics "$METRICS_PORT" metrics_final.txt
+grep -q '# TYPE probgraph_queries_total counter' metrics_final.txt
+grep -q 'probgraph_queries_total{type="tc",mode="sketch"}' metrics_final.txt
+grep -q 'probgraph_query_latency_seconds{type="tc",quantile="0.99"}' metrics_final.txt
+grep -q 'probgraph_query_substrate_total' metrics_final.txt
+echo "post-session scrape carries the query counters, quantiles, and routing"
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"

@@ -20,9 +20,12 @@
 //     mode), measuring the per-query round trip including loopback and
 //     the thread-per-connection machinery.
 //
-// Usage: table6_serving_latency [snapshot.pgs]
-// Without an argument it looks for tests/data/golden.pgs (cwd or parent)
-// and falls back to building a kron:12:8 snapshot in a temp file.
+// Usage: table6_serving_latency [snapshot.pgs] [--json[=FILE]]
+// Without a snapshot argument it looks for tests/data/golden.pgs (cwd or
+// parent) and falls back to building a kron:12:8 snapshot in a temp file.
+// --json additionally emits every row as a machine-readable report (to
+// stdout, or to FILE with --json=FILE) in the same spirit as table4's
+// google-benchmark JSON — the CI bench-smoke job archives these.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -47,8 +50,9 @@ namespace pb = probgraph;
 
 namespace {
 
-std::string locate_snapshot(int argc, char** argv, std::optional<std::string>& temp) {
-  if (argc > 1) return argv[1];
+std::string locate_snapshot(const std::vector<std::string>& positional,
+                            std::optional<std::string>& temp) {
+  if (!positional.empty()) return positional.front();
   for (const char* candidate : {"tests/data/golden.pgs", "../tests/data/golden.pgs"}) {
     if (std::filesystem::exists(candidate)) return candidate;
   }
@@ -68,11 +72,65 @@ double seconds_per_iter(int iters, const auto& body) {
   return timer.seconds() / iters;
 }
 
+/// Machine-readable mirror of the printed rows, emitted only under
+/// --json[=FILE]. Shape follows google-benchmark's report (a context
+/// object + a benchmarks array) so the CI artifacts parse uniformly.
+struct JsonReport {
+  bool enabled = false;
+  std::string file;  // empty = stdout
+  std::vector<std::pair<std::string, double>> rows;  // name -> us/query
+
+  void add(const std::string& name, double us_per_query) {
+    if (enabled) rows.emplace_back(name, us_per_query);
+  }
+
+  void emit(const std::string& snapshot, pb::VertexId n) const {
+    if (!enabled) return;
+    std::FILE* out = file.empty() ? stdout : std::fopen(file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for the JSON report\n", file.c_str());
+      return;
+    }
+    const bool obs =
+#if defined(PROBGRAPH_OBS) && PROBGRAPH_OBS
+        true;
+#else
+        false;
+#endif
+    std::fprintf(out,
+                 "{\n  \"context\": {\n    \"snapshot\": \"%s\",\n"
+                 "    \"num_vertices\": %u,\n    \"obs_enabled\": %s\n  },\n"
+                 "  \"benchmarks\": [\n",
+                 snapshot.c_str(), n, obs ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"us_per_query\": %.4f}%s\n",
+                   rows[i].first.c_str(), rows[i].second,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (!file.empty()) std::fclose(out);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  JsonReport json;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json.enabled = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json.enabled = true;
+      json.file = arg.substr(7);
+    } else {
+      positional.push_back(arg);
+    }
+  }
   std::optional<std::string> temp;
-  const std::string path = locate_snapshot(argc, argv, temp);
+  const std::string path = locate_snapshot(positional, temp);
 
   namespace eng = pb::engine;
   eng::Engine warm = eng::Engine::from_snapshot(path);
@@ -110,6 +168,12 @@ int main(int argc, char** argv) {
   pb::util::Timer proto_timer;
   const std::size_t answered = eng::serve_session(warm, in, out);
   const double proto = proto_timer.seconds() / static_cast<double>(answered);
+
+  json.add("cold_one_shot_pair", cold * 1e6);
+  json.add("warm_session_pair", warm_pair * 1e6);
+  json.add("warm_session_stats", warm_stats * 1e6);
+  json.add("warm_session_tc", warm_tc * 1e6);
+  json.add("protocol_round_trip_pair", proto * 1e6);
 
   std::printf("\n--- per-query latency: serve session vs one-shot (cold map) ---\n");
   std::printf("cold one-shot (map+checksum+pair) %10.1f us/query\n", cold * 1e6);
@@ -158,6 +222,12 @@ int main(int argc, char** argv) {
         seconds_per_iter(kWarmScan, [&] { (void)multi.run(eng::TriangleCount{}); });
     const double multi_tc_kmv = seconds_per_iter(
         kWarmScan, [&] { (void)multi.run(eng::TriangleCount{.sketch = pb::SketchKind::kKmv}); });
+
+    json.add("multi_pair_default_route", multi_pair * 1e6);
+    json.add("multi_pair_kind_bf", multi_pair_bf * 1e6);
+    json.add("multi_pair_kind_kmv", multi_pair_kmv * 1e6);
+    json.add("multi_tc_dag_route", multi_tc * 1e6);
+    json.add("multi_tc_kind_kmv", multi_tc_kmv * 1e6);
 
     std::printf("\n--- multi-substrate snapshot (BF+KMV x sym+dag, one mapping) ---\n");
     std::printf("pair, default route (BF/sym)      %10.3f us/query\n", multi_pair * 1e6);
@@ -218,6 +288,8 @@ int main(int argc, char** argv) {
       std::printf("%d client%s x %d queries   %10.3f us/query round trip | %9.0f q/s aggregate\n",
                   clients, clients == 1 ? " " : "s", kPerClient,
                   secs / (total / clients) * 1e6, total / secs);
+      json.add("tcp_round_trip_" + std::to_string(clients) + "_clients",
+               secs / (total / clients) * 1e6);
     }
     server.request_stop();
     runner.join();
@@ -225,6 +297,8 @@ int main(int argc, char** argv) {
                 "thread; aggregate q/s shows how sessions scale on one mapping\n"
                 "(bounded by cores — this is the serving story, not a kernel bench).\n");
   }
+
+  json.emit(path, n);
 
   if (temp) {
     std::error_code ec;

@@ -42,6 +42,25 @@
 
 #include "util/types.hpp"
 
+// Optional per-kernel observability (PROBGRAPH_OBS, default ON): each
+// dispatched wrapper below tallies one invocation plus its input size
+// into the lock-free sharded counters of obs/kernel_metrics.hpp, scraped
+// by the metrics registry. With PROBGRAPH_OBS=OFF the macros expand to
+// nothing and the wrappers compile exactly as before — zero cost, not
+// just a cheap branch. The macro is PUBLIC in CMake so every TU agrees
+// on the inline wrappers' bodies (ODR).
+#if defined(PROBGRAPH_OBS) && PROBGRAPH_OBS
+#include "obs/kernel_metrics.hpp"
+#define PROBGRAPH_OBS_KERNEL(op, elems) \
+  ::probgraph::obs::record_kernel(::probgraph::obs::KernelOp::op, (elems))
+#define PROBGRAPH_OBS_KERNEL_BATCH(op, calls, elems)                         \
+  ::probgraph::obs::record_kernel_batch(::probgraph::obs::KernelOp::op,      \
+                                        (calls), (elems))
+#else
+#define PROBGRAPH_OBS_KERNEL(op, elems) ((void)0)
+#define PROBGRAPH_OBS_KERNEL_BATCH(op, calls, elems) ((void)0)
+#endif
+
 namespace probgraph::kernels {
 
 /// SIMD level of a kernel implementation set, in increasing capability
@@ -264,12 +283,14 @@ inline constexpr std::size_t kGallopCrossover = 32;
 /// |X ∩ Y| over sorted duplicate-free spans, merge variant.
 [[nodiscard]] inline std::uint64_t intersect_count_merge(std::span<const VertexId> x,
                                                          std::span<const VertexId> y) noexcept {
+  PROBGRAPH_OBS_KERNEL(kIntersectCountMerge, x.size() + y.size());
   return detail::table().intersect_count_merge(x.data(), x.size(), y.data(), y.size());
 }
 
 /// |X ∩ Y|, galloping variant.
 [[nodiscard]] inline std::uint64_t intersect_count_gallop(std::span<const VertexId> x,
                                                           std::span<const VertexId> y) noexcept {
+  PROBGRAPH_OBS_KERNEL(kIntersectCountGallop, x.size() + y.size());
   return detail::table().intersect_count_gallop(x.data(), x.size(), y.data(), y.size());
 }
 
@@ -289,8 +310,10 @@ inline void intersect_into(std::span<const VertexId> x, std::span<const VertexId
                            std::vector<VertexId>& out) {
   if (x.empty() || y.empty()) return;
   if (prefer_gallop(x.size(), y.size())) {
+    PROBGRAPH_OBS_KERNEL(kIntersectIntoGallop, x.size() + y.size());
     detail::table().intersect_into_gallop(x.data(), x.size(), y.data(), y.size(), out);
   } else {
+    PROBGRAPH_OBS_KERNEL(kIntersectIntoMerge, x.size() + y.size());
     detail::table().intersect_into_merge(x.data(), x.size(), y.data(), y.size(), out);
   }
 }
@@ -299,12 +322,14 @@ inline void intersect_into(std::span<const VertexId> x, std::span<const VertexId
 /// cardinality" on the bit-vector representation).
 [[nodiscard]] inline std::uint64_t and_popcount(std::span<const std::uint64_t> a,
                                                 std::span<const std::uint64_t> b) noexcept {
+  PROBGRAPH_OBS_KERNEL(kAndPopcount, std::min(a.size(), b.size()));
   return detail::table().and_popcount(a.data(), b.data(), std::min(a.size(), b.size()));
 }
 
 /// popcount(A OR B) over equal-length word spans.
 [[nodiscard]] inline std::uint64_t or_popcount(std::span<const std::uint64_t> a,
                                                std::span<const std::uint64_t> b) noexcept {
+  PROBGRAPH_OBS_KERNEL(kOrPopcount, std::min(a.size(), b.size()));
   return detail::table().or_popcount(a.data(), b.data(), std::min(a.size(), b.size()));
 }
 
@@ -312,12 +337,14 @@ inline void intersect_into(std::span<const VertexId> x, std::span<const VertexId
 [[nodiscard]] inline std::uint64_t and3_popcount(std::span<const std::uint64_t> a,
                                                  std::span<const std::uint64_t> b,
                                                  std::span<const std::uint64_t> c) noexcept {
+  PROBGRAPH_OBS_KERNEL(kAnd3Popcount, std::min({a.size(), b.size(), c.size()}));
   return detail::table().and3_popcount(a.data(), b.data(), c.data(),
                                        std::min({a.size(), b.size(), c.size()}));
 }
 
 /// popcount(A).
 [[nodiscard]] inline std::uint64_t popcount(std::span<const std::uint64_t> w) noexcept {
+  PROBGRAPH_OBS_KERNEL(kPopcount, w.size());
   return detail::table().popcount(w.data(), w.size());
 }
 
@@ -326,6 +353,7 @@ inline void intersect_into(std::span<const VertexId> x, std::span<const VertexId
 [[nodiscard]] inline std::uint32_t match_count_u64(std::span<const std::uint64_t> a,
                                                    std::span<const std::uint64_t> b,
                                                    std::uint64_t empty) noexcept {
+  PROBGRAPH_OBS_KERNEL(kMatchCountU64, std::min(a.size(), b.size()));
   return detail::table().match_count_u64(a.data(), b.data(), std::min(a.size(), b.size()),
                                          empty);
 }
@@ -345,6 +373,7 @@ inline void and_popcount_batch(std::span<const std::uint64_t> base,
                                const std::uint64_t* arena, std::size_t words_per_vertex,
                                std::span<const VertexId> cands,
                                std::uint64_t* out) noexcept {
+  PROBGRAPH_OBS_KERNEL_BATCH(kAndPopcount, cands.size(), base.size() * cands.size());
   const auto fn = detail::table().and_popcount;
   const std::uint64_t* bw = base.data();
   const std::size_t n = base.size();
@@ -357,6 +386,7 @@ inline void and_popcount_batch(std::span<const std::uint64_t> base,
 inline void or_popcount_batch(std::span<const std::uint64_t> base, const std::uint64_t* arena,
                               std::size_t words_per_vertex, std::span<const VertexId> cands,
                               std::uint64_t* out) noexcept {
+  PROBGRAPH_OBS_KERNEL_BATCH(kOrPopcount, cands.size(), base.size() * cands.size());
   const auto fn = detail::table().or_popcount;
   const std::uint64_t* bw = base.data();
   const std::size_t n = base.size();
@@ -385,6 +415,7 @@ struct MinMergeResult {
 [[nodiscard]] inline MinMergeResult min_merge(std::span<const double> a,
                                               std::span<const double> b,
                                               std::uint32_t k) noexcept {
+  PROBGRAPH_OBS_KERNEL(kMinMerge, a.size() + b.size());
   MinMergeResult r;
   std::size_t i = 0, j = 0;
   while (r.taken < k && (i < a.size() || j < b.size())) {

@@ -19,11 +19,76 @@
 #include "core/backends.hpp"
 #include "core/bounds.hpp"
 #include "graph/orientation.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace probgraph::engine {
 
 namespace {
+
+// --- Engine instrumentation (see obs/metrics.hpp). All instruments are
+// resolved ONCE (registry mutex, first run() in the process) and cached as
+// raw pointers, so the per-query cost is a handful of relaxed atomic adds
+// — the lock-free hot-path contract of engine.hpp extends to these.
+
+/// Protocol keyword per Query variant index (the variant order in
+/// query.hpp is the source of truth; query_name() agrees).
+constexpr std::size_t kNumFamilies = std::variant_size_v<Query>;
+constexpr const char* kFamilyNames[kNumFamilies] = {
+    "tc", "4cc", "kclique", "cc", "cluster", "pair", "lp", "stats"};
+
+/// Routing labels in protocol `kind=` spelling, indexed by SketchKind.
+constexpr const char* kKindLabels[4] = {"bf", "kh", "1h", "kmv"};
+
+struct EngineMetrics {
+  obs::Counter* queries[kNumFamilies][3];  // [family][mode]
+  obs::Counter* errors[kNumFamilies];
+  obs::Histogram* latency[kNumFamilies];
+  obs::Histogram* bound_width[kNumFamilies];
+  obs::Counter* substrate[4][2];  // [SketchKind][degree_oriented]
+
+  static constexpr const char* kModeLabels[3] = {"sketch", "exact", "plain"};
+
+  EngineMetrics() {
+    auto& reg = obs::Registry::global();
+    for (std::size_t f = 0; f < kNumFamilies; ++f) {
+      const std::string type = kFamilyNames[f];
+      for (std::size_t m = 0; m < 3; ++m) {
+        queries[f][m] = &reg.counter(
+            "probgraph_queries_total",
+            "Queries answered, by query type and execution mode "
+            "(sketch estimator, exact baseline, or plain/no-sketch)",
+            {{"type", type}, {"mode", kModeLabels[m]}});
+      }
+      errors[f] = &reg.counter(
+          "probgraph_query_errors_total",
+          "Queries that raised (bad arguments, routing failures)",
+          {{"type", type}});
+      latency[f] = &reg.histogram(
+          "probgraph_query_latency_seconds",
+          "End-to-end Engine::run latency including lazy substrate builds",
+          {{"type", type}});
+      bound_width[f] = &reg.histogram(
+          "probgraph_bound_rel_width",
+          "Relative deviation-bound width 2t/|value| of sketch answers "
+          "(the paper's accuracy knob, observed per query)",
+          {{"type", type}});
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      for (std::size_t o = 0; o < 2; ++o) {
+        substrate[k][o] = &reg.counter(
+            "probgraph_query_substrate_total",
+            "Sketch substrate that answered, by kind and orientation",
+            {{"kind", kKindLabels[k]}, {"orientation", o ? "dag" : "sym"}});
+      }
+    }
+  }
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
 
 /// Map an EstimateKind to the SimilarityMeasure computing the same number
 /// exactly (kIntersection and kCommonNeighbors coincide).
@@ -278,7 +343,31 @@ void Engine::fill_sketch_meta(QueryResult& r, const ProbGraph& pg,
 }
 
 QueryResult Engine::run(const Query& query) {
-  return std::visit([this](const auto& q) { return exec(q); }, query);
+  EngineMetrics& m = engine_metrics();
+  const std::size_t fam = query.index();
+  util::Timer timer;
+  try {
+    QueryResult r = std::visit([this](const auto& q) { return exec(q); }, query);
+    // r.elapsed_seconds deliberately excludes lazy builds (it is part of
+    // the reply); the latency histogram records the full run() wall time,
+    // which is what a serving operator sees.
+    m.latency[fam]->observe(timer.seconds());
+    const std::size_t mode = r.exact ? 1 : (r.sketch.used ? 0 : 2);
+    m.queries[fam][mode]->add();
+    if (r.sketch.used) {
+      m.substrate[static_cast<std::size_t>(r.sketch.kind) & 3u]
+                 [r.sketch.degree_oriented ? 1 : 0]
+          ->add();
+    }
+    if (r.bound && std::abs(r.value) > 0) {
+      m.bound_width[fam]->observe(2.0 * r.bound->t / std::abs(r.value));
+    }
+    return r;
+  } catch (...) {
+    m.errors[fam]->add();
+    m.latency[fam]->observe(timer.seconds());
+    throw;
+  }
 }
 
 QueryResult Engine::exec(const TriangleCount& q) {

@@ -62,6 +62,16 @@
 //   * construction, moves, and destruction are NOT thread-safe — create
 //     the Engine before spawning sessions and destroy it after joining
 //     them, exactly what net::Server does.
+//   * instrumentation adds no locks to this picture. Every run() records
+//     into process-global obs:: instruments (counters and histograms,
+//     src/obs/instruments.hpp) whose writes are relaxed atomics on
+//     per-thread-sharded cache lines — concurrent run() calls never
+//     contend on them, and a concurrent metrics scrape (the `metrics`
+//     verb, GET /metrics, or the shutdown summary) only reads those
+//     atomics, so it is safe against any number of in-flight queries and
+//     never perturbs their results. The instrument registry's mutex is
+//     taken once per process (first run() resolves the instrument
+//     pointers), not per query.
 //
 // The algorithms underneath parallelize with OpenMP as before; nested
 // parallel regions issued from distinct session threads get independent

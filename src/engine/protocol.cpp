@@ -7,7 +7,9 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/ascii.hpp"
+#include "util/timer.hpp"
 
 namespace probgraph::engine {
 
@@ -80,15 +82,35 @@ bool take_sketch_kind(std::vector<std::string_view>& tokens,
   return true;
 }
 
+/// Extract one `time` clause from anywhere in the token list. Returns
+/// false (with `error` set) on a duplicate.
+bool take_time(std::vector<std::string_view>& tokens, bool& out,
+               std::string& error) {
+  for (auto it = tokens.begin(); it != tokens.end();) {
+    if (!iequals(*it, "time")) {
+      ++it;
+      continue;
+    }
+    if (out) {
+      error = "duplicate time clause";
+      return false;
+    }
+    out = true;
+    it = tokens.erase(it);
+  }
+  return true;
+}
+
 ParsedRequest make_error(std::string message) {
   ParsedRequest r;
   r.error = std::move(message);
   return r;
 }
 
-ParsedRequest make_query(Query q) {
+ParsedRequest make_query(Query q, bool report_time) {
   ParsedRequest r;
   r.query = std::move(q);
+  r.report_time = report_time;
   return r;
 }
 
@@ -115,12 +137,22 @@ ParsedRequest parse_request(std::string_view line) {
     r.help = true;
     return r;
   }
+  if (iequals(cmd, "metrics")) {
+    if (!tokens.empty()) return make_error("metrics takes no arguments");
+    ParsedRequest r;
+    r.metrics = true;
+    return r;
+  }
 
   std::optional<SketchKind> sketch;
+  bool report_time = false;
   {
-    std::string kind_error;
-    if (!take_sketch_kind(tokens, sketch, kind_error)) {
-      return make_error(std::move(kind_error));
+    std::string clause_error;
+    if (!take_sketch_kind(tokens, sketch, clause_error)) {
+      return make_error(std::move(clause_error));
+    }
+    if (!take_time(tokens, report_time, clause_error)) {
+      return make_error(std::move(clause_error));
     }
   }
   const bool exact = take_exact(tokens);
@@ -134,12 +166,12 @@ ParsedRequest parse_request(std::string_view line) {
       return make_error(std::string(cmd) + " takes no arguments beyond 'exact' (got '" +
                         std::string(tokens.front()) + "')");
     }
-    if (iequals(cmd, "tc")) return make_query(TriangleCount{exact, sketch});
-    if (iequals(cmd, "4cc")) return make_query(FourCliqueCount{exact, sketch});
-    if (iequals(cmd, "cc")) return make_query(ClusteringCoeff{exact, sketch});
+    if (iequals(cmd, "tc")) return make_query(TriangleCount{exact, sketch}, report_time);
+    if (iequals(cmd, "4cc")) return make_query(FourCliqueCount{exact, sketch}, report_time);
+    if (iequals(cmd, "cc")) return make_query(ClusteringCoeff{exact, sketch}, report_time);
     if (exact) return make_error("stats has no exact/sketch distinction");
     if (sketch) return make_error("stats never touches the sketches (kind= does not apply)");
-    return make_query(GraphStats{});
+    return make_query(GraphStats{}, report_time);
   }
 
   if (iequals(cmd, "kclique")) {
@@ -149,7 +181,7 @@ ParsedRequest parse_request(std::string_view line) {
       return make_error("kclique K must be an integer >= 3 (got '" +
                         std::string(tokens[0]) + "')");
     }
-    return make_query(KCliqueCount{k, exact, sketch});
+    return make_query(KCliqueCount{k, exact, sketch}, report_time);
   }
 
   if (iequals(cmd, "cluster")) {
@@ -167,7 +199,7 @@ ParsedRequest parse_request(std::string_view line) {
       return make_error("cluster TAU must be a finite number (got '" +
                         std::string(tokens[1]) + "')");
     }
-    return make_query(Cluster{*measure, tau, exact, sketch});
+    return make_query(Cluster{*measure, tau, exact, sketch}, report_time);
   }
 
   if (iequals(cmd, "pair")) {
@@ -195,7 +227,7 @@ ParsedRequest parse_request(std::string_view line) {
       }
       q.pairs.push_back(p);
     }
-    return make_query(std::move(q));
+    return make_query(std::move(q), report_time);
   }
 
   if (iequals(cmd, "lp")) {
@@ -218,7 +250,7 @@ ParsedRequest parse_request(std::string_view line) {
       }
       q.measure = *measure;
     }
-    return make_query(q);
+    return make_query(q, report_time);
   }
 
   return make_error("unknown query '" + std::string(cmd) + "' (send 'help' for the grammar)");
@@ -274,45 +306,166 @@ std::string format_error(std::string_view message) {
 std::string help_reply() {
   return "ok\thelp\ttc [exact] | 4cc [exact] | kclique K [exact] | cc [exact] | "
          "cluster MEASURE TAU [exact] | pair KIND U V [U V ...] [exact] | "
-         "lp K [MEASURE] [exact] | stats | quit; sketch queries also take "
-         "kind=bf|kh|1h|kmv to route to a substrate of a multi-sketch snapshot";
+         "lp K [MEASURE] [exact] | stats | metrics | quit; sketch queries also "
+         "take kind=bf|kh|1h|kmv to route to a substrate of a multi-sketch "
+         "snapshot, and any query takes a time clause appending elapsed_us= "
+         "(non-deterministic) to its reply";
 }
 
-std::size_t serve_session(Engine& engine, SessionIo& io) {
+namespace {
+
+/// Session-layer instruments, resolved once per process (see the
+/// EngineMetrics pattern in engine.cpp). Every transport funnels through
+/// serve_session, so these cover stdin REPLs, TCP sessions, and in-memory
+/// test/bench sessions alike.
+struct SessionMetrics {
+  obs::Counter* sessions;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* err_overlong;
+  obs::Counter* err_parse;
+  obs::Counter* err_bad_argument;
+  obs::Counter* err_engine;
+  obs::Histogram* queries_per_session;
+  obs::Histogram* session_seconds;
+};
+
+SessionMetrics& session_metrics() {
+  static SessionMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    const char* err_help =
+        "err replies sent, by cause: overlong frame (protocol abuse), "
+        "parse failure, bad-argument (client bug), engine (routing or "
+        "internal failure)";
+    SessionMetrics s;
+    s.sessions = &reg.counter("probgraph_sessions_total",
+                              "Serve sessions completed (any transport)");
+    s.bytes_in = &reg.counter("probgraph_session_bytes_total",
+                              "Protocol bytes, by direction (request and "
+                              "reply lines incl. newline)",
+                              {{"direction", "in"}});
+    s.bytes_out = &reg.counter("probgraph_session_bytes_total",
+                               "Protocol bytes, by direction (request and "
+                               "reply lines incl. newline)",
+                               {{"direction", "out"}});
+    s.err_overlong = &reg.counter("probgraph_session_errors_total", err_help,
+                                  {{"cause", "overlong"}});
+    s.err_parse = &reg.counter("probgraph_session_errors_total", err_help,
+                               {{"cause", "parse"}});
+    s.err_bad_argument = &reg.counter("probgraph_session_errors_total",
+                                      err_help, {{"cause", "bad-argument"}});
+    s.err_engine = &reg.counter("probgraph_session_errors_total", err_help,
+                                {{"cause", "engine"}});
+    s.queries_per_session =
+        &reg.histogram("probgraph_session_queries",
+                       "Queries answered per completed session");
+    s.session_seconds = &reg.histogram("probgraph_session_seconds",
+                                       "Session lifetime, connect to close");
+    return s;
+  }();
+  return m;
+}
+
+/// One structured stderr line per slow query: parse (type + request),
+/// route (mode + substrate), timing. Tabs/newlines in the echoed request
+/// are flattened so the log line stays one line.
+void log_slow_query(std::string_view request, const QueryResult& r,
+                    double elapsed_seconds) {
+  std::string req;
+  req.reserve(request.size());
+  for (const char c : request) req += (c == '\n' || c == '\t') ? ' ' : c;
+  const char* mode = r.exact ? "exact" : (r.sketch.used ? "sketch" : "plain");
+  constexpr const char* kKinds[4] = {"bf", "kh", "1h", "kmv"};
+  const char* kind =
+      r.sketch.used ? kKinds[static_cast<std::size_t>(r.sketch.kind) & 3u] : "-";
+  const char* orientation =
+      r.sketch.used ? (r.sketch.degree_oriented ? "dag" : "sym") : "-";
+  std::fprintf(stderr,
+               "pgtool serve: slow-query type=%s mode=%s substrate=%s/%s "
+               "elapsed_us=%lld request=\"%s\"\n",
+               r.name, mode, kind, orientation,
+               static_cast<long long>(std::llround(elapsed_seconds * 1e6)),
+               req.c_str());
+}
+
+}  // namespace
+
+std::size_t serve_session(Engine& engine, SessionIo& io,
+                          const ServeOptions& opts) {
+  SessionMetrics& sm = session_metrics();
+  util::Timer session_timer;
+  // Reply-byte accounting wraps every write so no reply path is missed.
+  const auto write_line = [&io, &sm](std::string_view reply) {
+    sm.bytes_out->add(reply.size() + 1);  // +1: the transport's newline
+    return io.write_line(reply);
+  };
   std::string line;
   std::size_t answered = 0;
   for (;;) {
     const SessionIo::Read st = io.read_line(line);
     if (st == SessionIo::Read::kEof) break;
     if (st == SessionIo::Read::kOverlong) {
-      if (!io.write_line(format_error(line))) break;
+      sm.err_overlong->add();
+      if (!write_line(format_error(line))) break;
       continue;
     }
+    sm.bytes_in->add(line.size() + 1);
     ParsedRequest req = parse_request(line);
     if (req.ignored) continue;
     if (req.quit) {
-      (void)io.write_line("bye");
+      (void)write_line("bye");
       break;
     }
     if (req.help) {
-      if (!io.write_line(help_reply())) break;
+      if (!write_line(help_reply())) break;
+      continue;
+    }
+    if (req.metrics) {
+      // Not counted in `answered`: the Server's queries_answered counter
+      // and the session histograms track engine queries, not scrapes.
+      if (!write_line("ok\tmetrics\t" + obs::Registry::global().tab_text())) {
+        break;
+      }
       continue;
     }
     if (!req.query) {
-      if (!io.write_line(format_error(req.error))) break;
+      sm.err_parse->add();
+      if (!write_line(format_error(req.error))) break;
       continue;
     }
     try {
+      util::Timer query_timer;
       const QueryResult r = engine.run(*req.query);
-      if (!io.write_line(format_reply(r))) break;
+      const double elapsed = query_timer.seconds();
+      std::string reply = format_reply(r);
+      if (req.report_time) {
+        // r.elapsed_seconds (execution excluding lazy builds) is the
+        // number the reply documents; the slow-query check below uses the
+        // full wall time, which is what the session actually waited.
+        reply += "\telapsed_us=";
+        reply += std::to_string(
+            static_cast<long long>(std::llround(r.elapsed_seconds * 1e6)));
+      }
+      if (opts.slow_query_seconds > 0 && elapsed >= opts.slow_query_seconds) {
+        log_slow_query(line, r, elapsed);
+      }
+      if (!write_line(reply)) break;
       ++answered;
+    } catch (const std::invalid_argument& e) {
+      // Client bugs: parseable requests with bad arguments (out-of-range
+      // vertices, kclique k < 3, ...). Answer and keep serving.
+      sm.err_bad_argument->add();
+      if (!write_line(format_error(e.what()))) break;
     } catch (const std::exception& e) {
-      // Malformed-but-parseable requests (out-of-range vertices, KMV 4cc,
-      // wrong snapshot orientation, ...) answer with an error line; the
-      // session keeps serving.
-      if (!io.write_line(format_error(e.what()))) break;
+      // Engine-side failures: routing (no such substrate/orientation in
+      // the snapshot) or internal errors. Answer and keep serving.
+      sm.err_engine->add();
+      if (!write_line(format_error(e.what()))) break;
     }
   }
+  sm.sessions->add();
+  sm.queries_per_session->observe(static_cast<double>(answered));
+  sm.session_seconds->observe(session_timer.seconds());
   return answered;
 }
 
@@ -339,9 +492,10 @@ class StreamSessionIo final : public SessionIo {
 
 }  // namespace
 
-std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out) {
+std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out,
+                          const ServeOptions& opts) {
   StreamSessionIo io(in, out);
-  return serve_session(engine, io);
+  return serve_session(engine, io, opts);
 }
 
 }  // namespace probgraph::engine

@@ -11,6 +11,7 @@
 //   pair KIND U V [U V ...] [exact]  batched per-pair estimates
 //   lp K [MEASURE] [exact]         top-K predicted links
 //   stats                          graph facts
+//   metrics                        one-line metrics snapshot (see below)
 //   help                           one-line grammar summary
 //   quit | exit                    end the session (replies "bye")
 //
@@ -25,6 +26,19 @@
 // — an exact run uses no sketches. Numeric arguments must be finite:
 // "cluster jaccard nan" is answered with an err line, not a threshold that
 // silently compares false everywhere.
+//
+// Every query (including stats) additionally accepts one `time` clause
+// anywhere after the command: the reply gains a final
+// `elapsed_us=<integer>` field with the query's execution time. That field
+// is run-varying BY DESIGN — `time` (like `metrics`) is opt-in
+// observability and is deliberately kept out of every golden transcript
+// fixture; requests without the clause reply byte-identically whether or
+// not other sessions used it.
+//
+// `metrics` replies `ok<TAB>metrics<TAB><field>...` where each field is a
+// `name{labels}=value` sample of the process-wide obs::Registry (counters,
+// histogram count/sum/p50/p90/p99/max, kernel tallies) — one line, tab-
+// separated, run-varying, excluded from fixtures.
 //
 // Reply grammar (exactly one line per non-ignored request, tab-separated):
 //
@@ -62,7 +76,9 @@ struct ParsedRequest {
   std::string error;           ///< set iff malformed (the err reply text)
   bool quit = false;           ///< "quit" / "exit"
   bool help = false;           ///< "help"
+  bool metrics = false;        ///< "metrics" — registry snapshot reply
   bool ignored = false;        ///< blank line or '#' comment — no reply
+  bool report_time = false;    ///< `time` clause: append elapsed_us= to the reply
 };
 
 [[nodiscard]] ParsedRequest parse_request(std::string_view line);
@@ -109,16 +125,33 @@ class SessionIo {
   [[nodiscard]] virtual bool write_line(std::string_view reply) = 0;
 };
 
+/// Per-session serving knobs (pgtool serve flags map onto these).
+struct ServeOptions {
+  /// When > 0, any answered query whose execution time meets the threshold
+  /// is logged to stderr as one structured `slow-query` line (type, mode,
+  /// substrate route, elapsed_us, sanitized request). 0 disables.
+  double slow_query_seconds = 0.0;
+};
+
 /// Run a serve session over any transport: read request lines until EOF or
 /// quit, answer exactly one reply line per non-ignored request. Malformed
 /// or overlong frames and engine errors become "err" replies and the
 /// session keeps serving. Returns the number of successfully answered
 /// queries.
-std::size_t serve_session(Engine& engine, SessionIo& io);
+///
+/// Observability: every session records into obs::Registry::global() —
+/// sessions/bytes/err-reply counters (err causes: "overlong" frames,
+/// "parse" failures, "bad-argument" client errors, "engine" routing or
+/// internal failures) and per-session query-count/lifetime histograms.
+/// Recording is lock-free on the session path (see obs/instruments.hpp)
+/// and never changes reply bytes.
+std::size_t serve_session(Engine& engine, SessionIo& io,
+                          const ServeOptions& opts = {});
 
 /// Stream adapter over the shared loop — the stdin REPL and the in-memory
 /// tests/benches. Lines are unbounded (the transport is a trusted local
 /// pipe); socket transports bound them instead (src/net/line_reader.hpp).
-std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out);
+std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out,
+                          const ServeOptions& opts = {});
 
 }  // namespace probgraph::engine

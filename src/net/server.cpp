@@ -12,6 +12,7 @@
 
 #include "engine/protocol.hpp"
 #include "net/line_reader.hpp"
+#include "obs/metrics.hpp"
 
 namespace probgraph::net {
 
@@ -79,7 +80,7 @@ void Server::request_stop() noexcept {
 void Server::handle(Conn* conn) {
   SocketSessionIo io(conn->sock, opts_.max_line_bytes);
   try {
-    queries_answered_ += engine::serve_session(engine_, io);
+    queries_answered_ += engine::serve_session(engine_, io, opts_.session);
   } catch (...) {
     // serve_session answers engine errors in-band; anything escaping here
     // (e.g. bad_alloc) ends this session only, never the server.
@@ -133,6 +134,13 @@ void Server::run() {
     std::lock_guard lock(conns_mu_);
     if (conns_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
       ++rejected_;
+      // Registry mirror of the capacity counter, so a scrape sees
+      // rejections without asking the Server object. Resolved lazily here
+      // (cold path: a rejection is already a slow, sad event).
+      obs::Registry::global()
+          .counter("probgraph_connections_rejected_total",
+                   "Connections answered 'server at capacity' and closed")
+          .add();
       (void)sock.write_all("err\tserver at capacity (" +
                            std::to_string(opts_.max_conns) +
                            " live sessions); retry later\n");

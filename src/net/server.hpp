@@ -34,6 +34,7 @@
 #include <thread>
 
 #include "engine/engine.hpp"
+#include "engine/protocol.hpp"
 #include "net/socket.hpp"
 
 namespace probgraph::net {
@@ -43,6 +44,7 @@ struct ServerOptions {
   int max_conns = 16;      ///< live sessions beyond this answer an err line
   std::size_t max_line_bytes = 64 * 1024;  ///< per-session request-line bound
   int backlog = 64;
+  engine::ServeOptions session;  ///< per-session knobs (slow-query log, ...)
 };
 
 class Server {

@@ -1,0 +1,213 @@
+// Lock-free hot-path instruments: sharded counters, gauges, and
+// log-bucketed histograms.
+//
+// Design: every instrument is a small array of cache-line-aligned shards
+// of relaxed atomics. Writers pick a shard once per thread (a round-robin
+// thread_local index) and touch only that shard, so concurrent writers on
+// different threads never contend on one cache line and never take a
+// lock. Aggregation across shards happens only at scrape time, on the
+// reader's thread. Relaxed ordering is sufficient: the values are
+// monotonic event tallies, not synchronization edges — a scrape sees some
+// recent prefix of each shard, which is exactly the semantics a metrics
+// snapshot needs, and TSan is clean because every access is atomic.
+//
+// This header is intentionally light (atomic/array/cstdint only) so the
+// kernel layer can include it without dragging in strings or containers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace probgraph::obs {
+
+/// Shards per instrument. More shards = less write contention, more
+/// memory and slower scrapes. Serving runs at most --max-conns (default
+/// 16) session threads, so 16 counter shards make same-counter collisions
+/// rare even under full load.
+inline constexpr std::size_t kCounterShards = 16;
+inline constexpr std::size_t kHistogramShards = 4;
+
+/// Round-robin shard assignment: each thread draws one index on first use
+/// and keeps it for life. fetch_add on a process-global is fine — it runs
+/// once per thread, not per event.
+inline std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+/// Monotonic counter. add() is wait-free (one relaxed fetch_add on the
+/// caller's shard); value() sums the shards. Because fetch_add never
+/// loses increments, concurrent-writer totals are EXACT, not approximate
+/// — only the point in time a scrape observes is fuzzy.
+class Counter {
+ public:
+  constexpr Counter() noexcept = default;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[shard_index() % kCounterShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+};
+
+/// Last-write-wins double gauge (dispatch level, config knobs, build
+/// info). Not sharded: gauges are set rarely and read at scrape.
+class Gauge {
+ public:
+  constexpr Gauge() noexcept = default;
+
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Log-linear histogram over non-negative doubles (HDR-style).
+///
+/// Values are recorded in fixed point ("units" = value * 1e9, so seconds
+/// become nanoseconds) and bucketed log-linearly: buckets 0..15 are exact
+/// for units < 16, and above that each power of two is split into 4
+/// sub-buckets, giving a worst-case relative quantile error of 25% (one
+/// sub-bucket width) across the full 64-bit range in 256 buckets. count
+/// and sum are exact; p50/p90/p99 are interpolated within the bucket;
+/// max is tracked exactly via CAS.
+///
+/// observe() touches one shard: a relaxed fetch_add on the bucket, the
+/// unit sum, and the sample count, plus a relaxed CAS loop on the shard
+/// max. snapshot() merges shards on the reader's thread.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 256;
+  static constexpr double kUnitsPerValue = 1e9;
+
+  constexpr Histogram() noexcept = default;
+
+  /// Map units to a bucket index. Exposed (with the bounds below) so
+  /// tests can pin the bucket math independently of observe().
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t u) noexcept {
+    if (u < 16) return static_cast<int>(u);
+    const int e = std::bit_width(u) - 1;  // 4..63
+    const auto sub = static_cast<int>((u >> (e - 2)) & 3u);
+    return 16 + (e - 4) * 4 + sub;  // 16..255
+  }
+
+  /// Inclusive lower bound of bucket b, in units.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(int b) noexcept {
+    if (b < 16) return static_cast<std::uint64_t>(b);
+    const int e = 4 + (b - 16) / 4;
+    const auto sub = static_cast<std::uint64_t>((b - 16) % 4);
+    return (4u + sub) << (e - 2);
+  }
+
+  /// Exclusive upper bound of bucket b, in units.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(int b) noexcept {
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return bucket_lower(b + 1);
+  }
+
+  void observe(double value) noexcept {
+    if (value < 0) value = 0;
+    double scaled = value * kUnitsPerValue + 0.5;
+    constexpr auto kMax = static_cast<double>(~std::uint64_t{0});
+    observe_units(scaled >= kMax ? ~std::uint64_t{0}
+                                 : static_cast<std::uint64_t>(scaled));
+  }
+
+  void observe_units(std::uint64_t u) noexcept {
+    Shard& s = shards_[shard_index() % kHistogramShards];
+    s.buckets[static_cast<std::size_t>(bucket_index(u))].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(u, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+    while (u > cur && !s.max.compare_exchange_weak(
+                          cur, u, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// A merged, immutable view taken at scrape time.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;  // in value units (e.g. seconds)
+    double max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Quantile estimate by rank walk + linear interpolation inside the
+    /// bucket; exact max for q at or beyond the last recorded sample.
+    [[nodiscard]] double quantile(double q) const noexcept {
+      if (count == 0) return 0;
+      if (q <= 0) q = 0;
+      if (q >= 1) return max;
+      auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+      if (rank >= count) rank = count - 1;  // 0-based rank of the sample
+      std::uint64_t cum = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+        if (rank < cum + n) {
+          const double lo = static_cast<double>(bucket_lower(b));
+          const double hi = b >= kBuckets - 1
+                                ? max * kUnitsPerValue
+                                : static_cast<double>(bucket_upper(b));
+          const double frac =
+              n > 1 ? static_cast<double>(rank - cum) / static_cast<double>(n)
+                    : 0.0;
+          double est = (lo + (hi - lo) * frac) / kUnitsPerValue;
+          return est > max ? max : est;
+        }
+        cum += n;
+      }
+      return max;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot out;
+    std::uint64_t sum_units = 0;
+    std::uint64_t max_units = 0;
+    for (const Shard& s : shards_) {
+      out.count += s.count.load(std::memory_order_relaxed);
+      sum_units += s.sum.load(std::memory_order_relaxed);
+      const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+      if (m > max_units) max_units = m;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    out.sum = static_cast<double>(sum_units) / kUnitsPerValue;
+    out.max = static_cast<double>(max_units) / kUnitsPerValue;
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};  // units
+    std::atomic<std::uint64_t> max{0};  // units
+  };
+  std::array<Shard, kHistogramShards> shards_{};
+};
+
+}  // namespace probgraph::obs

@@ -1,0 +1,319 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/kernels/kernels.hpp"
+#include "obs/kernel_metrics.hpp"
+
+namespace probgraph::obs {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99"};
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char ch : v) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string format_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Like format_labels but with one extra label appended (quantile=...).
+std::string format_labels_plus(const Labels& labels, const char* key,
+                               const char* value) {
+  Labels with = labels;
+  with.emplace_back(key, value);
+  return format_labels(with);
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Entry& Registry::get_or_create(std::string_view name,
+                                         std::string_view help, Labels labels,
+                                         Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      if (e->kind != kind) {
+        throw std::logic_error("obs::Registry: instrument '" +
+                               std::string(name) +
+                               "' already registered with a different type");
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->labels = std::move(labels);
+  e->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e->c = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e->g = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e->h = std::make_unique<Histogram>(); break;
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  return *get_or_create(name, help, std::move(labels), Kind::kCounter).c;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  return *get_or_create(name, help, std::move(labels), Kind::kGauge).g;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels) {
+  return *get_or_create(name, help, std::move(labels), Kind::kHistogram).h;
+}
+
+const Counter* Registry::find_counter(std::string_view name,
+                                      const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels && e->kind == Kind::kCounter) {
+      return e->c.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  out.reserve(8192);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Families are emitted grouped by name, HELP/TYPE once per family, in
+  // first-registration order. entries_ is append-only, so a linear
+  // "first time this name appears" scan preserves that order.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = *entries_[i];
+    bool first_of_family = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (entries_[j]->name == e.name) {
+        first_of_family = false;
+        break;
+      }
+    }
+    if (!first_of_family) continue;
+    const char* type = e.kind == Kind::kCounter  ? "counter"
+                       : e.kind == Kind::kGauge ? "gauge"
+                                                : "summary";
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " " + type + "\n";
+    // All members of the family (same name, any labels), then for
+    // histograms a companion <name>_max gauge family.
+    std::string max_block;
+    for (std::size_t j = i; j < entries_.size(); ++j) {
+      const Entry& m = *entries_[j];
+      if (m.name != e.name) continue;
+      const std::string labels = format_labels(m.labels);
+      switch (m.kind) {
+        case Kind::kCounter:
+          out += m.name + labels + " " + format_u64(m.c->value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += m.name + labels + " " + format_double(m.g->value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = m.h->snapshot();
+          for (std::size_t q = 0; q < 3; ++q) {
+            const double v = s.count == 0 ? std::nan("") : s.quantile(kQuantiles[q]);
+            out += m.name +
+                   format_labels_plus(m.labels, "quantile", kQuantileLabels[q]) +
+                   " " + format_double(v) + "\n";
+          }
+          out += m.name + "_sum" + labels + " " + format_double(s.sum) + "\n";
+          out += m.name + "_count" + labels + " " + format_u64(s.count) + "\n";
+          max_block += m.name + "_max" + labels + " " + format_double(s.max) + "\n";
+          break;
+        }
+      }
+    }
+    if (!max_block.empty()) {
+      out += "# HELP " + e.name + "_max Maximum observed value of " + e.name +
+             "\n";
+      out += "# TYPE " + e.name + "_max gauge\n";
+      out += max_block;
+    }
+  }
+  // Kernel layer: dispatch level chosen at startup plus per-kernel
+  // tallies (zero unless built with PROBGRAPH_OBS).
+  out += "# HELP probgraph_kernel_dispatch_level Kernel SIMD dispatch level "
+         "resolved at startup (value is always 1; the level is the label)\n";
+  out += "# TYPE probgraph_kernel_dispatch_level gauge\n";
+  out += std::string("probgraph_kernel_dispatch_level{level=\"") +
+         kernels::level_name(kernels::active_level()) + "\"} 1\n";
+#if defined(PROBGRAPH_OBS) && PROBGRAPH_OBS
+  constexpr int obs_on = 1;
+#else
+  constexpr int obs_on = 0;
+#endif
+  out += "# HELP probgraph_kernel_counters_enabled 1 when built with "
+         "PROBGRAPH_OBS=ON (per-kernel tallies below are live)\n";
+  out += "# TYPE probgraph_kernel_counters_enabled gauge\n";
+  out += "probgraph_kernel_counters_enabled " + format_u64(obs_on) + "\n";
+  out += "# HELP probgraph_kernel_invocations_total Dispatched set-operation "
+         "kernel invocations\n";
+  out += "# TYPE probgraph_kernel_invocations_total counter\n";
+  for (std::size_t k = 0; k < kNumKernelOps; ++k) {
+    out += std::string("probgraph_kernel_invocations_total{op=\"") +
+           kKernelOpNames[k] + "\"} " +
+           format_u64(g_kernel_counters.invocations[k].value()) + "\n";
+  }
+  out += "# HELP probgraph_kernel_elements_total Elements processed per "
+         "kernel (list entries, bitvector words, or sketch slots)\n";
+  out += "# TYPE probgraph_kernel_elements_total counter\n";
+  for (std::size_t k = 0; k < kNumKernelOps; ++k) {
+    out += std::string("probgraph_kernel_elements_total{op=\"") +
+           kKernelOpNames[k] + "\"} " +
+           format_u64(g_kernel_counters.elements[k].value()) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::tab_text() const {
+  std::string out;
+  out.reserve(2048);
+  const auto emit = [&out](const std::string& field) {
+    if (!out.empty()) out += '\t';
+    out += field;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ep : entries_) {
+      const Entry& e = *ep;
+      const std::string labels = format_labels(e.labels);
+      switch (e.kind) {
+        case Kind::kCounter:
+          emit(e.name + labels + "=" + format_u64(e.c->value()));
+          break;
+        case Kind::kGauge:
+          emit(e.name + labels + "=" + format_double(e.g->value()));
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = e.h->snapshot();
+          emit(e.name + "_count" + labels + "=" + format_u64(s.count));
+          emit(e.name + "_sum" + labels + "=" + format_double(s.sum));
+          if (s.count > 0) {
+            emit(e.name + "_p50" + labels + "=" + format_double(s.quantile(0.5)));
+            emit(e.name + "_p90" + labels + "=" + format_double(s.quantile(0.9)));
+            emit(e.name + "_p99" + labels + "=" + format_double(s.quantile(0.99)));
+            emit(e.name + "_max" + labels + "=" + format_double(s.max));
+          }
+          break;
+        }
+      }
+    }
+  }
+  emit(std::string("probgraph_kernel_dispatch_level{level=\"") +
+       kernels::level_name(kernels::active_level()) + "\"}=1");
+  for (std::size_t k = 0; k < kNumKernelOps; ++k) {
+    const std::uint64_t inv = g_kernel_counters.invocations[k].value();
+    if (inv == 0) continue;  // one line: skip idle kernels
+    emit(std::string("probgraph_kernel_invocations_total{op=\"") +
+         kKernelOpNames[k] + "\"}=" + format_u64(inv));
+    emit(std::string("probgraph_kernel_elements_total{op=\"") +
+         kKernelOpNames[k] +
+         "\"}=" + format_u64(g_kernel_counters.elements[k].value()));
+  }
+  return out;
+}
+
+std::string Registry::summary_text() const {
+  std::string out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ep : entries_) {
+      const Entry& e = *ep;
+      const std::string labels = format_labels(e.labels);
+      switch (e.kind) {
+        case Kind::kCounter: {
+          const std::uint64_t v = e.c->value();
+          if (v == 0) continue;
+          out += "  " + e.name + labels + " = " + format_u64(v) + "\n";
+          break;
+        }
+        case Kind::kGauge: {
+          const double v = e.g->value();
+          if (v == 0) continue;
+          out += "  " + e.name + labels + " = " + format_double(v) + "\n";
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = e.h->snapshot();
+          if (s.count == 0) continue;
+          out += "  " + e.name + labels + ": count=" + format_u64(s.count) +
+                 " p50=" + format_double(s.quantile(0.5)) +
+                 " p90=" + format_double(s.quantile(0.9)) +
+                 " p99=" + format_double(s.quantile(0.99)) +
+                 " max=" + format_double(s.max) +
+                 " sum=" + format_double(s.sum) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  out += std::string("  probgraph_kernel_dispatch_level = ") +
+         kernels::level_name(kernels::active_level()) + "\n";
+  for (std::size_t k = 0; k < kNumKernelOps; ++k) {
+    const std::uint64_t inv = g_kernel_counters.invocations[k].value();
+    if (inv == 0) continue;
+    out += std::string("  kernel ") + kKernelOpNames[k] +
+           ": invocations=" + format_u64(inv) +
+           " elements=" + format_u64(g_kernel_counters.elements[k].value()) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace probgraph::obs

@@ -1,0 +1,88 @@
+// Metrics registry + exposition.
+//
+// The registry owns named, labeled instruments with stable addresses.
+// Creation (get-or-create by name + label set) takes a mutex — it is a
+// cold path, run once per instrument at first use; call sites cache the
+// returned reference. Recording on an instrument never touches the
+// registry again, so the query hot path stays lock-free (see
+// instruments.hpp). Scrapes lock only the registry's instrument list
+// (append-only), never any writer.
+//
+// Three exposition formats, one catalog:
+//   prometheus_text()  — text format 0.0.4 for GET /metrics (histograms
+//                        rendered summary-style with quantile labels).
+//   tab_text()         — single-line, tab-separated name{labels}=value
+//                        pairs for the `metrics` protocol verb.
+//   summary_text()     — human-oriented multi-line digest (non-zero
+//                        instruments only) for the shutdown report.
+// All three also fold in the kernel counters (obs/kernel_metrics.hpp)
+// and the kernel dispatch level.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/instruments.hpp"
+
+namespace probgraph::obs {
+
+/// Label set, e.g. {{"type","tc"},{"mode","sketch"}}. Order is
+/// preserved in exposition; identity comparison is order-sensitive, so
+/// call sites should pass labels in one canonical order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Registry {
+ public:
+  /// The process-wide registry every layer records into.
+  static Registry& global();
+
+  /// Get-or-create. Returned references stay valid for the registry's
+  /// lifetime. Throws std::logic_error if the name+labels pair already
+  /// exists as a different instrument type.
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {});
+
+  /// Look up an existing counter without creating; nullptr if absent.
+  /// (Tests use this to read deltas without guessing help strings.)
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels) const;
+
+  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string tab_text() const;
+  [[nodiscard]] std::string summary_text() const;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    Kind kind;
+    // Exactly one is non-null, matching `kind`. unique_ptr keeps the
+    // instrument address stable across entries_ reallocation.
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Entry& get_or_create(std::string_view name, std::string_view help,
+                       Labels labels, Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace probgraph::obs

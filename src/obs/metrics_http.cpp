@@ -1,0 +1,119 @@
+#include "obs/metrics_http.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace probgraph::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kClientPollTimeoutMs = 2000;
+
+std::string http_response(int code, const char* reason,
+                          const std::string& body, bool include_body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port)
+    : listener_(port, /*backlog=*/16) {
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("MetricsHttpServer: cannot create wake pipe");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(wake_pipe_[1], F_SETFD, FD_CLOEXEC);
+}
+
+MetricsHttpServer::~MetricsHttpServer() {
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void MetricsHttpServer::request_stop() noexcept {
+  stop_.store(true);
+  const char byte = 's';
+  [[maybe_unused]] const auto rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void MetricsHttpServer::handle(net::Socket& sock) {
+  // Read until the end of the request head (CRLFCRLF), bounded in bytes
+  // and in time — a stalled client gets dropped, not waited on.
+  std::string req;
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos &&
+         req.size() < kMaxRequestBytes) {
+    pollfd pfd{sock.fd(), POLLIN, 0};
+    const int prc = ::poll(&pfd, 1, kClientPollTimeoutMs);
+    if (prc <= 0) return;  // timeout or error: drop the connection
+    char buf[2048];
+    const long n = sock.read_some(buf, sizeof buf);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    // A bare "GET /metrics\n" from a line-mode client (nc, /dev/tcp) is
+    // accepted too once we have a full first line.
+    if (req.find('\n') != std::string::npos) break;
+  }
+  const std::size_t eol = req.find_first_of("\r\n");
+  if (eol == std::string::npos) return;
+  const std::string line = req.substr(0, eol);
+
+  const bool is_get = line.rfind("GET ", 0) == 0;
+  const bool is_head = line.rfind("HEAD ", 0) == 0;
+  if (!is_get && !is_head) {
+    (void)sock.write_all(
+        http_response(405, "Method Not Allowed", "method not allowed\n", true));
+    return;
+  }
+  const std::size_t path_start = line.find(' ') + 1;
+  const std::size_t path_end = line.find(' ', path_start);
+  const std::string path = line.substr(
+      path_start,
+      path_end == std::string::npos ? std::string::npos : path_end - path_start);
+
+  if (path == "/metrics" || path == "/") {
+    const std::string body = Registry::global().prometheus_text();
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    (void)sock.write_all(http_response(200, "OK", body, is_get));
+  } else {
+    (void)sock.write_all(http_response(404, "Not Found", "not found\n", is_get));
+  }
+}
+
+void MetricsHttpServer::run() {
+  while (!stop_.load()) {
+    pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stop_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    net::Socket sock = listener_.accept();
+    if (!sock.valid()) {
+      if (stop_.load()) break;
+      continue;
+    }
+    handle(sock);
+    sock.shutdown_both();
+  }
+}
+
+}  // namespace probgraph::obs

@@ -1,0 +1,54 @@
+// Minimal HTTP/1.0 scrape endpoint: GET /metrics returns the registry's
+// Prometheus text exposition. Runs on its own thread next to the line-
+// protocol server, over the same net:: socket primitives — the query
+// protocol itself stays timing-free and byte-deterministic because the
+// scrape surface is a different port entirely.
+//
+// Deliberately tiny: HTTP/1.0, Connection: close, one request per
+// connection, connections handled sequentially (a scrape is a few
+// hundred microseconds of formatting; Prometheus polls on the order of
+// seconds). A client that connects and stalls is cut off by a short
+// poll timeout so it cannot wedge the scrape loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/socket.hpp"
+
+namespace probgraph::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds immediately (port 0 = ephemeral; read back with port()).
+  /// Throws std::runtime_error on bind failure.
+  explicit MetricsHttpServer(std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// Serve until request_stop(). Run on a dedicated thread.
+  void run();
+
+  /// Signal-safe stop: sets the flag and wakes the poll via a self-pipe.
+  void request_stop() noexcept;
+
+  [[nodiscard]] std::uint64_t scrapes_served() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void handle(net::Socket& sock);
+
+  net::TcpListener listener_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+};
+
+}  // namespace probgraph::obs

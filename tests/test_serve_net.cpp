@@ -32,6 +32,8 @@
 #include "graph/io.hpp"
 #include "net/line_reader.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_http.hpp"
 #include "util/threading.hpp"
 
 namespace probgraph {
@@ -345,6 +347,164 @@ TEST(ServeNet, EphemeralPortIsReportedAndDistinct) {
   EXPECT_NE(a.port(), 0);
   EXPECT_NE(b.port(), 0);
   EXPECT_NE(a.port(), b.port());
+}
+
+// --- Observability over the socket transport. ---
+
+/// One HTTP/1.0 GET against the scrape endpoint; returns the raw response
+/// (status line + headers + body).
+std::string http_get(std::uint16_t port, const std::string& target) {
+  net::Socket sock = net::connect_to("127.0.0.1", port);
+  EXPECT_TRUE(sock.write_all("GET " + target + " HTTP/1.0\r\n\r\n"));
+  return drain(sock);
+}
+
+std::uint64_t counter_value(const char* name, const obs::Labels& labels) {
+  const obs::Counter* c = obs::Registry::global().find_counter(name, labels);
+  return c == nullptr ? 0 : c->value();
+}
+
+TEST(ServeNet, MetricsScrapeRacesFourClientsWithoutPerturbingReplies) {
+  // The acceptance workload with a scraper in the mix: 4 scripted clients
+  // against one mapping while an HTTP client hammers GET /metrics. Every
+  // session transcript must stay byte-identical to the golden expectation
+  // (scrapes never touch reply bytes), and every scrape must be a valid
+  // Prometheus exposition carrying the per-query-type latency quantiles
+  // and the substrate-routing counters. This test also runs under the
+  // TSan CI job: scrape-side shard merges racing writer sessions is
+  // exactly the access pattern the relaxed-atomic design must keep clean.
+  ServerFixture f;
+  obs::MetricsHttpServer scraper(/*port=*/0);
+  std::thread scraper_thread([&] { scraper.run(); });
+
+  const std::string script = read_file(data_path("serve_session.txt"));
+  const std::string expected = read_file(data_path("serve_session.expected"));
+
+  constexpr int kClients = 4;
+  std::vector<std::string> transcripts(kClients);
+  std::atomic<bool> done{false};
+  std::string last_scrape;
+  std::thread scrape_client([&] {
+    while (!done.load()) {
+      const std::string resp = http_get(scraper.port(), "/metrics");
+      EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << resp.substr(0, 64);
+      last_scrape = resp;
+    }
+  });
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        transcripts[static_cast<std::size_t>(i)] =
+            run_scripted_session(f.server.port(), script);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  done.store(true);
+  scrape_client.join();
+
+  // One more scrape taken after the sessions finished (and before the
+  // scraper stops accepting), so the assertions below see their queries
+  // for certain — the raced scrapes above only needed to return 200.
+  const std::string body = http_get(scraper.port(), "/metrics");
+  scraper.request_stop();
+  scraper_thread.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(transcripts[static_cast<std::size_t>(i)], expected)
+        << "client " << i << " transcript diverges under scraping";
+  }
+  EXPECT_GE(scraper.scrapes_served(), 1u);
+  EXPECT_NE(body.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE probgraph_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("probgraph_query_latency_seconds{type=\"tc\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(body.find("probgraph_query_substrate_total{kind=\"bf\","
+                      "orientation=\"dag\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("probgraph_session_bytes_total{direction=\"out\"}"),
+            std::string::npos);
+}
+
+TEST(ServeNet, MetricsHttpRejectsOtherMethodsAndPaths) {
+  obs::MetricsHttpServer scraper(/*port=*/0);
+  std::thread runner([&] { scraper.run(); });
+  EXPECT_EQ(http_get(scraper.port(), "/nope").rfind("HTTP/1.0 404", 0), 0u);
+  {
+    net::Socket sock = net::connect_to("127.0.0.1", scraper.port());
+    ASSERT_TRUE(sock.write_all("POST /metrics HTTP/1.0\r\n\r\n"));
+    EXPECT_EQ(drain(sock).rfind("HTTP/1.0 405", 0), 0u);
+  }
+  scraper.request_stop();
+  runner.join();
+}
+
+TEST(ServeNet, MetricsVerbAndTimeClauseWorkOverSockets) {
+  ServerFixture f;
+  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::LineReader reader(sock, 1 << 16);
+
+  // `metrics` answers the one-line tab snapshot in-band...
+  ASSERT_TRUE(sock.write_all("metrics\n"));
+  const std::string snap = read_reply_line(reader);
+  EXPECT_EQ(snap.rfind("ok\tmetrics\t", 0), 0u) << snap.substr(0, 64);
+  EXPECT_NE(snap.find("probgraph_sessions_total="), std::string::npos);
+
+  // ...and the opt-in time clause appends elapsed_us= to its own reply
+  // only: the same query without the clause is byte-stable.
+  ASSERT_TRUE(sock.write_all("stats time\nstats\nquit\n"));
+  const std::string timed = read_reply_line(reader);
+  EXPECT_NE(timed.find("\telapsed_us="), std::string::npos) << timed;
+  const std::string plain = read_reply_line(reader);
+  EXPECT_EQ(plain.find("elapsed_us="), std::string::npos) << plain;
+  EXPECT_EQ(timed.substr(0, timed.find("\telapsed_us=")), plain);
+  EXPECT_EQ(read_reply_line(reader), "bye");
+
+  // The metrics reply is not a query: counters still say 1 (stats×2 — the
+  // timed one counts — minus nothing; metrics and quit are bookkeeping).
+  f.server.request_stop();
+  f.thread.join();
+  EXPECT_EQ(f.server.counters().queries_answered, 2u);
+}
+
+TEST(ServeNet, OverlongSocketFramesCountTheOverlongCause) {
+  // The socket transport's oversized-frame path must land in the
+  // cause="overlong" bucket — distinct from parse failures — so protocol
+  // abuse is tellable from client bugs in the scrape output.
+  const obs::Labels overlong{{"cause", "overlong"}};
+  const obs::Labels parse{{"cause", "parse"}};
+  const std::uint64_t overlong_before =
+      counter_value("probgraph_session_errors_total", overlong);
+  const std::uint64_t parse_before =
+      counter_value("probgraph_session_errors_total", parse);
+
+  net::ServerOptions opts;
+  opts.max_line_bytes = 128;
+  ServerFixture f(opts);
+  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::LineReader reader(sock, 1 << 16);
+
+  std::string garbage(4096, 'x');
+  garbage += '\n';
+  ASSERT_TRUE(sock.write_all(garbage));
+  EXPECT_EQ(read_reply_line(reader).rfind("err\t", 0), 0u);
+  ASSERT_TRUE(sock.write_all("not-a-verb\nquit\n"));
+  EXPECT_EQ(read_reply_line(reader).rfind("err\t", 0), 0u);
+  EXPECT_EQ(read_reply_line(reader), "bye");
+  f.server.request_stop();
+  f.thread.join();
+
+  EXPECT_EQ(counter_value("probgraph_session_errors_total", overlong) -
+                overlong_before,
+            1u);
+  EXPECT_EQ(counter_value("probgraph_session_errors_total", parse) -
+                parse_before,
+            1u);
 }
 
 }  // namespace

@@ -71,6 +71,11 @@
 //   --orient [both|dag|sym] (build) sketch the degree-oriented DAG; "both"
 //                           packs the symmetric AND the DAG substrates
 //   --kinds K1,K2,...       (build) pack one substrate per sketch kind
+//   --metrics-port P        (serve) Prometheus text /metrics endpoint on
+//                           127.0.0.1:P (0 = ephemeral, named on stderr);
+//                           works in both REPL and --listen modes
+//   --slow-ms N             (serve) log a structured slow-query line to
+//                           stderr for any query at or above N ms
 #include <poll.h>
 #include <unistd.h>
 
@@ -87,6 +92,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -99,6 +105,8 @@
 #include "io/snapshot.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_http.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
@@ -128,6 +136,8 @@ enum : unsigned {
   kFListen = 1u << 16,
   kFMaxConns = 1u << 17,
   kFKinds = 1u << 18,
+  kFMetricsPort = 1u << 19,
+  kFSlowMs = 1u << 20,
 };
 
 /// The sketch-construction flags shared by every command that may build or
@@ -162,6 +172,8 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"--listen", nullptr, kFListen, true},
     {"--max-conns", nullptr, kFMaxConns, true},
     {"--kinds", nullptr, kFKinds, true},
+    {"--metrics-port", nullptr, kFMetricsPort, true},
+    {"--slow-ms", nullptr, kFSlowMs, true},
 };
 
 /// Which orientations `build` sketches (and packs into the snapshot).
@@ -176,6 +188,8 @@ struct Args {
   std::string output;    // .pgs output (build)
   std::optional<std::uint16_t> listen;  // serve: TCP port (0 = ephemeral)
   int max_conns = 16;                   // serve --listen: live-session cap
+  std::optional<std::uint16_t> metrics_port;  // serve: /metrics HTTP port
+  double slow_ms = 0;                   // serve: slow-query log threshold
   OrientMode orient = OrientMode::kSym;
   std::vector<SketchKind> kinds;        // build --kinds (empty: just pg.kind)
   std::optional<SketchKind> route_kind; // --sketch over --snapshot: substrate routing
@@ -234,8 +248,9 @@ constexpr CommandSpec kCommands[] = {
     {"build", kSketchFlags | kFOutput | kFOrient | kFThreads | kFKinds, false,
      "build <graph> -o <file.pgs> [--orient [both|dag|sym]] [--kinds bf,kmv,...]",
      run_build},
-    {"serve", kFThreads | kFListen | kFMaxConns, true,
-     "serve <file.pgs> [--listen PORT [--max-conns N]]", run_serve},
+    {"serve", kFThreads | kFListen | kFMaxConns | kFMetricsPort | kFSlowMs, true,
+     "serve <file.pgs> [--listen PORT [--max-conns N]] [--metrics-port P] "
+     "[--slow-ms N]", run_serve},
     {"client", 0, false, "client <host> <port>", run_client, true},
 };
 
@@ -525,6 +540,13 @@ Args parse(int argc, char** argv) {
         a.max_conns = parse_number<int>(token, value);
         if (a.max_conns < 1) fail("--max-conns must be at least 1");
         break;
+      case kFMetricsPort:
+        a.metrics_port = parse_number<std::uint16_t>(token, value);
+        break;
+      case kFSlowMs:
+        a.slow_ms = parse_number<double>(token, value);
+        if (a.slow_ms < 0) fail("--slow-ms must be non-negative");
+        break;
       default: fail("unhandled flag " + token);  // unreachable
     }
   }
@@ -785,6 +807,37 @@ extern "C" void stop_signal_handler(int) {
   if (s != nullptr) s->request_stop();  // async-signal-safe (self-pipe write)
 }
 
+/// Shared shutdown tail of both serve modes: the registry digest on
+/// stderr, so a stopped server leaves its telemetry behind even when
+/// nothing ever scraped it.
+void print_metrics_summary() {
+  const std::string summary = obs::Registry::global().summary_text();
+  if (summary.empty()) return;
+  std::fprintf(stderr, "pgtool serve: metrics summary\n%s", summary.c_str());
+}
+
+/// RAII /metrics endpoint: --metrics-port starts it next to either serve
+/// mode on its own thread; destruction stops and joins it.
+class ScopedMetricsServer {
+ public:
+  explicit ScopedMetricsServer(std::uint16_t port) : server_(port) {
+    std::fprintf(stderr,
+                 "pgtool serve: metrics on http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(server_.port()));
+    thread_ = std::thread([this] { server_.run(); });
+  }
+  ~ScopedMetricsServer() {
+    server_.request_stop();
+    thread_.join();
+  }
+  ScopedMetricsServer(const ScopedMetricsServer&) = delete;
+  ScopedMetricsServer& operator=(const ScopedMetricsServer&) = delete;
+
+ private:
+  obs::MetricsHttpServer server_;
+  std::thread thread_;
+};
+
 int run_serve(const Args& a) {
   // The banner goes to stderr so stdout carries protocol replies only —
   // scripted sessions (CI transcripts) diff cleanly.
@@ -792,21 +845,30 @@ int run_serve(const Args& a) {
   engine::Engine e = engine::Engine::from_snapshot(a.input);
   const io::SnapshotInfo& info = *e.snapshot_info();
 
+  engine::ServeOptions session_opts;
+  session_opts.slow_query_seconds = a.slow_ms / 1e3;
+
+  std::optional<ScopedMetricsServer> metrics;
+  if (a.metrics_port) metrics.emplace(*a.metrics_port);
+
   if (!a.listen) {
     std::fprintf(stderr,
                  "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; one query "
                  "per line, 'help' for the grammar, 'quit' to exit\n",
                  a.input.c_str(), e.graph().num_vertices(),
                  io::describe_substrates(info.substrates).c_str(), load_timer.seconds());
-    const std::size_t answered = engine::serve_session(e, std::cin, std::cout);
+    const std::size_t answered =
+        engine::serve_session(e, std::cin, std::cout, session_opts);
     std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
                  answered == 1 ? "y" : "ies");
+    print_metrics_summary();
     return 0;
   }
 
   net::ServerOptions opts;
   opts.port = *a.listen;
   opts.max_conns = a.max_conns;
+  opts.session = session_opts;
   net::Server server(e, opts);
   std::fprintf(stderr,
                "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; listening "
@@ -833,6 +895,7 @@ int run_serve(const Args& a) {
                static_cast<unsigned long long>(c.rejected),
                static_cast<unsigned long long>(c.queries_answered),
                c.queries_answered == 1 ? "y" : "ies");
+  print_metrics_summary();
   return 0;
 }
 
