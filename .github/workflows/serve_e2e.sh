@@ -20,6 +20,16 @@
 # neighborhood script (symmetric substrates) — and each transcript must
 # match its checked-in expectation byte for byte.
 #
+# Phase 3 — live updates over the wire (`serve --live`): a live server on
+# a scratch copy of golden_v2.pgs must (a) serve generation 1 transcripts
+# byte-identical to the static expectations, (b) accept update
+# insert/delete + seal from a scripted client, and (c) serve post-swap
+# transcripts byte-identical to a COLD `pgtool build` of the edited edge
+# list — the end-to-end form of the incremental-maintenance invariant
+# (live/apply.hpp: patched sketches are bit-identical to a cold rebuild).
+# The delta log the server wrote is then replayed offline with
+# `pgtool update --apply-log` and must reproduce the same transcripts.
+#
 # Phase 1 also exercises the observability surface: the server runs with
 # --metrics-port, and WHILE the 4 clients are in flight the script scrapes
 # GET /metrics (bash /dev/tcp — no curl dependency on minimal runners) and
@@ -132,3 +142,73 @@ echo "multi-substrate transcripts byte-identical (counting + neighborhood client
 kill -TERM "$MULTI_PID"
 wait "$MULTI_PID"
 echo "multi-substrate server stopped gracefully"
+
+# --- Phase 3: live updates over the wire, byte-diffed against a cold
+# --- rebuild of the edited graph. ---
+
+LIVE_PORT=$((PORT + 3))
+WORK="live_e2e.tmp"
+rm -rf "$WORK" && mkdir "$WORK"
+# Scratch copy: seals write .genN siblings next to the snapshot and the
+# delta log lives beside it, so the checked-in fixture stays untouched.
+cp tests/data/golden_v2.pgs "$WORK/live.pgs"
+
+"$PGTOOL" serve "$WORK/live.pgs" --threads 1 --live \
+  --delta-log "$WORK/live.pgd" --listen "$LIVE_PORT" --max-conns 8 &
+LIVE_PID=$!
+wait_ready "$LIVE_PORT" "$LIVE_PID"
+
+# (a) Generation 1 must serve the SAME bytes as the static server.
+"$PGTOOL" client 127.0.0.1 "$LIVE_PORT" \
+  < tests/data/serve_multi_tc.txt > live_pre_tc.txt
+"$PGTOOL" client 127.0.0.1 "$LIVE_PORT" \
+  < tests/data/serve_multi_pair.txt > live_pre_pair.txt
+diff -u tests/data/serve_multi_tc.expected live_pre_tc.txt
+diff -u tests/data/serve_multi_pair.expected live_pre_pair.txt
+echo "live server generation 1 transcripts match the static expectations"
+
+# (b) Stage two inserts and one delete, then seal. (0,9) and (3,17) are
+# absent from the golden circulant, (0,1) is a chord-1 edge; all ids stay
+# inside the existing 32-vertex range so n is unchanged and the cold
+# rebuild below sees the identical graph.
+printf 'update insert 0 9 3 17\nupdate delete 0 1\nupdate seal\nepoch\nquit\n' |
+  "$PGTOOL" client 127.0.0.1 "$LIVE_PORT" > live_update_replies.txt
+grep -q $'^ok\tupdate\tsealed\tgeneration=2\t' live_update_replies.txt
+grep -q $'^ok\tepoch\tgeneration=2\tpending_inserts=0\tpending_deletes=0$' \
+  live_update_replies.txt
+echo "update verbs staged and sealed generation 2 over the wire"
+
+# (c) Post-swap transcripts vs a cold build of the edited edge list.
+grep -v '^0 1$' tests/data/golden.el > "$WORK/updated.el"
+printf '0 9\n3 17\n' >> "$WORK/updated.el"
+"$PGTOOL" build "$WORK/updated.el" --kinds bf,kmv --orient both \
+  -o "$WORK/cold.pgs"
+
+"$PGTOOL" client 127.0.0.1 "$LIVE_PORT" \
+  < tests/data/serve_multi_tc.txt > live_post_tc.txt
+"$PGTOOL" client 127.0.0.1 "$LIVE_PORT" \
+  < tests/data/serve_multi_pair.txt > live_post_pair.txt
+"$PGTOOL" serve "$WORK/cold.pgs" --threads 1 \
+  < tests/data/serve_multi_tc.txt > cold_tc.txt
+"$PGTOOL" serve "$WORK/cold.pgs" --threads 1 \
+  < tests/data/serve_multi_pair.txt > cold_pair.txt
+diff -u cold_tc.txt live_post_tc.txt
+diff -u cold_pair.txt live_post_pair.txt
+# The estimates must actually have moved — equal pre/post transcripts
+# would make the cold diff above vacuous.
+! diff -q live_pre_tc.txt live_post_tc.txt > /dev/null
+echo "post-swap transcripts byte-identical to the cold rebuild"
+
+kill -TERM "$LIVE_PID"
+wait "$LIVE_PID"
+echo "live server stopped gracefully"
+
+# The delta log must replay to the same serving state offline.
+"$PGTOOL" update tests/data/golden_v2.pgs --apply-log "$WORK/live.pgd" \
+  -o "$WORK/replay.pgs"
+"$PGTOOL" serve "$WORK/replay.pgs" --threads 1 \
+  < tests/data/serve_multi_tc.txt > replay_tc.txt
+diff -u cold_tc.txt replay_tc.txt
+echo "delta-log replay reproduces the sealed generation"
+
+rm -rf "$WORK"

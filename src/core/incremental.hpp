@@ -1,0 +1,122 @@
+// Incremental sketch maintenance: the per-kind apply_insert paths that the
+// live-update subsystem (src/live/) uses to patch a substrate in place of a
+// full rebuild.
+//
+// Every ProbGraph sketch is monotone-mergeable under edge insertion — the
+// property the paper exploits for synchronization-free parallel
+// construction (Table V) also makes each per-vertex sketch an
+// order-independent fold over its neighbor set:
+//
+//   * Bloom filter — inserting x ORs b bits; OR is commutative/idempotent.
+//   * k-hash MinHash — slot i holds the argmin vertex of h_i over the
+//     neighborhood. The hash family is fmix64-based and bijective per
+//     member, so distinct vertices never tie and the strict-< min is
+//     order-independent.
+//   * 1-hash bottom-k — the unique set of k smallest (hash, vertex)
+//     entries under the total BottomKEntry order.
+//   * KMV — the multiset of k smallest unit-interval hashes; equal doubles
+//     are interchangeable, so the sorted arena is order-independent too.
+//
+// Consequence (pinned by tests/test_live.cpp): starting from any base
+// sketch state, apply_insert for each new neighbor — or reset_vertex +
+// apply_insert over the full new neighborhood — produces arenas
+// BIT-IDENTICAL to a cold ProbGraph build of the updated graph, provided
+// the derived parameters (BF width, k) are unchanged. derive_sketch_params
+// exposes the cold constructor's parameter derivation so callers can check
+// that precondition and fall back to a cold rebuild when the budget-driven
+// parameters shift.
+//
+// SketchUpdater is single-threaded and works on a private copy-on-write
+// image of the base arenas; the base ProbGraph (typically mmap-backed,
+// being served concurrently) is never touched.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/minhash.hpp"
+#include "core/prob_graph.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace probgraph {
+
+/// The parameters the ProbGraph constructor derives from a config and a
+/// graph: per-vertex BF width (bits/words) or MinHash/KMV k.
+struct DerivedSketchParams {
+  std::uint64_t bf_bits = 0;
+  std::size_t bf_words_per_vertex = 0;
+  std::uint32_t k = 0;
+
+  friend bool operator==(const DerivedSketchParams&, const DerivedSketchParams&) = default;
+};
+
+/// Replicates the cold-constructor derivation exactly (same double math,
+/// same rounding) for a graph with `n` vertices and `graph_memory_bytes`
+/// CSR bytes. Throws std::invalid_argument on the same invalid configs the
+/// constructor rejects (empty graph, non-positive budget, b == 0).
+[[nodiscard]] DerivedSketchParams derive_sketch_params(const ProbGraphConfig& config,
+                                                       VertexId n,
+                                                       std::size_t graph_memory_bytes);
+
+/// The current derived parameters of a built ProbGraph.
+[[nodiscard]] DerivedSketchParams sketch_params_of(const ProbGraph& pg) noexcept;
+
+/// A mutable shadow image of one substrate's arenas, supporting per-vertex
+/// incremental maintenance. Typical lifecycle:
+///
+///   SketchUpdater up(base_pg, new_num_vertices);
+///   up.apply_insert(v, x);                 // x joined N(v), v untouched otherwise
+///   up.rebuild_vertex(v, new_neighbors);   // N(v) changed arbitrarily
+///   ProbGraph fresh = std::move(up).seal(new_graph, new_config);
+///
+/// The caller must not apply_insert a vertex that is already a neighbor
+/// (the live layer diffs old vs new sorted adjacency, so it never does);
+/// a duplicate insert would double-count a 1-hash/KMV entry.
+class SketchUpdater {
+ public:
+  /// Copy `base`'s arenas into owned storage sized for `new_n` vertices
+  /// (new vertices start with empty sketches). new_n >= base vertex count.
+  SketchUpdater(const ProbGraph& base, VertexId new_n);
+
+  /// Reset vertex v's sketch to the empty state.
+  void reset_vertex(VertexId v);
+
+  /// Fold new neighbor x into vertex v's sketch.
+  void apply_insert(VertexId v, VertexId x);
+
+  /// reset_vertex + apply_insert over `neighbors` — the fallback when a
+  /// neighborhood shrank or changed non-monotonically.
+  void rebuild_vertex(VertexId v, std::span<const VertexId> neighbors);
+
+  /// Finish: hand the patched arenas to ProbGraph::from_parts over the new
+  /// graph. `config` is the config the sealed substrate should carry
+  /// (budget_reference_bytes may differ from the base for DAG substrates);
+  /// it must derive the same parameters this updater was built with, or
+  /// from_parts rejects the arenas. construction_seconds records the
+  /// caller-measured patch time.
+  [[nodiscard]] ProbGraph seal(const CsrGraph& g, ProbGraphConfig config,
+                               double construction_seconds) &&;
+
+  [[nodiscard]] SketchKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const DerivedSketchParams& params() const noexcept { return params_; }
+
+ private:
+  SketchKind kind_;
+  util::HashFamily family_;
+  std::uint32_t bf_hashes_ = 0;
+  DerivedSketchParams params_;
+  VertexId n_ = 0;
+
+  // Only the vectors for kind_ are populated (mirroring the cold build,
+  // which leaves the other arenas empty).
+  std::vector<std::uint64_t> bf_;
+  std::vector<std::uint64_t> kh_;
+  std::vector<BottomKEntry> oh_;
+  std::vector<double> kmv_;
+  std::vector<std::uint32_t> sizes_;
+};
+
+}  // namespace probgraph

@@ -73,6 +73,20 @@
 //     taken once per process (first run() resolves the instrument
 //     pointers), not per query.
 //
+// Generations (the live-update layer, engine/generation.hpp): a live
+// server holds MANY Engines over time, one per sealed snapshot
+// generation, and swaps between them RCU-style. The contract above
+// extends naturally BECAUSE an Engine is never mutated after its first
+// queries warm the lazy caches: a generation's Engine — including its
+// mutex-guarded dag_/sym_pg_/dag_pg_ caches — is private to that
+// generation's snapshot, so a cache built pre-swap can never describe a
+// post-swap graph. Staleness is structurally impossible: the swap
+// replaces the whole Engine, not any cached piece of one (pinned by
+// tests/test_live.cpp). Sessions must pin a generation (ReadPin) for the
+// duration of each run() call and must not hold the returned references
+// across queries; the writer retires an old generation — destroying its
+// Engine and unmapping its file — only after every pinned reader drains.
+//
 // The algorithms underneath parallelize with OpenMP as before; nested
 // parallel regions issued from distinct session threads get independent
 // teams.
@@ -118,6 +132,12 @@ class Engine {
   /// Snapshot header facts, or nullptr for in-memory engines.
   [[nodiscard]] const io::SnapshotInfo* snapshot_info() const noexcept {
     return snap_ ? &snap_->info() : nullptr;
+  }
+
+  /// The backing snapshot, or nullptr for in-memory engines. The live
+  /// layer (engine/generation.hpp) applies delta batches against this.
+  [[nodiscard]] const io::Snapshot* snapshot() const noexcept {
+    return snap_ ? &*snap_ : nullptr;
   }
 
   /// True when the source carries only the degree-oriented DAG (an

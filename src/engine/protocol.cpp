@@ -144,6 +144,51 @@ ParsedRequest parse_request(std::string_view line) {
     return r;
   }
 
+  if (iequals(cmd, "epoch")) {
+    if (!tokens.empty()) return make_error("epoch takes no arguments");
+    ParsedRequest r;
+    r.live = LiveRequest{LiveRequest::Op::kEpoch, {}};
+    return r;
+  }
+  if (iequals(cmd, "update")) {
+    if (tokens.empty()) {
+      return make_error("usage: update insert|delete U V [U V ...] | update seal");
+    }
+    const std::string_view sub = tokens.front();
+    tokens.erase(tokens.begin());
+    if (iequals(sub, "seal")) {
+      if (!tokens.empty()) return make_error("update seal takes no arguments");
+      ParsedRequest r;
+      r.live = LiveRequest{LiveRequest::Op::kSeal, {}};
+      return r;
+    }
+    const bool is_insert = iequals(sub, "insert");
+    if (!is_insert && !iequals(sub, "delete")) {
+      return make_error("unknown update op '" + std::string(sub) +
+                        "' (expected insert, delete, or seal)");
+    }
+    if (tokens.empty() || tokens.size() % 2 != 0) {
+      return make_error("update " + std::string(is_insert ? "insert" : "delete") +
+                        " needs an even, non-zero number of vertex ids (got " +
+                        std::to_string(tokens.size()) + ")");
+    }
+    LiveRequest lr;
+    lr.op = is_insert ? LiveRequest::Op::kInsert : LiveRequest::Op::kDelete;
+    for (std::size_t i = 0; i < tokens.size(); i += 2) {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!parse_unsigned(tokens[i], u) || !parse_unsigned(tokens[i + 1], v)) {
+        return make_error("update vertex ids must be non-negative integers (got '" +
+                          std::string(tokens[i]) + " " + std::string(tokens[i + 1]) +
+                          "')");
+      }
+      lr.edges.emplace_back(u, v);
+    }
+    ParsedRequest r;
+    r.live = std::move(lr);
+    return r;
+  }
+
   std::optional<SketchKind> sketch;
   bool report_time = false;
   {
@@ -309,7 +354,8 @@ std::string help_reply() {
          "lp K [MEASURE] [exact] | stats | metrics | quit; sketch queries also "
          "take kind=bf|kh|1h|kmv to route to a substrate of a multi-sketch "
          "snapshot, and any query takes a time clause appending elapsed_us= "
-         "(non-deterministic) to its reply";
+         "(non-deterministic) to its reply; live servers (--live) also take "
+         "update insert|delete U V [U V ...], update seal, and epoch";
 }
 
 namespace {
@@ -390,7 +436,7 @@ void log_slow_query(std::string_view request, const QueryResult& r,
 
 }  // namespace
 
-std::size_t serve_session(Engine& engine, SessionIo& io,
+std::size_t serve_session(SessionHost& host, SessionIo& io,
                           const ServeOptions& opts) {
   SessionMetrics& sm = session_metrics();
   util::Timer session_timer;
@@ -428,6 +474,21 @@ std::size_t serve_session(Engine& engine, SessionIo& io,
       }
       continue;
     }
+    if (req.live) {
+      // Live verbs reply through the host (a static host throws the
+      // not-enabled error). Not counted in `answered`: like `metrics`,
+      // they are not engine queries.
+      try {
+        if (!write_line(host.live(*req.live))) break;
+      } catch (const std::invalid_argument& e) {
+        sm.err_bad_argument->add();
+        if (!write_line(format_error(e.what()))) break;
+      } catch (const std::exception& e) {
+        sm.err_engine->add();
+        if (!write_line(format_error(e.what()))) break;
+      }
+      continue;
+    }
     if (!req.query) {
       sm.err_parse->add();
       if (!write_line(format_error(req.error))) break;
@@ -435,7 +496,7 @@ std::size_t serve_session(Engine& engine, SessionIo& io,
     }
     try {
       util::Timer query_timer;
-      const QueryResult r = engine.run(*req.query);
+      const QueryResult r = host.run(*req.query);
       const double elapsed = query_timer.seconds();
       std::string reply = format_reply(r);
       if (req.report_time) {
@@ -471,6 +532,32 @@ std::size_t serve_session(Engine& engine, SessionIo& io,
 
 namespace {
 
+/// The static-Engine host: queries run directly, live verbs are refused.
+class EngineSessionHost final : public SessionHost {
+ public:
+  explicit EngineSessionHost(Engine& engine) : engine_(engine) {}
+
+  QueryResult run(const Query& q) override { return engine_.run(q); }
+
+  std::string live(const LiveRequest&) override {
+    throw std::runtime_error(
+        "live updates are not enabled on this server (serve with --live)");
+  }
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace
+
+std::size_t serve_session(Engine& engine, SessionIo& io,
+                          const ServeOptions& opts) {
+  EngineSessionHost host(engine);
+  return serve_session(host, io, opts);
+}
+
+namespace {
+
 /// The trusted-local-pipe transport: std::getline in, line-flushed out.
 class StreamSessionIo final : public SessionIo {
  public:
@@ -491,6 +578,12 @@ class StreamSessionIo final : public SessionIo {
 };
 
 }  // namespace
+
+std::size_t serve_session(SessionHost& host, std::istream& in, std::ostream& out,
+                          const ServeOptions& opts) {
+  StreamSessionIo io(in, out);
+  return serve_session(host, io, opts);
+}
 
 std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out,
                           const ServeOptions& opts) {

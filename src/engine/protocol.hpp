@@ -12,6 +12,10 @@
 //   lp K [MEASURE] [exact]         top-K predicted links
 //   stats                          graph facts
 //   metrics                        one-line metrics snapshot (see below)
+//   update insert U V [U V ...]    stage edge inserts (live servers only)
+//   update delete U V [U V ...]    stage edge tombstones (live servers only)
+//   update seal                    apply staged changes as a new generation
+//   epoch                          current generation + staged change counts
 //   help                           one-line grammar summary
 //   quit | exit                    end the session (replies "bye")
 //
@@ -40,6 +44,14 @@
 // histogram count/sum/p50/p90/p99/max, kernel tallies) — one line, tab-
 // separated, run-varying, excluded from fixtures.
 //
+// The live verbs (update/epoch) are parsed for every session but only
+// accepted by live servers (engine/generation.hpp); a static server
+// answers them with an err line naming the --live flag. `update
+// insert`/`update delete` STAGE changes; nothing is visible to queries
+// until `update seal` applies every staged change atomically as a new
+// snapshot generation — queries see whole generations, never partial
+// batches.
+//
 // Reply grammar (exactly one line per non-ignored request, tab-separated):
 //
 //   ok<TAB>tc<TAB><value>                         scalar queries (tc, 4cc,
@@ -48,6 +60,10 @@
 //   ok<TAB>pair<TAB>U:V=<value><TAB>...           one field per pair, in
 //   ok<TAB>lp<TAB>U:V=<score><TAB>...             request/rank order
 //   ok<TAB>stats<TAB>n=..<TAB>m=..<TAB>dmax=..<TAB>davg=..<TAB>d2=..<TAB>d3=..
+//   ok<TAB>update<TAB>staged=insert|delete<TAB>edges=N<TAB>pending_inserts=I<TAB>pending_deletes=D
+//   ok<TAB>update<TAB>sealed<TAB>generation=G<TAB>applied_inserts=A<TAB>applied_deletes=B<TAB>patched=P<TAB>rebuilt=R
+//   ok<TAB>update<TAB>noop<TAB>generation=G       seal with nothing staged
+//   ok<TAB>epoch<TAB>generation=G<TAB>pending_inserts=I<TAB>pending_deletes=D
 //   err<TAB><message>                             malformed request or a
 //                                                 query the source cannot
 //                                                 answer — never a crash
@@ -60,19 +76,36 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/engine.hpp"
 #include "engine/query.hpp"
+#include "graph/builder.hpp"
 
 namespace probgraph::engine {
+
+/// One live-update request (the `update`/`epoch` verbs). Parsed for every
+/// transport; only live servers (engine/generation.hpp) accept them.
+struct LiveRequest {
+  enum class Op : std::uint8_t {
+    kInsert,  ///< stage edge inserts
+    kDelete,  ///< stage edge tombstones
+    kSeal,    ///< apply everything staged as a new generation
+    kEpoch,   ///< report generation + staged counts
+  };
+  Op op = Op::kEpoch;
+  std::vector<Edge> edges;  ///< kInsert/kDelete payload
+};
 
 /// Outcome of parsing one request line.
 struct ParsedRequest {
   std::optional<Query> query;  ///< set iff the line is a well-formed query
+  std::optional<LiveRequest> live;  ///< set iff an update/epoch verb
   std::string error;           ///< set iff malformed (the err reply text)
   bool quit = false;           ///< "quit" / "exit"
   bool help = false;           ///< "help"
@@ -133,11 +166,28 @@ struct ServeOptions {
   double slow_query_seconds = 0.0;
 };
 
+/// What a serve session runs against. One implementation per engine
+/// flavor — a static Engine (below) or a live, generation-swapping
+/// LiveEngine (engine/generation.hpp) — so every flavor shares ONE session
+/// loop with identical framing, error, and metrics behavior.
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+
+  /// Execute one query (Engine::run semantics, including its throws).
+  [[nodiscard]] virtual QueryResult run(const Query& q) = 0;
+
+  /// Answer one live request with a complete reply line ("ok\t...").
+  /// Hosts that do not accept live updates throw std::runtime_error (the
+  /// session answers with the err line and keeps serving).
+  [[nodiscard]] virtual std::string live(const LiveRequest& req) = 0;
+};
+
 /// Run a serve session over any transport: read request lines until EOF or
 /// quit, answer exactly one reply line per non-ignored request. Malformed
 /// or overlong frames and engine errors become "err" replies and the
 /// session keeps serving. Returns the number of successfully answered
-/// queries.
+/// queries (live verbs and metrics scrapes are not counted).
 ///
 /// Observability: every session records into obs::Registry::global() —
 /// sessions/bytes/err-reply counters (err causes: "overlong" frames,
@@ -145,12 +195,19 @@ struct ServeOptions {
 /// internal failures) and per-session query-count/lifetime histograms.
 /// Recording is lock-free on the session path (see obs/instruments.hpp)
 /// and never changes reply bytes.
+std::size_t serve_session(SessionHost& host, SessionIo& io,
+                          const ServeOptions& opts = {});
+
+/// Session over a static Engine: queries only; update/epoch answer an err
+/// line naming --live.
 std::size_t serve_session(Engine& engine, SessionIo& io,
                           const ServeOptions& opts = {});
 
 /// Stream adapter over the shared loop — the stdin REPL and the in-memory
 /// tests/benches. Lines are unbounded (the transport is a trusted local
 /// pipe); socket transports bound them instead (src/net/line_reader.hpp).
+std::size_t serve_session(SessionHost& host, std::istream& in, std::ostream& out,
+                          const ServeOptions& opts = {});
 std::size_t serve_session(Engine& engine, std::istream& in, std::ostream& out,
                           const ServeOptions& opts = {});
 

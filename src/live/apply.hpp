@@ -1,0 +1,78 @@
+// Applying a delta batch to a loaded snapshot: the shadow copy-on-write
+// substrate rebuild behind every reseal.
+//
+// apply_batch takes the snapshot a server is currently serving plus one
+// DeltaBatch and produces a complete NEW substrate portfolio over the
+// updated edge set — same substrate list (kinds × orientations, primary
+// first), new graphs, new sketches — ready for io::save_snapshot. The
+// source snapshot is never mutated: readers keep serving it until the
+// epoch swap (src/engine/generation.hpp) retires it.
+//
+// Identity guarantee (the acceptance bar, pinned by tests/test_live.cpp):
+// every produced substrate is BIT-IDENTICAL — arenas, derived parameters,
+// stored config — to what a cold `pgtool build` of the updated edge list
+// would produce. Two paths get there:
+//
+//   * incremental patch: when the budget-derived parameters (BF width, k)
+//     are unchanged by the update, each vertex whose neighborhood grew
+//     monotonically gets per-neighbor apply_insert folds, and each vertex
+//     whose neighborhood shrank or churned is re-folded from its new
+//     adjacency (core/incremental.hpp proves both replicate a cold build);
+//   * cold fallback: when the parameters shift (the budget tracks CSR
+//     bytes, which the update changed enough to move a rounding boundary),
+//     the substrate is rebuilt from scratch — still cold-identical, by
+//     construction.
+//
+// Degree orientation note: an edge insert changes two degrees, which can
+// flip DAG arcs at vertices far from the inserted edge (the (degree, id)
+// order is global). The patcher therefore diffs EVERY vertex's old vs new
+// adjacency per orientation rather than trusting the batch's endpoint
+// list.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/prob_graph.hpp"
+#include "graph/csr_graph.hpp"
+#include "io/snapshot.hpp"
+#include "live/delta.hpp"
+
+namespace probgraph::live {
+
+/// What one apply did — surfaced in `update seal` replies, obs counters,
+/// and bench tables.
+struct ApplyStats {
+  std::uint64_t inserts_applied = 0;   ///< edges present after, absent before
+  std::uint64_t deletes_applied = 0;   ///< edges present before, absent after
+  std::uint64_t vertices_patched = 0;  ///< per-neighbor apply_insert folds
+  std::uint64_t vertices_rebuilt = 0;  ///< reset + full re-fold
+  std::uint64_t substrates_rebuilt = 0;  ///< cold fallbacks (parameter shift)
+  double seconds = 0.0;
+  VertexId num_vertices = 0;  ///< of the updated graph
+  EdgeId num_edges = 0;       ///< undirected edges of the updated graph
+};
+
+/// The output portfolio: graphs behind stable pointers, sketches in the
+/// source file's substrate order, SnapshotSubstrate views ready for
+/// io::save_snapshot. Movable; self-contained (sketches point at the owned
+/// graphs).
+struct UpdatedSnapshot {
+  std::unique_ptr<const CsrGraph> sym;  ///< always built (reconstructed from DAG arcs for DAG-only files)
+  std::unique_ptr<const CsrGraph> dag;  ///< null when the file carries no DAG substrate
+  std::vector<ProbGraph> sketches;
+  std::vector<io::SnapshotSubstrate> substrates;
+  ApplyStats stats;
+};
+
+/// Apply one batch to `snap`'s edge set and rebuild its substrate
+/// portfolio per the identity guarantee above. Normalization: endpoints
+/// are unordered, self-loops dropped, duplicates collapsed, and a delete
+/// of an edge inserted in the SAME batch wins (the edge ends up absent).
+/// Inserts may name vertices past the current count (the graph grows);
+/// deletes of absent edges are no-ops. Throws std::invalid_argument only
+/// for an update that would leave the graph empty of vertices.
+[[nodiscard]] UpdatedSnapshot apply_batch(const io::Snapshot& snap, const DeltaBatch& batch);
+
+}  // namespace probgraph::live

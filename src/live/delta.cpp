@@ -1,0 +1,150 @@
+#include "live/delta.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace probgraph::live {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'G', 'D', 'E', 'L', 'T', 'A', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+struct BatchHeader {
+  std::uint64_t checksum;
+  std::uint32_t num_inserts;
+  std::uint32_t num_deletes;
+};
+static_assert(sizeof(BatchHeader) == 16);
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) noexcept {
+  return util::murmur3_fmix64(h ^ (x + 0x9e3779b97f4a7c15ULL));
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("delta log: " + what);
+}
+
+}  // namespace
+
+std::uint64_t delta_batch_checksum(const DeltaBatch& batch) noexcept {
+  std::uint64_t h = 0x50474445'4c544131ULL;  // "PGDELTA1" as a seed
+  h = mix(h, batch.inserts.size());
+  h = mix(h, batch.deletes.size());
+  for (const auto& [u, v] : batch.inserts) h = mix(h, (std::uint64_t{u} << 32) | v);
+  for (const auto& [u, v] : batch.deletes) h = mix(h, (std::uint64_t{u} << 32) | v);
+  return h;
+}
+
+DeltaLogWriter::DeltaLogWriter(std::string path) : path_(std::move(path)) {
+  bool need_header = true;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      FileHeader hdr{};
+      if (in.read(reinterpret_cast<char*>(&hdr), sizeof hdr)) {
+        if (std::memcmp(hdr.magic, kMagic, sizeof kMagic) != 0) {
+          fail("'" + path_ + "' exists but is not a .pgd delta log");
+        }
+        if (hdr.version != kVersion) {
+          fail("'" + path_ + "' has unsupported version " + std::to_string(hdr.version));
+        }
+        need_header = false;
+      } else if (in.gcount() != 0) {
+        fail("'" + path_ + "' is truncated mid-header");
+      }
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) fail("cannot open '" + path_ + "' for append");
+  if (need_header) {
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof kMagic);
+    hdr.version = kVersion;
+    hdr.reserved = 0;
+    out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+    out_.flush();
+    if (!out_) fail("write failed on '" + path_ + "'");
+  }
+}
+
+void DeltaLogWriter::append(const DeltaBatch& batch) {
+  if (batch.empty()) return;
+  BatchHeader hdr{};
+  hdr.checksum = delta_batch_checksum(batch);
+  hdr.num_inserts = static_cast<std::uint32_t>(batch.inserts.size());
+  hdr.num_deletes = static_cast<std::uint32_t>(batch.deletes.size());
+  // One contiguous buffer per record: a crash mid-append leaves at most
+  // one trailing record whose checksum cannot pass.
+  std::vector<std::uint32_t> payload;
+  payload.reserve(2 * (batch.inserts.size() + batch.deletes.size()));
+  for (const auto& [u, v] : batch.inserts) {
+    payload.push_back(u);
+    payload.push_back(v);
+  }
+  for (const auto& [u, v] : batch.deletes) {
+    payload.push_back(u);
+    payload.push_back(v);
+  }
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size() * sizeof(std::uint32_t)));
+  out_.flush();
+  if (!out_) fail("write failed on '" + path_ + "'");
+}
+
+std::vector<DeltaBatch> read_delta_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  FileHeader hdr{};
+  if (!in.read(reinterpret_cast<char*>(&hdr), sizeof hdr)) {
+    fail("'" + path + "' is too short to hold a header");
+  }
+  if (std::memcmp(hdr.magic, kMagic, sizeof kMagic) != 0) {
+    fail("'" + path + "' has wrong magic (not a .pgd delta log)");
+  }
+  if (hdr.version != kVersion) {
+    fail("'" + path + "' has unsupported version " + std::to_string(hdr.version));
+  }
+
+  std::vector<DeltaBatch> batches;
+  for (std::size_t index = 0;; ++index) {
+    BatchHeader bh{};
+    in.read(reinterpret_cast<char*>(&bh), sizeof bh);
+    if (in.gcount() == 0 && in.eof()) break;
+    if (!in) fail("batch " + std::to_string(index) + " of '" + path + "' is truncated");
+
+    DeltaBatch batch;
+    batch.inserts.resize(bh.num_inserts);
+    batch.deletes.resize(bh.num_deletes);
+    const auto read_pairs = [&](std::vector<Edge>& edges) {
+      for (auto& [u, v] : edges) {
+        std::uint32_t pair[2];
+        in.read(reinterpret_cast<char*>(pair), sizeof pair);
+        if (!in) {
+          fail("batch " + std::to_string(index) + " of '" + path + "' is truncated");
+        }
+        u = pair[0];
+        v = pair[1];
+      }
+    };
+    read_pairs(batch.inserts);
+    read_pairs(batch.deletes);
+    if (delta_batch_checksum(batch) != bh.checksum) {
+      fail("batch " + std::to_string(index) + " of '" + path + "' fails its checksum");
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace probgraph::live

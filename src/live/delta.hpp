@@ -1,0 +1,74 @@
+// The delta log: an append-only, checksummed record of edge changes.
+//
+// A live server tracks a changing graph as a sequence of BATCHES — each a
+// set of edge inserts plus a set of tombstoned deletions — applied
+// atomically at a reseal (src/live/apply.hpp): queries see whole
+// generations, never a partial batch. The delta log is the durable form of
+// that sequence: `pgtool update --delta-log` appends every applied batch,
+// and replaying the log over the base snapshot's edge list reproduces the
+// current generation exactly.
+//
+// Format (.pgd, all integers native little-endian like .pgs):
+//
+//   [FileHeader]   magic "PGDELTA1", version, reserved
+//   [BatchRecord]* each: { checksum, num_inserts, num_deletes } followed by
+//                  num_inserts then num_deletes (u, v) pairs of u32
+//                  endpoints. The checksum is an fmix64 chain over the
+//                  counts and every endpoint, so truncated or corrupted
+//                  batches are rejected at read time.
+//
+// Batches are appended with a single write per batch; a reader never sees
+// a half batch pass its checksum, so a crashed writer leaves at worst one
+// rejectable trailing record.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/types.hpp"
+
+namespace probgraph::live {
+
+/// One atomic unit of graph change. Endpoints are unordered (the graph is
+/// undirected); self-loops and duplicates are tolerated and normalized
+/// away at apply time. A delete wins over an insert of the same edge in
+/// the same batch.
+struct DeltaBatch {
+  std::vector<Edge> inserts;
+  std::vector<Edge> deletes;
+
+  [[nodiscard]] bool empty() const noexcept { return inserts.empty() && deletes.empty(); }
+};
+
+/// The checksum a batch record carries: an fmix64 chain over the two
+/// counts and every endpoint in record order.
+[[nodiscard]] std::uint64_t delta_batch_checksum(const DeltaBatch& batch) noexcept;
+
+/// Appends batches to a .pgd file. Creates the file (writing the header)
+/// when missing or empty; otherwise validates the existing header and
+/// appends after the last record. Throws std::runtime_error on I/O failure
+/// or a foreign/corrupt header.
+class DeltaLogWriter {
+ public:
+  explicit DeltaLogWriter(std::string path);
+
+  /// Append one batch (no-op for an empty one). The record is written and
+  /// flushed in one piece. Throws std::runtime_error on I/O failure.
+  void append(const DeltaBatch& batch);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Read every batch of a .pgd file, validating magic, version, record
+/// shape, and per-batch checksums. Throws std::runtime_error naming the
+/// failed check (including a batch index for corrupt records).
+[[nodiscard]] std::vector<DeltaBatch> read_delta_log(const std::string& path);
+
+}  // namespace probgraph::live

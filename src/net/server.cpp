@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/generation.hpp"
 #include "engine/protocol.hpp"
 #include "net/line_reader.hpp"
 #include "obs/metrics.hpp"
@@ -52,7 +53,19 @@ void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 }  // namespace
 
 Server::Server(engine::Engine& engine, ServerOptions opts)
-    : engine_(engine), opts_(opts), listener_(opts.port, opts.backlog) {
+    : engine_(&engine), opts_(opts), listener_(opts.port, opts.backlog) {
+  if (opts_.max_conns < 1) {
+    throw std::runtime_error("Server: max_conns must be at least 1");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("Server: cannot create wake pipe");
+  }
+  set_cloexec(wake_pipe_[0]);
+  set_cloexec(wake_pipe_[1]);
+}
+
+Server::Server(engine::LiveEngine& live, ServerOptions opts)
+    : live_(&live), opts_(opts), listener_(opts.port, opts.backlog) {
   if (opts_.max_conns < 1) {
     throw std::runtime_error("Server: max_conns must be at least 1");
   }
@@ -80,7 +93,9 @@ void Server::request_stop() noexcept {
 void Server::handle(Conn* conn) {
   SocketSessionIo io(conn->sock, opts_.max_line_bytes);
   try {
-    queries_answered_ += engine::serve_session(engine_, io, opts_.session);
+    queries_answered_ += live_ != nullptr
+                             ? engine::serve_session(*live_, io, opts_.session)
+                             : engine::serve_session(*engine_, io, opts_.session);
   } catch (...) {
     // serve_session answers engine errors in-band; anything escaping here
     // (e.g. bad_alloc) ends this session only, never the server.

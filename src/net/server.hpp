@@ -37,6 +37,10 @@
 #include "engine/protocol.hpp"
 #include "net/socket.hpp"
 
+namespace probgraph::engine {
+class LiveEngine;  // engine/generation.hpp
+}
+
 namespace probgraph::net {
 
 struct ServerOptions {
@@ -52,6 +56,11 @@ class Server {
   /// Binds and listens immediately (throws std::runtime_error on failure);
   /// connections queue in the backlog until run() starts accepting.
   Server(engine::Engine& engine, ServerOptions opts = {});
+
+  /// Live-serving flavor: every session runs against the LiveEngine —
+  /// queries pin the current generation lock-free, update/epoch verbs are
+  /// accepted (engine/generation.hpp). Same lifecycle as above.
+  Server(engine::LiveEngine& live, ServerOptions opts = {});
 
   /// The owner must ensure run() has returned before destroying.
   ~Server();
@@ -90,7 +99,9 @@ class Server {
   /// Join and free finished sessions; with `all`, every session (stop path).
   void reap(bool all);
 
-  engine::Engine& engine_;
+  // Exactly one is non-null, fixed at construction.
+  engine::Engine* engine_ = nullptr;
+  engine::LiveEngine* live_ = nullptr;
   ServerOptions opts_;
   TcpListener listener_;
   int wake_pipe_[2] = {-1, -1};

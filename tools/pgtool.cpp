@@ -23,6 +23,19 @@
 //                                         the DAG sketches and
 //                                         neighborhood queries from the
 //                                         symmetric ones
+//   pgtool update    <file.pgs> -o <out.pgs> [--inserts FILE]
+//                    [--deletes FILE] [--apply-log FILE.pgd]
+//                    [--delta-log FILE.pgd]
+//                                         offline reseal: apply edge
+//                                         inserts/deletes (and/or replay a
+//                                         delta log) to a snapshot's
+//                                         substrates incrementally
+//                                         (src/live/apply.hpp — the result
+//                                         is bit-identical to rebuilding
+//                                         from the updated edge list) and
+//                                         write the next generation;
+//                                         --delta-log appends the applied
+//                                         net batch to a delta log
 //   pgtool serve     <file.pgs> [--listen PORT [--max-conns N]]
 //                                         long-lived session: map the
 //                                         snapshot once, answer one query
@@ -35,7 +48,16 @@
 //                                         picks an ephemeral port, named
 //                                         on stderr) — every session
 //                                         shares the one mapping;
-//                                         SIGINT/SIGTERM stop gracefully
+//                                         SIGINT/SIGTERM stop gracefully.
+//                                         --live serves through an
+//                                         engine::LiveEngine: sessions may
+//                                         stage edge changes and seal them
+//                                         as a new generation (`update` /
+//                                         `epoch` protocol verbs) while
+//                                         queries keep running lock-free;
+//                                         --delta-log FILE.pgd appends
+//                                         every sealed batch to a durable
+//                                         delta log
 //   pgtool client    <host> <port>        connect to a serving pgtool:
 //                                         pump stdin lines to the server
 //                                         and replies to stdout, so
@@ -87,7 +109,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <charconv>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -97,12 +122,15 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "engine/generation.hpp"
 #include "engine/protocol.hpp"
 #include "engine/query.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/orientation.hpp"
 #include "io/snapshot.hpp"
+#include "live/apply.hpp"
+#include "live/delta.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -138,6 +166,11 @@ enum : unsigned {
   kFKinds = 1u << 18,
   kFMetricsPort = 1u << 19,
   kFSlowMs = 1u << 20,
+  kFLive = 1u << 21,
+  kFDeltaLog = 1u << 22,
+  kFInserts = 1u << 23,
+  kFDeletes = 1u << 24,
+  kFApplyLog = 1u << 25,
 };
 
 /// The sketch-construction flags shared by every command that may build or
@@ -174,6 +207,11 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"--kinds", nullptr, kFKinds, true},
     {"--metrics-port", nullptr, kFMetricsPort, true},
     {"--slow-ms", nullptr, kFSlowMs, true},
+    {"--live", nullptr, kFLive, false},
+    {"--delta-log", nullptr, kFDeltaLog, true},
+    {"--inserts", nullptr, kFInserts, true},
+    {"--deletes", nullptr, kFDeletes, true},
+    {"--apply-log", nullptr, kFApplyLog, true},
 };
 
 /// Which orientations `build` sketches (and packs into the snapshot).
@@ -190,6 +228,11 @@ struct Args {
   int max_conns = 16;                   // serve --listen: live-session cap
   std::optional<std::uint16_t> metrics_port;  // serve: /metrics HTTP port
   double slow_ms = 0;                   // serve: slow-query log threshold
+  bool live = false;                    // serve: accept update/epoch verbs
+  std::string delta_log;                // serve/update: .pgd log to append
+  std::string inserts_path;             // update: edge file to insert
+  std::string deletes_path;             // update: edge file to delete
+  std::string apply_log;                // update: .pgd log to replay
   OrientMode orient = OrientMode::kSym;
   std::vector<SketchKind> kinds;        // build --kinds (empty: just pg.kind)
   std::optional<SketchKind> route_kind; // --sketch over --snapshot: substrate routing
@@ -226,6 +269,7 @@ int run_pair(const Args& a);
 int run_lp(const Args& a);
 int run_stats(const Args& a);
 int run_build(const Args& a);
+int run_update(const Args& a);
 int run_serve(const Args& a);
 int run_client(const Args& a);
 
@@ -248,9 +292,15 @@ constexpr CommandSpec kCommands[] = {
     {"build", kSketchFlags | kFOutput | kFOrient | kFThreads | kFKinds, false,
      "build <graph> -o <file.pgs> [--orient [both|dag|sym]] [--kinds bf,kmv,...]",
      run_build},
-    {"serve", kFThreads | kFListen | kFMaxConns | kFMetricsPort | kFSlowMs, true,
+    {"update", kFOutput | kFInserts | kFDeletes | kFApplyLog | kFDeltaLog | kFThreads,
+     true,
+     "update <file.pgs> -o <out.pgs> [--inserts FILE] [--deletes FILE] "
+     "[--apply-log FILE.pgd] [--delta-log FILE.pgd]", run_update},
+    {"serve",
+     kFThreads | kFListen | kFMaxConns | kFMetricsPort | kFSlowMs | kFLive | kFDeltaLog,
+     true,
      "serve <file.pgs> [--listen PORT [--max-conns N]] [--metrics-port P] "
-     "[--slow-ms N]", run_serve},
+     "[--slow-ms N] [--live [--delta-log FILE.pgd]]", run_serve},
     {"client", 0, false, "client <host> <port>", run_client, true},
 };
 
@@ -278,7 +328,13 @@ void print_usage(std::FILE* to) {
                "concurrent TCP server with --listen PORT (127.0.0.1; PORT 0 picks an\n"
                "ephemeral port, printed on stderr; --max-conns caps live sessions;\n"
                "SIGINT/SIGTERM stop it gracefully). client connects a scripted\n"
-               "stdin/stdout session to such a server.\n");
+               "stdin/stdout session to such a server. serve --live additionally\n"
+               "accepts the update/epoch verbs: sessions stage edge inserts/deletes\n"
+               "and seal them as a new snapshot generation while queries keep being\n"
+               "answered (each sees a whole generation, never a partial batch).\n"
+               "update does the same offline: it applies --inserts/--deletes edge\n"
+               "files and/or replays an --apply-log delta log onto a snapshot\n"
+               "incrementally and writes the resealed next generation.\n");
 }
 
 [[noreturn]] void fail(const std::string& msg) {
@@ -547,6 +603,21 @@ Args parse(int argc, char** argv) {
         a.slow_ms = parse_number<double>(token, value);
         if (a.slow_ms < 0) fail("--slow-ms must be non-negative");
         break;
+      case kFLive:
+        a.live = true;
+        break;
+      case kFDeltaLog:
+        a.delta_log = value;
+        break;
+      case kFInserts:
+        a.inserts_path = value;
+        break;
+      case kFDeletes:
+        a.deletes_path = value;
+        break;
+      case kFApplyLog:
+        a.apply_log = value;
+        break;
       default: fail("unhandled flag " + token);  // unreachable
     }
   }
@@ -554,6 +625,15 @@ Args parse(int argc, char** argv) {
   // --- Per-command input validation. ---
   if ((seen & kFMaxConns) != 0 && !a.listen) {
     fail("--max-conns only applies with --listen");
+  }
+  if (a.command == "serve" && !a.delta_log.empty() && !a.live) {
+    fail("--delta-log on serve requires --live");
+  }
+  if (a.command == "update") {
+    if (a.output.empty()) fail("update requires an output path (-o <out.pgs>)");
+    if (a.inserts_path.empty() && a.deletes_path.empty() && a.apply_log.empty()) {
+      fail("update needs changes to apply: --inserts, --deletes, and/or --apply-log");
+    }
   }
   if (a.command == "client") {
     if (a.input.empty() || a.input2.empty()) fail("client requires <host> <port>");
@@ -790,6 +870,93 @@ int run_build(const Args& a) {
   return 0;
 }
 
+/// Raw "U V" edge pairs for `update` — NOT io::read_edge_list, which builds
+/// a normalized CsrGraph; a change batch keeps the pairs as written (the
+/// apply layer owns normalization, live/apply.hpp).
+std::vector<Edge> read_edge_pairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open edge file '" + path + "'");
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' || line[first] == '%') continue;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    if (std::sscanf(line.c_str(), "%llu %llu", &u, &v) != 2 ||
+        u > std::numeric_limits<VertexId>::max() ||
+        v > std::numeric_limits<VertexId>::max()) {
+      fail(path + ":" + std::to_string(lineno) + ": expected 'U V' vertex ids");
+    }
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return edges;
+}
+
+int run_update(const Args& a) {
+  const io::Snapshot snap = io::load_snapshot(a.input);
+  const io::SnapshotInfo& info = snap.info();
+  std::printf("snapshot: %s, substrates [%s], n=%u, m=%llu\n", a.input.c_str(),
+              io::describe_substrates(info.substrates).c_str(), info.num_vertices,
+              static_cast<unsigned long long>(snap.graph().num_edges()));
+
+  // The change sequence: replayed delta-log batches first (in log order),
+  // then the --inserts/--deletes files as one final batch.
+  std::vector<live::DeltaBatch> batches;
+  if (!a.apply_log.empty()) batches = live::read_delta_log(a.apply_log);
+  live::DeltaBatch file_batch;
+  if (!a.inserts_path.empty()) file_batch.inserts = read_edge_pairs(a.inserts_path);
+  if (!a.deletes_path.empty()) file_batch.deletes = read_edge_pairs(a.deletes_path);
+  if (!file_batch.empty()) batches.push_back(std::move(file_batch));
+
+  // Fold the sequence into ONE net batch relative to the base snapshot:
+  // within a batch deletions win (the apply-layer rule); across batches the
+  // LATER batch wins. Sketch maintenance depends only on the final edge
+  // set, so applying the net batch once is bit-identical to applying the
+  // sequence. Keys are normalized (min,max) so "2 1" in one batch and
+  // "1 2" in another meet at the same entry.
+  std::map<Edge, bool> forced;  // true = present, false = absent
+  const auto norm = [](Edge e) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+    return e;
+  };
+  for (const live::DeltaBatch& b : batches) {
+    for (const Edge& e : b.inserts) forced[norm(e)] = true;
+    for (const Edge& e : b.deletes) forced[norm(e)] = false;
+  }
+  live::DeltaBatch net;
+  for (const auto& [e, present] : forced) {
+    (present ? net.inserts : net.deletes).push_back(e);
+  }
+
+  live::UpdatedSnapshot updated = live::apply_batch(snap, net);
+  util::Timer save_timer;
+  io::save_snapshot(a.output, updated.substrates);
+  if (!a.delta_log.empty()) {
+    live::DeltaLogWriter writer(a.delta_log);
+    writer.append(net);
+  }
+
+  const live::ApplyStats& s = updated.stats;
+  std::printf("applied %llu insert%s, %llu delete%s (%zu batch%s): n=%u, m=%llu; "
+              "%llu vertices patched in place, %llu rebuilt, %llu substrate%s "
+              "rebuilt cold; apply %.4fs\n",
+              static_cast<unsigned long long>(s.inserts_applied),
+              s.inserts_applied == 1 ? "" : "s",
+              static_cast<unsigned long long>(s.deletes_applied),
+              s.deletes_applied == 1 ? "" : "s", batches.size(),
+              batches.size() == 1 ? "" : "es", s.num_vertices,
+              static_cast<unsigned long long>(s.num_edges),
+              static_cast<unsigned long long>(s.vertices_patched),
+              static_cast<unsigned long long>(s.vertices_rebuilt),
+              static_cast<unsigned long long>(s.substrates_rebuilt),
+              s.substrates_rebuilt == 1 ? "" : "s", s.seconds);
+  std::printf("wrote %s (save %.4fs)\n", a.output.c_str(), save_timer.seconds());
+  return 0;
+}
+
 // SIGINT/SIGTERM → graceful server stop. The pointer is published before
 // the handlers are installed and cleared after they are restored, so the
 // handler only ever sees a live server. `volatile` is NOT enough here: it
@@ -842,8 +1009,20 @@ int run_serve(const Args& a) {
   // The banner goes to stderr so stdout carries protocol replies only —
   // scripted sessions (CI transcripts) diff cleanly.
   util::Timer load_timer;
-  engine::Engine e = engine::Engine::from_snapshot(a.input);
+  // --live wraps the snapshot in a LiveEngine (generation 1); sessions may
+  // then stage/seal updates. Plain serve keeps the single static Engine.
+  std::optional<engine::Engine> owned;
+  std::optional<engine::LiveEngine> live;
+  if (a.live) {
+    engine::LiveEngine::Options live_opts;
+    live_opts.delta_log_path = a.delta_log;
+    live.emplace(a.input, live_opts);
+  } else {
+    owned.emplace(engine::Engine::from_snapshot(a.input));
+  }
+  const engine::Engine& e = live ? live->current_engine_unsynchronized() : *owned;
   const io::SnapshotInfo& info = *e.snapshot_info();
+  const char* live_note = live ? ", live updates on" : "";
 
   engine::ServeOptions session_opts;
   session_opts.slow_query_seconds = a.slow_ms / 1e3;
@@ -853,12 +1032,14 @@ int run_serve(const Args& a) {
 
   if (!a.listen) {
     std::fprintf(stderr,
-                 "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; one query "
-                 "per line, 'help' for the grammar, 'quit' to exit\n",
+                 "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs%s; one "
+                 "query per line, 'help' for the grammar, 'quit' to exit\n",
                  a.input.c_str(), e.graph().num_vertices(),
-                 io::describe_substrates(info.substrates).c_str(), load_timer.seconds());
+                 io::describe_substrates(info.substrates).c_str(), load_timer.seconds(),
+                 live_note);
     const std::size_t answered =
-        engine::serve_session(e, std::cin, std::cout, session_opts);
+        live ? engine::serve_session(*live, std::cin, std::cout, session_opts)
+             : engine::serve_session(*owned, std::cin, std::cout, session_opts);
     std::fprintf(stderr, "pgtool serve: session over, %zu quer%s answered\n", answered,
                  answered == 1 ? "y" : "ies");
     print_metrics_summary();
@@ -869,25 +1050,30 @@ int run_serve(const Args& a) {
   opts.port = *a.listen;
   opts.max_conns = a.max_conns;
   opts.session = session_opts;
-  net::Server server(e, opts);
+  std::optional<net::Server> server;
+  if (live) {
+    server.emplace(*live, opts);
+  } else {
+    server.emplace(*owned, opts);
+  }
   std::fprintf(stderr,
-               "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs; listening "
+               "pgtool serve: %s — n=%u, substrates [%s], mapped in %.4fs%s; listening "
                "on 127.0.0.1:%u (max %d concurrent sessions over one mapping), "
                "SIGINT/SIGTERM to stop\n",
                a.input.c_str(), e.graph().num_vertices(),
                io::describe_substrates(info.substrates).c_str(), load_timer.seconds(),
-               static_cast<unsigned>(server.port()), a.max_conns);
+               live_note, static_cast<unsigned>(server->port()), a.max_conns);
 
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
-  g_signal_server.store(&server);  // published (seq_cst) before the handlers exist
+  g_signal_server.store(&*server);  // published (seq_cst) before the handlers exist
   std::signal(SIGINT, stop_signal_handler);
   std::signal(SIGTERM, stop_signal_handler);
-  server.run();
+  server->run();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_signal_server.store(nullptr);  // cleared only after the handlers are gone
 
-  const net::Server::Counters c = server.counters();
+  const net::Server::Counters c = server->counters();
   std::fprintf(stderr,
                "pgtool serve: stopped — %llu session%s served, %llu rejected at "
                "capacity, %llu quer%s answered\n",
