@@ -342,12 +342,24 @@ void Engine::fill_sketch_meta(QueryResult& r, const ProbGraph& pg,
   r.sketch.degree_oriented = degree_oriented;
 }
 
-QueryResult Engine::run(const Query& query) {
+QueryResult Engine::run(const Query& query) { return run_with_hint(query, nullptr); }
+
+QueryResult Engine::run_with_hint(const Query& query, const ProbGraph* sym_hint) {
   EngineMetrics& m = engine_metrics();
   const std::size_t fam = query.index();
   util::Timer timer;
   try {
-    QueryResult r = std::visit([this](const auto& q) { return exec(q); }, query);
+    QueryResult r = std::visit(
+        [this, sym_hint](const auto& q) -> QueryResult {
+          using T = std::decay_t<decltype(q)>;
+          if constexpr (std::is_same_v<T, PairEstimate> ||
+                        std::is_same_v<T, LinkPredict>) {
+            return exec(q, q.exact ? nullptr : sym_hint);
+          } else {
+            return exec(q);
+          }
+        },
+        query);
     // r.elapsed_seconds deliberately excludes lazy builds (it is part of
     // the reply); the latency histogram records the full run() wall time,
     // which is what a serving operator sees.
@@ -368,6 +380,77 @@ QueryResult Engine::run(const Query& query) {
     m.latency[fam]->observe(timer.seconds());
     throw;
   }
+}
+
+namespace {
+
+/// True when `q` is a non-exact pair/lp query whose symmetric-substrate
+/// route (its `sketch` field) can be hoisted across a batch run; sets
+/// `route` to that field.
+bool shared_symmetric_route(const Query& q, std::optional<SketchKind>& route) {
+  if (const auto* pe = std::get_if<PairEstimate>(&q)) {
+    if (pe->exact) return false;
+    route = pe->sketch;
+    return true;
+  }
+  if (const auto* lp = std::get_if<LinkPredict>(&q)) {
+    if (lp->exact) return false;
+    route = lp->sketch;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BatchItem Engine::run_one(const Query& query, const ProbGraph* sym_hint) {
+  BatchItem item;
+  util::Timer wall;
+  try {
+    item.result = run_with_hint(query, sym_hint);
+  } catch (const std::invalid_argument& e) {
+    item.error = e.what();
+    item.invalid_argument = true;
+  } catch (const std::exception& e) {
+    item.error = e.what();
+  }
+  item.wall_seconds = wall.seconds();
+  return item;
+}
+
+std::vector<BatchItem> Engine::run_batch(std::span<const Query> queries) {
+  std::vector<BatchItem> out;
+  out.reserve(queries.size());
+  std::size_t i = 0;
+  while (i < queries.size()) {
+    std::optional<SketchKind> route;
+    if (!shared_symmetric_route(queries[i], route)) {
+      out.push_back(run_one(queries[i], nullptr));
+      ++i;
+      continue;
+    }
+    // Maximal run of consecutive queries sharing one symmetric route.
+    std::size_t j = i + 1;
+    for (std::optional<SketchKind> next_route; j < queries.size(); ++j) {
+      next_route.reset();
+      if (!shared_symmetric_route(queries[j], next_route) || next_route != route) break;
+    }
+    // Hoist the substrate resolution once for the whole run. If routing
+    // fails (snapshot lacks the substrate), fall back to per-query runs so
+    // each query reports the identical error run() would have thrown —
+    // per-query validation (vertex range checks) still happens first
+    // inside exec(), exactly as without the hint.
+    const ProbGraph* pg = nullptr;
+    if (j - i > 1) {
+      try {
+        pg = &symmetric_pg(route);
+      } catch (...) {
+        pg = nullptr;
+      }
+    }
+    for (; i < j; ++i) out.push_back(run_one(queries[i], pg));
+  }
+  return out;
 }
 
 QueryResult Engine::exec(const TriangleCount& q) {
@@ -516,7 +599,7 @@ QueryResult Engine::exec(const Cluster& q) {
   return r;
 }
 
-QueryResult Engine::exec(const PairEstimate& q) {
+QueryResult Engine::exec(const PairEstimate& q, const ProbGraph* sym_hint) {
   if (q.pairs.empty()) {
     throw std::invalid_argument("pair query needs at least one (u, v) pair");
   }
@@ -541,7 +624,7 @@ QueryResult Engine::exec(const PairEstimate& q) {
   // Pair estimates are defined over full neighborhoods (|N_u ∩ N_v|), so
   // like cc/cluster/lp they refuse an --orient snapshot: N+ intersections
   // are a different quantity and must not come back as an "ok" reply.
-  const ProbGraph& pg = symmetric_pg(q.sketch);
+  const ProbGraph& pg = sym_hint ? *sym_hint : symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   pg.visit_backend([&](const auto& be) {
@@ -577,7 +660,7 @@ QueryResult Engine::exec(const PairEstimate& q) {
   return r;
 }
 
-QueryResult Engine::exec(const LinkPredict& q) {
+QueryResult Engine::exec(const LinkPredict& q, const ProbGraph* sym_hint) {
   QueryResult r;
   r.name = "lp";
   r.exact = q.exact;
@@ -589,7 +672,7 @@ QueryResult Engine::exec(const LinkPredict& q) {
     for (const auto& l : links) r.pairs.push_back({l.u, l.v, l.score});
     return r;
   }
-  const ProbGraph& pg = symmetric_pg(q.sketch);
+  const ProbGraph& pg = sym_hint ? *sym_hint : symmetric_pg(q.sketch);
   fill_sketch_meta(r, pg, false);
   util::Timer timer;
   const auto links = algo::top_k_links_probgraph(pg, q.measure, q.topk);

@@ -61,7 +61,19 @@
 //     hot path takes no lock at all for sketch queries.
 //   * construction, moves, and destruction are NOT thread-safe — create
 //     the Engine before spawning sessions and destroy it after joining
-//     them, exactly what net::Server does.
+//     them, exactly what the net:: transports do.
+//   * the contract is thread-AGNOSTIC on the caller side: nothing here
+//     cares which OS thread issues a run() call. The thread-per-connection
+//     transport gives every session its own thread for its whole lifetime;
+//     the epoll reactor (net/reactor.hpp) multiplexes MANY sessions over a
+//     small fixed worker pool, so consecutive queries of one session may
+//     run on different workers and one worker interleaves queries of many
+//     sessions. Both are safe for the same reason concurrent run() is: the
+//     Engine keeps no per-thread or per-session state, and the reactor's
+//     run-queue handoff orders each session's queries (a session is owned
+//     by at most one worker at a time). run_batch() is run() called in a
+//     loop plus a per-batch hoist of immutable routing state — it adds no
+//     new mutable state and inherits the same guarantees.
 //   * instrumentation adds no locks to this picture. Every run() records
 //     into process-global obs:: instruments (counters and histograms,
 //     src/obs/instruments.hpp) whose writes are relaxed atomics on
@@ -95,7 +107,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/prob_graph.hpp"
 #include "engine/query.hpp"
@@ -103,6 +117,18 @@
 #include "io/snapshot.hpp"
 
 namespace probgraph::engine {
+
+/// One query's outcome in Engine::run_batch — exactly what the same
+/// run() call would have produced: either its QueryResult or the error it
+/// would have thrown, so a serving session can turn a pipelined batch
+/// into the identical reply lines (including err replies, in order).
+struct BatchItem {
+  std::optional<QueryResult> result;  ///< set iff the query succeeded
+  std::string error;                  ///< the exception text otherwise
+  bool invalid_argument = false;      ///< std::invalid_argument (client bug)
+                                      ///< vs anything else (engine/routing)
+  double wall_seconds = 0.0;          ///< full wall time incl. lazy builds
+};
 
 class Engine {
  public:
@@ -124,6 +150,18 @@ class Engine {
   /// std::runtime_error when the source cannot answer the query (e.g. a
   /// counting estimate over a snapshot of the symmetric graph).
   [[nodiscard]] QueryResult run(const Query& query);
+
+  /// Execute a pipelined batch in request order, capturing each query's
+  /// outcome instead of throwing (one bad query must not eat the replies
+  /// behind it in the pipeline). Results are BIT-IDENTICAL to calling
+  /// run() per query — same values, same error text, same instrumentation
+  /// — the batch only hoists immutable routing work: a maximal run of
+  /// consecutive non-exact PairEstimate/LinkPredict queries naming the
+  /// same substrate (the protocol's `kind=` clause) resolves its
+  /// symmetric ProbGraph once and feeds every query in the run through
+  /// the already-batched est_intersection_batch estimator routing with
+  /// that resolution in hand. Thread-safe like run().
+  [[nodiscard]] std::vector<BatchItem> run_batch(std::span<const Query> queries);
 
   /// The source graph: the symmetric graph for in-memory engines and
   /// unoriented snapshots, the degree-oriented DAG for `--orient` ones.
@@ -153,9 +191,17 @@ class Engine {
   QueryResult exec(const KCliqueCount& q);
   QueryResult exec(const ClusteringCoeff& q);
   QueryResult exec(const Cluster& q);
-  QueryResult exec(const PairEstimate& q);
-  QueryResult exec(const LinkPredict& q);
+  // sym_hint: the pre-resolved symmetric substrate a batch run hoisted
+  // (must equal symmetric_pg(q.sketch)); nullptr resolves per query.
+  QueryResult exec(const PairEstimate& q, const ProbGraph* sym_hint = nullptr);
+  QueryResult exec(const LinkPredict& q, const ProbGraph* sym_hint = nullptr);
   QueryResult exec(const GraphStats& q);
+
+  /// run() with an optional hoisted substrate for pair/lp queries; the
+  /// public run() is run_with_hint(query, nullptr).
+  QueryResult run_with_hint(const Query& query, const ProbGraph* sym_hint);
+  /// One run_batch element: run_with_hint with the throws captured.
+  BatchItem run_one(const Query& query, const ProbGraph* sym_hint);
 
   /// The symmetric graph; throws when the snapshot carries no symmetric
   /// substrate.

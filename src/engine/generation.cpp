@@ -161,6 +161,15 @@ class LiveSessionHost final : public SessionHost {
     return pin.engine().run(q);
   }
 
+  std::vector<BatchItem> run_batch(std::span<const Query> queries) override {
+    // ONE pin for the whole pipelined batch: every query in it sees the
+    // same generation (a strictly stronger form of the whole-generation
+    // guarantee). The pin is bounded by the transports' per-turn fairness
+    // limit, so a pipelining hog delays a seal by at most one turn's work.
+    LiveEngine::Reader::Pin pin(reader_);
+    return pin.engine().run_batch(queries);
+  }
+
   std::string live(const LiveRequest& req) override {
     switch (req.op) {
       case LiveRequest::Op::kInsert:
@@ -205,6 +214,10 @@ class LiveSessionHost final : public SessionHost {
 };
 
 }  // namespace
+
+std::unique_ptr<SessionHost> make_session_host(LiveEngine& live) {
+  return std::make_unique<LiveSessionHost>(live);
+}
 
 std::size_t serve_session(LiveEngine& live, SessionIo& io, const ServeOptions& opts) {
   LiveSessionHost host(live);

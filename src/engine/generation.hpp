@@ -195,6 +195,13 @@ class LiveEngine {
   std::optional<live::DeltaLogWriter> delta_log_;  // writer_mu_
 };
 
+/// A session host over a LiveEngine: queries pin a generation per request
+/// (per batch for pipelined batches) through a registered Reader,
+/// update/epoch verbs go to the staging/seal API. One host per session —
+/// the net:: transports create these through the same factory shape as
+/// the static make_session_host(Engine&) (protocol.hpp).
+[[nodiscard]] std::unique_ptr<SessionHost> make_session_host(LiveEngine& live);
+
 /// Serve one session against a live engine: queries pin a generation per
 /// request (lock-free), update/epoch verbs go to the staging/seal API.
 /// Same loop, framing, and metrics as the static overloads (protocol.hpp).

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <vector>
 
+#include "net/line_scanner.hpp"
 #include "obs/metrics.hpp"
 #include "util/ascii.hpp"
 #include "util/timer.hpp"
@@ -436,98 +437,232 @@ void log_slow_query(std::string_view request, const QueryResult& r,
 
 }  // namespace
 
-std::size_t serve_session(SessionHost& host, SessionIo& io,
-                          const ServeOptions& opts) {
+std::vector<BatchItem> SessionHost::run_batch(std::span<const Query> queries) {
+  // The transport-agnostic fallback: run() per query, throws captured so
+  // every query behind a bad one still answers. Engine-backed hosts
+  // override this with Engine::run_batch (same outcomes, hoisted routing).
+  std::vector<BatchItem> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) {
+    BatchItem item;
+    util::Timer wall;
+    try {
+      item.result = run(q);
+    } catch (const std::invalid_argument& e) {
+      item.error = e.what();
+      item.invalid_argument = true;
+    } catch (const std::exception& e) {
+      item.error = e.what();
+    }
+    item.wall_seconds = wall.seconds();
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+/// The framing state behind the byte-oriented interface. LineScanner
+/// lives in net/ next to its transports; it is implementation detail
+/// here, held behind this pimpl so protocol.hpp stays net-free.
+class Session::Framer {
+ public:
+  explicit Framer(std::size_t max_line_bytes) : scanner(max_line_bytes) {}
+  net::LineScanner scanner;
+};
+
+Session::Session(SessionHost& host, ServeOptions opts, std::size_t max_line_bytes)
+    : host_(host),
+      opts_(opts),
+      framer_(std::make_unique<Framer>(max_line_bytes)) {}
+
+Session::~Session() {
   SessionMetrics& sm = session_metrics();
-  util::Timer session_timer;
-  // Reply-byte accounting wraps every write so no reply path is missed.
-  const auto write_line = [&io, &sm](std::string_view reply) {
-    sm.bytes_out->add(reply.size() + 1);  // +1: the transport's newline
-    return io.write_line(reply);
-  };
+  sm.sessions->add();
+  sm.queries_per_session->observe(static_cast<double>(answered_));
+  sm.session_seconds->observe(lifetime_.seconds());
+}
+
+void Session::emit(std::string_view reply) {
+  // Reply-byte accounting sits on the single append path so no reply
+  // misses it; +1 is the newline framing added here.
+  session_metrics().bytes_out->add(reply.size() + 1);
+  out_.append(reply);
+  out_.push_back('\n');
+}
+
+void Session::dispatch_control(const ParsedRequest& req) {
+  SessionMetrics& sm = session_metrics();
+  if (req.quit) {
+    emit("bye");
+    done_ = true;
+    return;
+  }
+  if (req.help) {
+    emit(help_reply());
+    return;
+  }
+  if (req.metrics) {
+    // Not counted in answered(): the transports' queries_answered counter
+    // and the session histograms track engine queries, not scrapes.
+    emit("ok\tmetrics\t" + obs::Registry::global().tab_text());
+    return;
+  }
+  if (req.live) {
+    // Live verbs reply through the host (a static host throws the
+    // not-enabled error). Not counted in answered(), like `metrics`.
+    try {
+      emit(host_.live(*req.live));
+    } catch (const std::invalid_argument& e) {
+      sm.err_bad_argument->add();
+      emit(format_error(e.what()));
+    } catch (const std::exception& e) {
+      sm.err_engine->add();
+      emit(format_error(e.what()));
+    }
+    return;
+  }
+  sm.err_parse->add();
+  emit(format_error(req.error));
+}
+
+void Session::flush_batch() {
+  if (batch_.empty()) return;
+  SessionMetrics& sm = session_metrics();
+  std::vector<Query> queries;
+  queries.reserve(batch_.size());
+  for (PendingQuery& p : batch_) queries.push_back(std::move(p.query));
+  const std::vector<BatchItem> items = host_.run_batch(queries);
+  for (std::size_t k = 0; k < batch_.size() && k < items.size(); ++k) {
+    const BatchItem& item = items[k];
+    if (!item.result) {
+      // The captured equivalent of run()'s throws: invalid_argument is a
+      // client bug (out-of-range vertices, ...), anything else is an
+      // engine routing or internal failure. Answer and keep serving.
+      (item.invalid_argument ? sm.err_bad_argument : sm.err_engine)->add();
+      emit(format_error(item.error));
+      continue;
+    }
+    const QueryResult& r = *item.result;
+    std::string reply = format_reply(r);
+    if (batch_[k].report_time) {
+      // r.elapsed_seconds (execution excluding lazy builds) is the number
+      // the reply documents; the slow-query check below uses the full
+      // wall time, which is what the session actually waited.
+      reply += "\telapsed_us=";
+      reply += std::to_string(
+          static_cast<long long>(std::llround(r.elapsed_seconds * 1e6)));
+    }
+    if (opts_.slow_query_seconds > 0 && item.wall_seconds >= opts_.slow_query_seconds) {
+      log_slow_query(batch_[k].line, r, item.wall_seconds);
+    }
+    emit(reply);
+    ++answered_;
+  }
+  batch_.clear();
+}
+
+void Session::process_line(std::string_view line) {
+  if (done_) return;
+  SessionMetrics& sm = session_metrics();
+  sm.bytes_in->add(line.size() + 1);
+  ParsedRequest req = parse_request(line);
+  if (req.ignored) return;
+  if (req.query) {
+    batch_.push_back({std::move(*req.query), req.report_time, std::string(line)});
+    flush_batch();  // line-oriented drivers answer before their next read
+    return;
+  }
+  flush_batch();
+  dispatch_control(req);
+}
+
+void Session::process_overlong(std::string_view error_text) {
+  if (done_) return;
+  flush_batch();
+  session_metrics().err_overlong->add();
+  emit(format_error(error_text));
+}
+
+void Session::feed(std::string_view bytes) {
+  if (done_) return;
+  framer_->scanner.feed(bytes);
+}
+
+void Session::feed_eof() noexcept { eof_ = true; }
+
+std::size_t Session::pump(std::size_t max_requests) {
+  SessionMetrics& sm = session_metrics();
+  std::size_t processed = 0;
   std::string line;
-  std::size_t answered = 0;
-  for (;;) {
-    const SessionIo::Read st = io.read_line(line);
-    if (st == SessionIo::Read::kEof) break;
-    if (st == SessionIo::Read::kOverlong) {
+  while (!done_ && processed < max_requests) {
+    net::LineScanner::Next st = framer_->scanner.next(line);
+    if (st == net::LineScanner::Next::kNeedMore) {
+      if (!eof_) break;
+      // EOF with nothing complete buffered: serve a final unterminated
+      // frame like std::getline, then the session is over.
+      st = framer_->scanner.finish(line);
+      if (st == net::LineScanner::Next::kNeedMore) {
+        flush_batch();
+        done_ = true;
+        break;
+      }
+    }
+    ++processed;
+    if (st == net::LineScanner::Next::kOverlong) {
+      flush_batch();
       sm.err_overlong->add();
-      if (!write_line(format_error(line))) break;
+      emit(format_error(line));
       continue;
     }
     sm.bytes_in->add(line.size() + 1);
     ParsedRequest req = parse_request(line);
     if (req.ignored) continue;
-    if (req.quit) {
-      (void)write_line("bye");
-      break;
-    }
-    if (req.help) {
-      if (!write_line(help_reply())) break;
+    if (req.query) {
+      // Consecutive plain queries batch up and execute together through
+      // SessionHost::run_batch when the turn ends (or a control frame /
+      // the fairness bound cuts the batch).
+      batch_.push_back({std::move(*req.query), req.report_time, std::move(line)});
+      line.clear();
       continue;
     }
-    if (req.metrics) {
-      // Not counted in `answered`: the Server's queries_answered counter
-      // and the session histograms track engine queries, not scrapes.
-      if (!write_line("ok\tmetrics\t" + obs::Registry::global().tab_text())) {
+    flush_batch();
+    dispatch_control(req);
+  }
+  flush_batch();
+  return processed;
+}
+
+std::size_t serve_session(SessionHost& host, SessionIo& io,
+                          const ServeOptions& opts) {
+  // The blocking driver over the Session state machine: the SessionIo owns
+  // framing (lines in) and flushing (one write per reply line out), the
+  // session owns everything else. Byte-for-byte the replies, metrics, and
+  // error behavior of the pre-reactor loop this grew out of.
+  Session session(host, opts);
+  std::string line;
+  bool io_ok = true;
+  while (io_ok && !session.done()) {
+    const SessionIo::Read st = io.read_line(line);
+    if (st == SessionIo::Read::kEof) break;
+    if (st == SessionIo::Read::kOverlong) {
+      session.process_overlong(line);
+    } else {
+      session.process_line(line);
+    }
+    // Hand each buffered reply line to the transport (it re-adds framing).
+    std::string& out = session.output();
+    std::size_t start = 0;
+    while (start < out.size()) {
+      const std::size_t nl = out.find('\n', start);
+      if (!io.write_line(std::string_view(out).substr(start, nl - start))) {
+        // Peer gone: end quietly, like any other session ending.
+        io_ok = false;
         break;
       }
-      continue;
+      start = nl + 1;
     }
-    if (req.live) {
-      // Live verbs reply through the host (a static host throws the
-      // not-enabled error). Not counted in `answered`: like `metrics`,
-      // they are not engine queries.
-      try {
-        if (!write_line(host.live(*req.live))) break;
-      } catch (const std::invalid_argument& e) {
-        sm.err_bad_argument->add();
-        if (!write_line(format_error(e.what()))) break;
-      } catch (const std::exception& e) {
-        sm.err_engine->add();
-        if (!write_line(format_error(e.what()))) break;
-      }
-      continue;
-    }
-    if (!req.query) {
-      sm.err_parse->add();
-      if (!write_line(format_error(req.error))) break;
-      continue;
-    }
-    try {
-      util::Timer query_timer;
-      const QueryResult r = host.run(*req.query);
-      const double elapsed = query_timer.seconds();
-      std::string reply = format_reply(r);
-      if (req.report_time) {
-        // r.elapsed_seconds (execution excluding lazy builds) is the
-        // number the reply documents; the slow-query check below uses the
-        // full wall time, which is what the session actually waited.
-        reply += "\telapsed_us=";
-        reply += std::to_string(
-            static_cast<long long>(std::llround(r.elapsed_seconds * 1e6)));
-      }
-      if (opts.slow_query_seconds > 0 && elapsed >= opts.slow_query_seconds) {
-        log_slow_query(line, r, elapsed);
-      }
-      if (!write_line(reply)) break;
-      ++answered;
-    } catch (const std::invalid_argument& e) {
-      // Client bugs: parseable requests with bad arguments (out-of-range
-      // vertices, kclique k < 3, ...). Answer and keep serving.
-      sm.err_bad_argument->add();
-      if (!write_line(format_error(e.what()))) break;
-    } catch (const std::exception& e) {
-      // Engine-side failures: routing (no such substrate/orientation in
-      // the snapshot) or internal errors. Answer and keep serving.
-      sm.err_engine->add();
-      if (!write_line(format_error(e.what()))) break;
-    }
+    out.clear();
   }
-  sm.sessions->add();
-  sm.queries_per_session->observe(static_cast<double>(answered));
-  sm.session_seconds->observe(session_timer.seconds());
-  return answered;
+  return session.answered();
 }
 
 namespace {
@@ -539,6 +674,10 @@ class EngineSessionHost final : public SessionHost {
 
   QueryResult run(const Query& q) override { return engine_.run(q); }
 
+  std::vector<BatchItem> run_batch(std::span<const Query> queries) override {
+    return engine_.run_batch(queries);
+  }
+
   std::string live(const LiveRequest&) override {
     throw std::runtime_error(
         "live updates are not enabled on this server (serve with --live)");
@@ -549,6 +688,10 @@ class EngineSessionHost final : public SessionHost {
 };
 
 }  // namespace
+
+std::unique_ptr<SessionHost> make_session_host(Engine& engine) {
+  return std::make_unique<EngineSessionHost>(engine);
+}
 
 std::size_t serve_session(Engine& engine, SessionIo& io,
                           const ServeOptions& opts) {

@@ -78,7 +78,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -86,6 +88,7 @@
 #include "engine/engine.hpp"
 #include "engine/query.hpp"
 #include "graph/builder.hpp"
+#include "util/timer.hpp"
 
 namespace probgraph::engine {
 
@@ -177,10 +180,117 @@ class SessionHost {
   /// Execute one query (Engine::run semantics, including its throws).
   [[nodiscard]] virtual QueryResult run(const Query& q) = 0;
 
+  /// Execute a pipelined batch in request order, capturing each query's
+  /// outcome — the result or the error run() would have thrown — so one
+  /// bad query never eats the replies behind it. The base implementation
+  /// loops run(); engine-backed hosts forward to Engine::run_batch (which
+  /// hoists the substrate route of consecutive same-route pair/lp
+  /// queries), and the live host pins ONE generation for the whole batch.
+  /// Replies MUST be bit-identical to per-query run().
+  [[nodiscard]] virtual std::vector<BatchItem> run_batch(std::span<const Query> queries);
+
   /// Answer one live request with a complete reply line ("ok\t...").
   /// Hosts that do not accept live updates throw std::runtime_error (the
   /// session answers with the err line and keeps serving).
   [[nodiscard]] virtual std::string live(const LiveRequest& req) = 0;
+};
+
+/// A session host over a static Engine: queries run directly, update/epoch
+/// verbs answer an err line naming --live. Transports create one host per
+/// session through this factory (and its LiveEngine counterpart in
+/// engine/generation.hpp), so adding a transport never grows a ctor
+/// matrix over engine flavors again.
+[[nodiscard]] std::unique_ptr<SessionHost> make_session_host(Engine& engine);
+
+/// The buffer-oriented session state machine — the core every transport
+/// drives. Raw transport bytes go in through feed(), complete reply bytes
+/// come out through output(); the session neither reads nor writes any
+/// I/O itself, so the SAME machine serves blocking loops (serve_session
+/// below wraps it around a SessionIo) and the epoll reactor (which feeds
+/// nonblocking reads and drains output() through writev).
+///
+/// Pipelining falls out of the split: feed() may deliver any number of
+/// newline-framed requests in one call (or a fraction of one), and pump()
+/// answers every complete buffered request — consecutive plain queries are
+/// executed through SessionHost::run_batch as ONE batch — appending all
+/// replies to output() in request order. A transport that drains output()
+/// once per pump() therefore answers N pipelined requests with one
+/// gathered write. `max_requests` bounds one pump() call (reactor
+/// fairness: a pipelining hog yields the worker between turns).
+///
+/// Framing, error behavior (err line + keep serving), per-session obs
+/// metrics, and reply bytes are identical across transports and identical
+/// to the blocking loop this class was extracted from. Not thread-safe:
+/// one session is driven by one thread at a time (the reactor's run-queue
+/// handoff guarantees this).
+class Session {
+ public:
+  /// The host must outlive the session. Destruction records the
+  /// per-session metrics (sessions/queries/lifetime) exactly once.
+  /// `max_line_bytes` bounds request lines for byte-fed transports; 0 =
+  /// unbounded (the line-fed drivers below bound their own framing).
+  explicit Session(SessionHost& host, ServeOptions opts = {},
+                   std::size_t max_line_bytes = 0);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- Byte-oriented interface (event-driven transports). ---
+
+  /// Buffer raw transport bytes (any framing fragmentation).
+  void feed(std::string_view bytes);
+  /// The peer sent EOF: after the buffered requests are pumped, a final
+  /// unterminated frame is served like std::getline, then done() holds.
+  void feed_eof() noexcept;
+  /// Answer up to `max_requests` complete buffered requests, appending
+  /// replies to output(). Returns the number of frames consumed (answered
+  /// queries, err replies, and ignored comment/blank lines alike — the
+  /// bound is a bound on work per scheduling turn). Stops early at quit.
+  std::size_t pump(std::size_t max_requests = static_cast<std::size_t>(-1));
+  /// True once the session is over (quit answered, or EOF fully drained):
+  /// no further input will be consumed. The transport closes after also
+  /// draining output().
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Pending reply bytes, every reply newline-terminated, in request
+  /// order. The transport owns draining: write what it can and erase the
+  /// written prefix (or move the whole string out and clear).
+  [[nodiscard]] std::string& output() noexcept { return out_; }
+  /// Successfully answered queries so far (err replies, metrics scrapes,
+  /// and live verbs not counted) — the transport's queries_answered.
+  [[nodiscard]] std::size_t answered() const noexcept { return answered_; }
+
+  // --- Line-oriented interface (transports that frame themselves: the
+  // --- SessionIo drivers below). Each call answers immediately into
+  // --- output().
+
+  /// Process one complete request line (no newline).
+  void process_line(std::string_view line);
+  /// A frame exceeded the transport's limit and was discarded; answer the
+  /// err line (`error_text` is the transport's message).
+  void process_overlong(std::string_view error_text);
+
+ private:
+  struct PendingQuery {
+    Query query;
+    bool report_time = false;
+    std::string line;  // original request text (slow-query log)
+  };
+  class Framer;  // LineScanner behind a pointer (net/ stays out of this header)
+
+  void dispatch_control(const ParsedRequest& req);
+  void flush_batch();
+  void emit(std::string_view reply);
+
+  SessionHost& host_;
+  ServeOptions opts_;
+  std::unique_ptr<Framer> framer_;
+  std::vector<PendingQuery> batch_;
+  std::string out_;
+  std::size_t answered_ = 0;
+  bool eof_ = false;
+  bool done_ = false;
+  util::Timer lifetime_;  // connect-to-close, recorded at destruction
 };
 
 /// Run a serve session over any transport: read request lines until EOF or

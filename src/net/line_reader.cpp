@@ -1,75 +1,29 @@
 #include "net/line_reader.hpp"
 
-#include <cstring>
-
 namespace probgraph::net {
 
 namespace {
 constexpr std::size_t kReadChunk = 16 * 1024;
 }
 
-bool LineReader::fill() {
-  if (pos_ > 0) {
-    // Compact once per refill: every received byte moves at most once.
-    buf_.erase(0, pos_);
-    scanned_ -= pos_;
-    pos_ = 0;
-  }
-  char tmp[kReadChunk];
-  const long got = sock_.read_some(tmp, sizeof tmp);
-  if (got <= 0) return false;
-  buf_.append(tmp, static_cast<std::size_t>(got));
-  return true;
-}
-
 LineReader::Status LineReader::next(std::string& line) {
   for (;;) {
-    const std::size_t nl = buf_.find('\n', scanned_);
-    if (nl != std::string::npos) {
-      const std::size_t len = nl - pos_;
-      line.assign(buf_, pos_, len);
-      pos_ = nl + 1;
-      scanned_ = pos_;
-      if (len > max_line_) {
-        line = "request line exceeds the " + std::to_string(max_line_) +
-               "-byte limit; ignored";
-        return Status::kOverlong;
-      }
-      return Status::kLine;
+    switch (scanner_.next(line)) {
+      case LineScanner::Next::kLine: return Status::kLine;
+      case LineScanner::Next::kOverlong: return Status::kOverlong;
+      case LineScanner::Next::kNeedMore: break;
     }
-    scanned_ = buf_.size();
-
-    if (buf_.size() - pos_ > max_line_) {
-      // The frame is already too long and its newline has not arrived:
-      // stop accumulating and skip the stream to the next boundary.
-      buf_.clear();
-      pos_ = 0;
-      scanned_ = 0;
-      for (;;) {
-        char tmp[kReadChunk];
-        const long got = sock_.read_some(tmp, sizeof tmp);
-        if (got <= 0) break;  // report the overlong frame; next() then sees EOF
-        const auto* found =
-            static_cast<const char*>(std::memchr(tmp, '\n', static_cast<std::size_t>(got)));
-        if (found != nullptr) {
-          buf_.assign(found + 1, tmp + got - (found + 1));
-          break;
-        }
-      }
-      line = "request line exceeds the " + std::to_string(max_line_) +
-             "-byte limit; ignored";
-      return Status::kOverlong;
+    if (eof_) return Status::kEof;
+    char tmp[kReadChunk];
+    const long got = sock_.read_some(tmp, sizeof tmp);
+    if (got <= 0) {
+      eof_ = true;
+      // Orderly close mid-frame: hand out the unterminated tail (or
+      // swallow a discarded overlong tail) before reporting EOF.
+      return scanner_.finish(line) == LineScanner::Next::kLine ? Status::kLine
+                                                               : Status::kEof;
     }
-
-    if (!fill()) {
-      if (pos_ >= buf_.size()) return Status::kEof;
-      // Final unterminated frame: deliver it, like std::getline.
-      line.assign(buf_, pos_, std::string::npos);
-      buf_.clear();
-      pos_ = 0;
-      scanned_ = 0;
-      return Status::kLine;
-    }
+    scanner_.feed(tmp, static_cast<std::size_t>(got));
   }
 }
 

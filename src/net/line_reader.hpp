@@ -1,20 +1,19 @@
-// Buffered line framing over a Socket, with a bounded line length.
+// Buffered line framing over a blocking Socket, with a bounded length.
 //
-// The serve protocol is newline-framed, and a TCP stream delivers frames
-// in arbitrary pieces: a request may arrive split across reads ("sta" then
-// "ts\n") or many-per-read ("tc\nstats\nquit\n"). LineReader reassembles
-// exactly one request per next() call.
-//
-// The length bound is the transport's only defense against a client that
-// streams bytes without ever sending a newline: instead of growing the
-// buffer without limit, the reader discards the frame up to the next
-// boundary and reports kOverlong ONCE — the session answers with an err
-// line and keeps serving, identical to any other malformed frame.
+// LineReader is the blocking-transport wrapper over LineScanner
+// (line_scanner.hpp): next() pulls socket bytes into the scanner until a
+// complete frame (or an overlong report) comes out. All framing state —
+// including the overlong-frame resync — lives in the scanner, so it
+// survives partial reads: a peer that trickles an overlong frame one byte
+// per segment still gets exactly ONE err reply and a clean resync at the
+// next newline. The event-driven transport (net/reactor.cpp) skips this
+// wrapper and feeds its nonblocking reads into a LineScanner directly.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
+#include "net/line_scanner.hpp"
 #include "net/socket.hpp"
 
 namespace probgraph::net {
@@ -30,9 +29,11 @@ class LineReader {
 
   /// Reads from `sock` (not owned; must outlive the reader).
   LineReader(Socket& sock, std::size_t max_line_bytes)
-      : sock_(sock), max_line_(max_line_bytes) {}
+      : sock_(sock), scanner_(max_line_bytes) {}
 
-  [[nodiscard]] std::size_t max_line_bytes() const noexcept { return max_line_; }
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept {
+    return scanner_.max_line_bytes();
+  }
 
   /// Pull the next frame. A trailing '\r' is left in place — the protocol
   /// tokenizer treats it as whitespace, so CRLF clients (telnet, netcat on
@@ -41,17 +42,9 @@ class LineReader {
   [[nodiscard]] Status next(std::string& line);
 
  private:
-  /// Refill buf_ from the socket. False on EOF/error.
-  bool fill();
-
   Socket& sock_;
-  std::size_t max_line_ = 0;
-  // Consumed bytes stay in buf_ until the next refill compacts them away
-  // (one amortized move per received byte, instead of an O(remaining)
-  // front-erase per delivered line).
-  std::string buf_;          // receive buffer; [pos_, size) is unconsumed
-  std::size_t pos_ = 0;      // start of the unconsumed region
-  std::size_t scanned_ = 0;  // buf_ prefix known to contain no newline (>= pos_)
+  LineScanner scanner_;
+  bool eof_ = false;
 };
 
 }  // namespace probgraph::net

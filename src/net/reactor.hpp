@@ -1,0 +1,108 @@
+// Event-driven transport: an epoll reactor multiplexing every session over
+// a small fixed worker pool.
+//
+// Where net/server.hpp spends one blocking thread per connection, the
+// reactor spends one file descriptor: every accepted socket is nonblocking
+// and registered EPOLLONESHOT in one epoll set. The run() thread is the
+// dispatcher — it accepts, and turns readiness events into entries on a
+// run queue of ready sessions; a fixed pool of workers drains the queue,
+// giving each session one bounded SCHEDULING TURN at a time:
+//
+//   turn = read everything available (to EAGAIN)
+//        → Session::pump(max_requests_per_turn)   // the fairness bound
+//        → flush the output queue with one gathered write (sendmsg/iovec)
+//
+// Pipelining falls out of the Session state machine (engine/protocol.hpp):
+// N newline-framed requests arriving in one segment are answered as N
+// replies in ONE gathered write. A session with more buffered requests
+// than the per-turn bound re-queues at the TAIL of the run queue — a
+// pipelining hog shares the workers instead of starving other sessions. A
+// session whose peer stops reading parks on EPOLLOUT (input paused) until
+// the kernel drains its output queue.
+//
+// Concurrency protocol (one mutex, three states): a connection is kIdle
+// (armed in epoll, ONESHOT — at most one event outstanding), kQueued (on
+// the run queue), or kRunning (owned by exactly one worker). Events only
+// arrive for kIdle connections; a worker re-arms by setting kIdle BEFORE
+// the epoll_ctl MOD, so a readiness edge can never be lost. One session is
+// therefore always driven by at most one thread — exactly the Session
+// contract — while different sessions run on different workers against
+// the ONE shared engine (engine.hpp "Thread safety").
+//
+// Capacity, reject text, shutdown semantics, counters, and reply bytes
+// are identical to the threads transport (net/transport.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace probgraph::net {
+
+class EpollServer final : public Transport {
+ public:
+  /// Binds, listens, and creates the epoll set immediately (throws
+  /// std::runtime_error on failure); connections queue in the backlog
+  /// until run() starts accepting. Exactly one of opts.engine / opts.live
+  /// must be non-null.
+  explicit EpollServer(const ServeOptions& opts);
+
+  /// The owner must ensure run() has returned before destroying.
+  ~EpollServer() override;
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept override {
+    return listener_.port();
+  }
+
+  /// Dispatch until request_stop(): spawns the worker pool, accepts, and
+  /// routes readiness events. Joins every worker and destroys every live
+  /// session before returning.
+  void run() override;
+
+  /// Stop from any thread or a signal handler: sets the stop flag and
+  /// wakes the dispatcher through the self-pipe.
+  void request_stop() noexcept override;
+
+  [[nodiscard]] Counters counters() const noexcept override {
+    return {accepted_.load(), rejected_.load(), queries_answered_.load()};
+  }
+
+ private:
+  struct Conn;
+  enum class Turn : std::uint8_t { kClose, kRequeue, kArm };
+
+  void accept_ready();
+  void enqueue_event(Conn* conn);
+  void worker_main();
+  Turn run_turn(Conn& conn);
+  [[nodiscard]] bool rearm(Conn& conn) noexcept;
+  void close_conn(Conn* conn);
+
+  ServeOptions opts_;
+  TcpListener listener_;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int workers_ = 2;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mu_;  // run queue + conn states + conns_ membership
+  std::condition_variable cv_;
+  std::deque<Conn*> ready_;
+  std::unordered_set<Conn*> conns_;
+  bool stopping_ = false;  // guarded by mu_; workers exit when set
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> queries_answered_{0};
+};
+
+}  // namespace probgraph::net

@@ -52,20 +52,12 @@ void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
 }  // namespace
 
-Server::Server(engine::Engine& engine, ServerOptions opts)
-    : engine_(&engine), opts_(opts), listener_(opts.port, opts.backlog) {
-  if (opts_.max_conns < 1) {
-    throw std::runtime_error("Server: max_conns must be at least 1");
+Server::Server(const ServeOptions& opts)
+    : opts_(opts), listener_(opts.port, opts.backlog) {
+  if ((opts_.engine != nullptr) == (opts_.live != nullptr)) {
+    throw std::runtime_error(
+        "Server: exactly one of ServeOptions::engine / ::live must be set");
   }
-  if (::pipe(wake_pipe_) != 0) {
-    throw std::runtime_error("Server: cannot create wake pipe");
-  }
-  set_cloexec(wake_pipe_[0]);
-  set_cloexec(wake_pipe_[1]);
-}
-
-Server::Server(engine::LiveEngine& live, ServerOptions opts)
-    : live_(&live), opts_(opts), listener_(opts.port, opts.backlog) {
   if (opts_.max_conns < 1) {
     throw std::runtime_error("Server: max_conns must be at least 1");
   }
@@ -93,9 +85,9 @@ void Server::request_stop() noexcept {
 void Server::handle(Conn* conn) {
   SocketSessionIo io(conn->sock, opts_.max_line_bytes);
   try {
-    queries_answered_ += live_ != nullptr
-                             ? engine::serve_session(*live_, io, opts_.session)
-                             : engine::serve_session(*engine_, io, opts_.session);
+    auto host = opts_.live != nullptr ? engine::make_session_host(*opts_.live)
+                                      : engine::make_session_host(*opts_.engine);
+    queries_answered_ += engine::serve_session(*host, io, opts_.session);
   } catch (...) {
     // serve_session answers engine errors in-band; anything escaping here
     // (e.g. bad_alloc) ends this session only, never the server.

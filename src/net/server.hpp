@@ -1,14 +1,15 @@
-// The concurrent serving layer: many TCP sessions, ONE shared mapping.
+// Thread-per-connection transport: many TCP sessions, ONE shared mapping.
 //
-// A Server wraps one engine::Engine — typically snapshot-backed, so the
-// whole working set is a single read-only mmap — and answers the
-// src/engine/ line protocol to any number of concurrent clients:
+// A Server wraps one engine (static Engine or LiveEngine, fixed by the
+// ServeOptions) — typically snapshot-backed, so the whole working set is a
+// single read-only mmap — and answers the src/engine/ line protocol to any
+// number of concurrent clients:
 //
 //   * thread-per-connection: each accepted socket gets a std::thread
 //     running the SAME serve_session loop as the stdin REPL, over a
 //     bounded LineReader (overlong/malformed frames answer an err line and
 //     the session continues — never a crash or a silent drop);
-//   * one Engine, shared: queries hoist their backend dispatch per call
+//   * one engine, shared: queries hoist their backend dispatch per call
 //     and read the mapping concurrently; the Engine's lazily-built caches
 //     are guarded internally (see engine.hpp "Thread safety"), so sessions
 //     need no per-connection state at all;
@@ -21,9 +22,8 @@
 //     return EOF and the session loops wind down), joins all threads, and
 //     run() returns with the counters intact.
 //
-// The Server does not own the Engine: tests and pgtool construct the
-// engine once (mapping the snapshot once) and may keep using it after the
-// server stops.
+// The event-driven sibling is net/reactor.hpp; both implement
+// net::Transport and answer byte-identical replies (net/transport.hpp).
 #pragma once
 
 #include <atomic>
@@ -33,58 +33,38 @@
 #include <mutex>
 #include <thread>
 
-#include "engine/engine.hpp"
-#include "engine/protocol.hpp"
 #include "net/socket.hpp"
-
-namespace probgraph::engine {
-class LiveEngine;  // engine/generation.hpp
-}
+#include "net/transport.hpp"
 
 namespace probgraph::net {
 
-struct ServerOptions {
-  std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() has the bound one
-  int max_conns = 16;      ///< live sessions beyond this answer an err line
-  std::size_t max_line_bytes = 64 * 1024;  ///< per-session request-line bound
-  int backlog = 64;
-  engine::ServeOptions session;  ///< per-session knobs (slow-query log, ...)
-};
-
-class Server {
+class Server final : public Transport {
  public:
   /// Binds and listens immediately (throws std::runtime_error on failure);
   /// connections queue in the backlog until run() starts accepting.
-  Server(engine::Engine& engine, ServerOptions opts = {});
-
-  /// Live-serving flavor: every session runs against the LiveEngine —
-  /// queries pin the current generation lock-free, update/epoch verbs are
-  /// accepted (engine/generation.hpp). Same lifecycle as above.
-  Server(engine::LiveEngine& live, ServerOptions opts = {});
+  /// Exactly one of opts.engine / opts.live must be non-null.
+  explicit Server(const ServeOptions& opts);
 
   /// The owner must ensure run() has returned before destroying.
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+  [[nodiscard]] std::uint16_t port() const noexcept override {
+    return listener_.port();
+  }
 
   /// Accept-and-serve until request_stop(). Joins every session thread
   /// before returning.
-  void run();
+  void run() override;
 
   /// Stop the server from any thread or a signal handler: sets the stop
   /// flag and wakes the accept loop through the self-pipe.
-  void request_stop() noexcept;
+  void request_stop() noexcept override;
 
-  struct Counters {
-    std::uint64_t accepted = 0;          ///< sessions served (threads spawned)
-    std::uint64_t rejected = 0;          ///< connections refused at capacity
-    std::uint64_t queries_answered = 0;  ///< successful replies, all sessions
-  };
   /// Exact after run() returns; a live snapshot while serving.
-  [[nodiscard]] Counters counters() const noexcept {
+  [[nodiscard]] Counters counters() const noexcept override {
     return {accepted_.load(), rejected_.load(), queries_answered_.load()};
   }
 
@@ -99,10 +79,7 @@ class Server {
   /// Join and free finished sessions; with `all`, every session (stop path).
   void reap(bool all);
 
-  // Exactly one is non-null, fixed at construction.
-  engine::Engine* engine_ = nullptr;
-  engine::LiveEngine* live_ = nullptr;
-  ServerOptions opts_;
+  ServeOptions opts_;
   TcpListener listener_;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_{false};

@@ -28,6 +28,17 @@ constexpr int kSendFlags = MSG_NOSIGNAL;
 constexpr int kSendFlags = 0;
 #endif
 
+// The serve protocol is write-write-read: a pipelined burst crossing the
+// fairness bound answers in several sendmsg/write calls with no request
+// bytes flowing back in between, and Nagle holding the second small
+// segment until the peer's delayed ACK turns a microsecond turn into a
+// ~40ms stall. Sessions are interactive RPC — disable Nagle on both ends.
+// Best effort: a non-TCP fd (e.g. a test socketpair) just ignores it.
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
 }  // namespace
 
 Socket& Socket::operator=(Socket&& other) noexcept {
@@ -109,7 +120,10 @@ TcpListener::TcpListener(std::uint16_t port, int backlog) {
 Socket TcpListener::accept() noexcept {
   for (;;) {
     const int fd = ::accept(sock_.fd(), nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
     if (errno == EINTR || errno == ECONNABORTED) continue;
     return Socket{};
   }
@@ -135,6 +149,7 @@ Socket connect_to(const std::string& host, std::uint16_t port) {
     }
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       ::freeaddrinfo(res);
+      set_nodelay(fd);
       return Socket(fd);
     }
     last_errno = errno;

@@ -1,0 +1,33 @@
+#include "net/transport.hpp"
+
+#include <stdexcept>
+
+#include "net/reactor.hpp"
+#include "net/server.hpp"
+
+namespace probgraph::net {
+
+std::optional<TransportKind> parse_transport_kind(std::string_view name) {
+  if (name == "threads") return TransportKind::kThreads;
+  if (name == "epoll") return TransportKind::kEpoll;
+  return std::nullopt;
+}
+
+const char* transport_kind_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kThreads: return "threads";
+    case TransportKind::kEpoll: return "epoll";
+  }
+  return "?";
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const ServeOptions& opts) {
+  switch (kind) {
+    case TransportKind::kThreads: return std::make_unique<Server>(opts);
+    case TransportKind::kEpoll: return std::make_unique<EpollServer>(opts);
+  }
+  throw std::runtime_error("make_transport: unknown transport kind");
+}
+
+}  // namespace probgraph::net

@@ -683,5 +683,59 @@ TEST(Protocol, FormatReplyShapes) {
   EXPECT_EQ(engine::format_error("multi\nline\tmessage"), "err\tmulti line message");
 }
 
+TEST(EngineBatch, RunBatchIsBitIdenticalToPerQueryRun) {
+  // The pipelined-batch contract: run_batch may hoist the substrate route
+  // of consecutive same-route pair/lp queries, but every captured outcome
+  // — result bytes, error text, error kind — must equal what a per-query
+  // run() sequence produces. The mix below exercises every grouping edge:
+  // a same-route run (pair, pair, lp), an invalid query inside it, a
+  // run-breaking scalar query, an explicit kind= run, and an exact query
+  // (never grouped).
+  engine::Engine e = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
+  const char* lines[] = {
+      "pair intersection 0 1",
+      "pair jaccard 2 3",
+      "lp 5 common",
+      "pair intersection 0 999",
+      "tc",
+      "pair intersection 4 5 kind=kmv",
+      "pair jaccard 6 7 kind=kmv",
+      "pair jaccard 0 1 exact",
+      "stats",
+      "pair total 8 9",
+  };
+  std::vector<engine::Query> queries;
+  for (const char* line : lines) {
+    const auto parsed = engine::parse_request(line);
+    ASSERT_TRUE(parsed.query.has_value()) << line << ": " << parsed.error;
+    queries.push_back(*parsed.query);
+  }
+
+  const std::vector<engine::BatchItem> batch = e.run_batch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    try {
+      const engine::QueryResult direct = e.run(queries[i]);
+      ASSERT_TRUE(batch[i].result.has_value())
+          << lines[i] << " failed in the batch: " << batch[i].error;
+      EXPECT_EQ(engine::format_reply(*batch[i].result),
+                engine::format_reply(direct))
+          << lines[i];
+      EXPECT_TRUE(batch[i].error.empty()) << lines[i];
+      EXPECT_FALSE(batch[i].invalid_argument) << lines[i];
+    } catch (const std::invalid_argument& ex) {
+      EXPECT_FALSE(batch[i].result.has_value()) << lines[i];
+      EXPECT_TRUE(batch[i].invalid_argument) << lines[i];
+      EXPECT_EQ(batch[i].error, ex.what()) << lines[i];
+    } catch (const std::exception& ex) {
+      EXPECT_FALSE(batch[i].result.has_value()) << lines[i];
+      EXPECT_FALSE(batch[i].invalid_argument) << lines[i];
+      EXPECT_EQ(batch[i].error, ex.what()) << lines[i];
+    }
+  }
+
+  EXPECT_TRUE(e.run_batch({}).empty());
+}
+
 }  // namespace
 }  // namespace probgraph

@@ -28,8 +28,8 @@
 #include "io/snapshot.hpp"
 #include "live/delta.hpp"
 #include "net/line_reader.hpp"
-#include "net/server.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "util/threading.hpp"
 
 namespace probgraph {
@@ -111,14 +111,17 @@ std::string cold_transcript(const std::vector<Edge>& edges, VertexId n,
 /// One live server over a fresh golden snapshot, run()ning on a background
 /// thread for the duration of a test.
 struct LiveServerFixture {
-  LiveServerFixture()
-      : snap_path(".pgs"),
-        live(build_snapshot(snap_path.str())),
-        server(live, {}),
-        thread([this] { server.run(); }) {}
+  explicit LiveServerFixture(
+      net::TransportKind kind = net::TransportKind::kThreads)
+      : snap_path(".pgs"), live(build_snapshot(snap_path.str())) {
+    net::ServeOptions opts;
+    opts.live = &live;
+    server = net::make_transport(kind, opts);
+    thread = std::thread([this] { server->run(); });
+  }
 
   ~LiveServerFixture() {
-    server.request_stop();
+    server->request_stop();
     if (thread.joinable()) thread.join();
   }
 
@@ -133,7 +136,7 @@ struct LiveServerFixture {
 
   TempPath snap_path;
   engine::LiveEngine live;
-  net::Server server;
+  std::unique_ptr<net::Transport> server;
   std::thread thread;
 };
 
@@ -163,7 +166,7 @@ std::string read_reply_line(net::LineReader& reader) {
 
 TEST(LiveServe, UpdateVerbsStageAndSealOverTheWire) {
   LiveServerFixture f;
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader reader(sock, 1 << 16);
 
   ASSERT_TRUE(sock.write_all("epoch\n"));
@@ -205,18 +208,63 @@ TEST(LiveServe, UpdateVerbsStageAndSealOverTheWire) {
   const std::string script =
       "tc\ntc kind=kmv\ntc kind=kh\ntc kind=1h\n4cc\ncc\ncc kind=kmv\n"
       "cluster jaccard 0.1\npair jaccard 0 9\nlp 5 common\nstats\nquit\n";
-  EXPECT_EQ(run_scripted_session(f.server.port(), script),
+  EXPECT_EQ(run_scripted_session(f.server->port(), script),
+            cold_transcript(edit_edges(golden_edges(), batch), 32, script));
+}
+
+TEST(LiveServe, UpdateVerbsStageAndSealOverTheEpollTransport) {
+  // The same stage → seal → query flow over the reactor, with the whole
+  // session PIPELINED into one segment: the epoll transport must accept
+  // the live verbs, order them against the queries, and answer the final
+  // multi-kind script byte-identical to the cold build — exactly like the
+  // thread-per-connection transport above.
+  LiveServerFixture f(net::TransportKind::kEpoll);
+
+  const std::string flow =
+      "epoch\nupdate insert 0 9 3 17\nupdate delete 0 1\nupdate seal\n"
+      "epoch\nquit\n";
+  const std::string transcript = run_scripted_session(f.server->port(), flow);
+  std::istringstream lines(transcript);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "ok\tepoch\tgeneration=1\tpending_inserts=0\tpending_deletes=0");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "ok\tupdate\tstaged=insert\tedges=2\tpending_inserts=2\t"
+            "pending_deletes=0");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "ok\tupdate\tstaged=delete\tedges=1\tpending_inserts=2\t"
+            "pending_deletes=1");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ok\tupdate\tsealed\tgeneration=2\tapplied_inserts=2\t"
+                       "applied_deletes=1",
+                       0),
+            0u)
+      << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "ok\tepoch\tgeneration=2\tpending_inserts=0\tpending_deletes=0");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "bye");
+
+  const live::DeltaBatch batch{{{0, 9}, {3, 17}}, {{0, 1}}};
+  const std::string script =
+      "tc\ntc kind=kmv\ntc kind=kh\ntc kind=1h\n4cc\ncc\ncc kind=kmv\n"
+      "cluster jaccard 0.1\npair jaccard 0 9\nlp 5 common\nstats\nquit\n";
+  EXPECT_EQ(run_scripted_session(f.server->port(), script),
             cold_transcript(edit_edges(golden_edges(), batch), 32, script));
 }
 
 TEST(LiveServe, StaticServerRejectsUpdateVerbs) {
   engine::Engine eng = engine::Engine::from_snapshot(data_path("golden.pgs"));
-  net::Server server(eng, {});
-  std::thread runner([&] { server.run(); });
+  net::ServeOptions opts;
+  opts.engine = &eng;
+  auto server = net::make_transport(net::TransportKind::kThreads, opts);
+  std::thread runner([&] { server->run(); });
 
-  const std::string transcript =
-      run_scripted_session(server.port(), "update insert 0 9\nepoch\nstats\nquit\n");
-  server.request_stop();
+  const std::string transcript = run_scripted_session(
+      server->port(), "update insert 0 9\nepoch\nstats\nquit\n");
+  server->request_stop();
   runner.join();
 
   std::istringstream lines(transcript);
@@ -277,7 +325,7 @@ TEST(LiveServe, ConcurrentSessionsAcrossResealsSeeOnlyWholeGenerations) {
     clients.emplace_back([&, i] {
       auto& mine = transcripts[static_cast<std::size_t>(i)];
       while (!stop.load()) {
-        mine.push_back(run_scripted_session(f.server.port(), probe));
+        mine.push_back(run_scripted_session(f.server->port(), probe));
       }
     });
   }
@@ -285,7 +333,7 @@ TEST(LiveServe, ConcurrentSessionsAcrossResealsSeeOnlyWholeGenerations) {
   // The writer: one session, three stage+seal rounds, each acknowledged
   // before the next so generations advance 1 → 2 → 3 → 4.
   {
-    net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+    net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
     net::LineReader reader(sock, 1 << 16);
     for (const live::DeltaBatch& b : batches) {
       std::string req = "update insert";
@@ -346,7 +394,7 @@ TEST(LiveServe, ConcurrentSessionsAcrossResealsSeeOnlyWholeGenerations) {
   EXPECT_EQ(f.live.generation(), 4u);
 
   // After the last seal the server must serve generation 4 exactly.
-  EXPECT_EQ(run_scripted_session(f.server.port(), probe),
+  EXPECT_EQ(run_scripted_session(f.server->port(), probe),
             expected.back()[0] + "\n" + expected.back()[1] + "\nbye\n");
 }
 
@@ -363,7 +411,7 @@ TEST(LiveServe, LongSessionPinsAcrossSwapsReplyByReply) {
     return transcript.substr(0, transcript.find('\n'));
   };
 
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader reader(sock, 1 << 16);
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(sock.write_all("tc\n"));

@@ -1,27 +1,36 @@
 // The concurrent TCP serving layer (src/net/) over a loopback socket.
 //
-// Everything here runs a real net::Server over the golden snapshot's
+// Everything here runs a real net::Transport over the golden snapshot's
 // Engine — one shared read-only mapping — and drives it through real
 // sockets, covering what the typed tests cannot:
 //
+//   * transport parity: every protocol-behavior test below is
+//     value-parameterized over BOTH transports (thread-per-connection and
+//     the epoll reactor) — same scripts, byte-identical transcripts;
 //   * concurrency: N scripted sessions at once, each transcript
 //     byte-identical to tests/data/serve_session.expected (this is also
 //     the workload the ThreadSanitizer CI job runs);
-//   * socket-edge protocol behavior: requests split across writes, CRLF
-//     framing, oversized lines (err + resync, not disconnect), abrupt
-//     client disconnects mid-session, --max-conns capacity rejection;
+//   * socket-edge protocol behavior: requests split across writes (down to
+//     one byte per segment), CRLF framing, oversized lines (err + resync,
+//     not disconnect), pipelined bursts coalesced into single segments,
+//     abrupt client disconnects mid-session — including with a half-
+//     flushed output buffer — and --max-conns capacity rejection;
+//   * reactor scheduling: the per-turn fairness bound (observable through
+//     the probgraph_reactor_turns_total counter) and a pipelining hog
+//     sharing a single worker with a victim session;
 //   * lifecycle: quit ends one session and not the server; request_stop()
 //     unblocks parked sessions and run() joins them all.
 //
 // Replies are bitwise deterministic only at one OpenMP thread (the
 // double-reduction kernels use dynamic scheduling), so like
 // tests/test_engine.cpp the suite pins util::set_threads(1).
-#include "net/server.hpp"
+#include "net/transport.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -58,21 +67,23 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-/// One server over one snapshot-backed Engine, run()ning on a background
-/// thread for the duration of a test.
+/// One transport over one snapshot-backed Engine, run()ning on a
+/// background thread for the duration of a test.
 struct ServerFixture {
-  explicit ServerFixture(net::ServerOptions opts = {})
-      : engine(engine::Engine::from_snapshot(data_path("golden.pgs"))),
-        server(engine, opts),
-        thread([this] { server.run(); }) {}
+  explicit ServerFixture(net::TransportKind kind, net::ServeOptions opts = {})
+      : engine(engine::Engine::from_snapshot(data_path("golden.pgs"))) {
+    opts.engine = &engine;
+    server = net::make_transport(kind, opts);
+    thread = std::thread([this] { server->run(); });
+  }
 
   ~ServerFixture() {
-    server.request_stop();
+    server->request_stop();
     if (thread.joinable()) thread.join();
   }
 
   engine::Engine engine;
-  net::Server server;
+  std::unique_ptr<net::Transport> server;
   std::thread thread;
 };
 
@@ -89,7 +100,9 @@ std::string drain(net::Socket& sock) {
 }
 
 /// Scripted client: connect, send the whole script, half-close, read the
-/// full transcript. Mirrors `pgtool client < script`.
+/// full transcript. Mirrors `pgtool client < script`. The single write is
+/// also the pipelining workload: every request of the script may land in
+/// one segment, and the transcript must still be every reply in order.
 std::string run_scripted_session(std::uint16_t port, const std::string& script) {
   net::Socket sock = net::connect_to("127.0.0.1", port);
   EXPECT_TRUE(sock.write_all(script));
@@ -104,24 +117,39 @@ std::string read_reply_line(net::LineReader& reader) {
   return line;
 }
 
-TEST(ServeNet, ScriptedSessionMatchesGoldenTranscript) {
-  ServerFixture f;
-  const std::string transcript =
-      run_scripted_session(f.server.port(), read_file(data_path("serve_session.txt")));
+std::uint64_t counter_value(const char* name, const obs::Labels& labels = {}) {
+  const obs::Counter* c = obs::Registry::global().find_counter(name, labels);
+  return c == nullptr ? 0 : c->value();
+}
+
+/// Every protocol-behavior test runs against BOTH transports.
+class ServeTransport : public ::testing::TestWithParam<net::TransportKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ServeTransport,
+    ::testing::Values(net::TransportKind::kThreads, net::TransportKind::kEpoll),
+    [](const ::testing::TestParamInfo<net::TransportKind>& info) {
+      return std::string(net::transport_kind_name(info.param));
+    });
+
+TEST_P(ServeTransport, ScriptedSessionMatchesGoldenTranscript) {
+  ServerFixture f(GetParam());
+  const std::string transcript = run_scripted_session(
+      f.server->port(), read_file(data_path("serve_session.txt")));
   EXPECT_EQ(transcript, read_file(data_path("serve_session.expected")));
-  f.server.request_stop();
+  f.server->request_stop();
   f.thread.join();
-  const auto c = f.server.counters();
+  const auto c = f.server->counters();
   EXPECT_EQ(c.accepted, 1u);
   EXPECT_EQ(c.rejected, 0u);
   // The fixture's 12 "ok" replies (help/bye/err lines are not queries).
   EXPECT_EQ(c.queries_answered, 12u);
 }
 
-TEST(ServeNet, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
+TEST_P(ServeTransport, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
   // The acceptance workload (and the TSan job's): 4 sessions against ONE
   // shared Engine/mapping, every transcript byte-for-byte the golden one.
-  ServerFixture f;
+  ServerFixture f(GetParam());
   const std::string script = read_file(data_path("serve_session.txt"));
   const std::string expected = read_file(data_path("serve_session.expected"));
 
@@ -133,7 +161,7 @@ TEST(ServeNet, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
     for (int i = 0; i < kClients; ++i) {
       clients.emplace_back([&, i] {
         transcripts[static_cast<std::size_t>(i)] =
-            run_scripted_session(f.server.port(), script);
+            run_scripted_session(f.server->port(), script);
       });
     }
     for (auto& t : clients) t.join();
@@ -144,7 +172,7 @@ TEST(ServeNet, FourConcurrentSessionsOverOneMappingAreByteIdentical) {
   }
 }
 
-TEST(ServeNet, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
+TEST_P(ServeTransport, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
   // The multi-substrate acceptance workload: ONE server over the v2
   // golden snapshot (BF/sym + BF/dag + KMV/sym + KMV/dag), half the
   // clients driving DAG-substrate counting scripts and half driving
@@ -152,8 +180,10 @@ TEST(ServeNet, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
   // the same lock-free mapping, every transcript byte-identical to the
   // checked-in expectation for its script.
   engine::Engine eng = engine::Engine::from_snapshot(data_path("golden_v2.pgs"));
-  net::Server server(eng, {});
-  std::thread runner([&] { server.run(); });
+  net::ServeOptions opts;
+  opts.engine = &eng;
+  auto server = net::make_transport(GetParam(), opts);
+  std::thread runner([&] { server->run(); });
 
   const std::string scripts[2] = {read_file(data_path("serve_multi_tc.txt")),
                                   read_file(data_path("serve_multi_pair.txt"))};
@@ -168,12 +198,12 @@ TEST(ServeNet, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
     for (int i = 0; i < kClients; ++i) {
       clients.emplace_back([&, i] {
         transcripts[static_cast<std::size_t>(i)] =
-            run_scripted_session(server.port(), scripts[i % 2]);
+            run_scripted_session(server->port(), scripts[i % 2]);
       });
     }
     for (auto& t : clients) t.join();
   }
-  server.request_stop();
+  server->request_stop();
   runner.join();
 
   for (int i = 0; i < kClients; ++i) {
@@ -182,14 +212,16 @@ TEST(ServeNet, ConcurrentSessionsHitDifferentSubstratesOfOneMapping) {
   }
 }
 
-TEST(ServeNet, LazyCacheBuildIsRaceFreeAcrossSessions) {
+TEST_P(ServeTransport, LazyCacheBuildIsRaceFreeAcrossSessions) {
   // An IN-MEMORY engine shared by concurrent sessions: the first tc/4cc
   // queries race to build the DAG + oriented sketches, cc races to build
   // the symmetric sketches — exactly the paths Engine's cache mutex
   // guards (a snapshot engine never builds, so it cannot cover them).
   engine::Engine eng(io::read_edge_list(data_path("golden.el")));
-  net::Server server(eng, {});
-  std::thread runner([&] { server.run(); });
+  net::ServeOptions opts;
+  opts.engine = &eng;
+  auto server = net::make_transport(GetParam(), opts);
+  std::thread runner([&] { server->run(); });
 
   const std::string script = "tc\n4cc\ncc\nstats\nquit\n";
   constexpr int kClients = 4;
@@ -200,12 +232,12 @@ TEST(ServeNet, LazyCacheBuildIsRaceFreeAcrossSessions) {
     for (int i = 0; i < kClients; ++i) {
       clients.emplace_back([&, i] {
         transcripts[static_cast<std::size_t>(i)] =
-            run_scripted_session(server.port(), script);
+            run_scripted_session(server->port(), script);
       });
     }
     for (auto& t : clients) t.join();
   }
-  server.request_stop();
+  server->request_stop();
   runner.join();
 
   EXPECT_EQ(transcripts[0].rfind("ok\ttc\t", 0), 0u) << transcripts[0];
@@ -215,9 +247,9 @@ TEST(ServeNet, LazyCacheBuildIsRaceFreeAcrossSessions) {
   }
 }
 
-TEST(ServeNet, PartialWritesAndCrlfFramesParse) {
-  ServerFixture f;
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+TEST_P(ServeTransport, PartialWritesAndCrlfFramesParse) {
+  ServerFixture f(GetParam());
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader reader(sock, 1 << 16);
 
   // One request split across three writes...
@@ -236,11 +268,48 @@ TEST(ServeNet, PartialWritesAndCrlfFramesParse) {
   EXPECT_EQ(read_reply_line(reader), "bye");
 }
 
-TEST(ServeNet, OversizedLineAnswersErrAndSessionRecovers) {
-  net::ServerOptions opts;
+TEST_P(ServeTransport, OneByteSegmentsReassembleToTheGoldenTranscript) {
+  // The fragmentation torture: the whole golden script delivered one byte
+  // per write — every request is split mid-token many times over, and the
+  // nonblocking framer must carry state across arbitrarily small reads.
+  ServerFixture f(GetParam());
+  const std::string script = read_file(data_path("serve_session.txt"));
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
+  for (const char byte : script) {
+    ASSERT_TRUE(sock.write_all(&byte, 1));
+  }
+  sock.shutdown_write();
+  EXPECT_EQ(drain(sock), read_file(data_path("serve_session.expected")));
+}
+
+TEST_P(ServeTransport, PipelinedBurstAnswersEveryReplyInOrder) {
+  // 64 identical queries coalesced into one segment (one write, one likely
+  // recv) must come back as exactly 64 replies in order — the pipelined
+  // batch runs through SessionHost::run_batch and must be bit-identical
+  // to 64 ping-pong round trips.
+  ServerFixture f(GetParam());
+  const std::string one =
+      run_scripted_session(f.server->port(), "pair intersection 0 1\nquit\n");
+  const std::string reply = one.substr(0, one.find("bye\n"));
+  ASSERT_EQ(reply.rfind("ok\tpair\t", 0), 0u) << one;
+
+  constexpr int kDepth = 64;
+  std::string script;
+  std::string expected;
+  for (int i = 0; i < kDepth; ++i) {
+    script += "pair intersection 0 1\n";
+    expected += reply;
+  }
+  script += "quit\n";
+  expected += "bye\n";
+  EXPECT_EQ(run_scripted_session(f.server->port(), script), expected);
+}
+
+TEST_P(ServeTransport, OversizedLineAnswersErrAndSessionRecovers) {
+  net::ServeOptions opts;
   opts.max_line_bytes = 128;
-  ServerFixture f(opts);
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  ServerFixture f(GetParam(), opts);
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader reader(sock, 1 << 16);
 
   // A 4 KiB frame against a 128-byte bound: one err reply, then the
@@ -258,35 +327,90 @@ TEST(ServeNet, OversizedLineAnswersErrAndSessionRecovers) {
   EXPECT_EQ(read_reply_line(reader), "bye");
 }
 
-TEST(ServeNet, AbruptDisconnectMidSessionLeavesServerServing) {
-  ServerFixture f;
+TEST_P(ServeTransport, InterleavedOverlongFramesEachAnswerOnceAndResync) {
+  // Overlong frames interleaved with valid requests in ONE pipelined
+  // segment: each oversized frame answers exactly one err line and the
+  // frames behind it still answer — the resync state must survive the
+  // burst no matter how the transport fragments its reads.
+  net::ServeOptions opts;
+  opts.max_line_bytes = 128;
+  ServerFixture f(GetParam(), opts);
+
+  std::string script;
+  script += std::string(300, 'a') + "\n";
+  script += "stats\n";
+  script += std::string(4096, 'b') + "\n";
+  script += "pair intersection 0 1\n";
+  script += std::string(200, 'c') + "\n";
+  script += "quit\n";
+  const std::string transcript = run_scripted_session(f.server->port(), script);
+
+  std::istringstream lines(transcript);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("128-byte limit"), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ok\tstats\t", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("128-byte limit"), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ok\tpair\t0:1=", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("128-byte limit"), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "bye");
+  EXPECT_FALSE(std::getline(lines, line)) << "unexpected trailing reply: " << line;
+}
+
+TEST_P(ServeTransport, AbruptDisconnectMidSessionLeavesServerServing) {
+  ServerFixture f(GetParam());
   {
     // Fire a scan query and vanish without reading the reply: the server's
     // write hits a dead peer (EPIPE/RST) and must end that session only.
-    net::Socket rude = net::connect_to("127.0.0.1", f.server.port());
+    net::Socket rude = net::connect_to("127.0.0.1", f.server->port());
     ASSERT_TRUE(rude.write_all("tc\ntc\ntc\n"));
     rude.close();
   }
   // The server still answers a full scripted session afterwards.
-  const std::string transcript =
-      run_scripted_session(f.server.port(), read_file(data_path("serve_session.txt")));
+  const std::string transcript = run_scripted_session(
+      f.server->port(), read_file(data_path("serve_session.txt")));
   EXPECT_EQ(transcript, read_file(data_path("serve_session.expected")));
 }
 
-TEST(ServeNet, QuitEndsOneSessionNotTheServer) {
-  ServerFixture f;
-  EXPECT_EQ(run_scripted_session(f.server.port(), "quit\n"), "bye\n");
-  EXPECT_EQ(run_scripted_session(f.server.port(), "stats\nquit\n").substr(0, 9),
+TEST_P(ServeTransport, DisconnectWithHalfFlushedOutputBufferIsContained) {
+  // A deep pipeline whose replies overflow the kernel buffers (the client
+  // never reads), then an abrupt close: the transport is mid-flush with a
+  // backlogged output buffer when the peer dies. The failure must be
+  // contained to that session — and the server must keep serving.
+  ServerFixture f(GetParam());
+  {
+    net::Socket rude = net::connect_to("127.0.0.1", f.server->port());
+    std::string script;
+    for (int i = 0; i < 2000; ++i) script += "help\n";
+    ASSERT_TRUE(rude.write_all(script));
+    // Give the server a beat to start answering into the full pipe.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    rude.close();
+  }
+  const std::string transcript = run_scripted_session(
+      f.server->port(), read_file(data_path("serve_session.txt")));
+  EXPECT_EQ(transcript, read_file(data_path("serve_session.expected")));
+}
+
+TEST_P(ServeTransport, QuitEndsOneSessionNotTheServer) {
+  ServerFixture f(GetParam());
+  EXPECT_EQ(run_scripted_session(f.server->port(), "quit\n"), "bye\n");
+  EXPECT_EQ(run_scripted_session(f.server->port(), "stats\nquit\n").substr(0, 9),
             "ok\tstats\t");
 }
 
-TEST(ServeNet, MaxConnsRejectsWithErrLineThenRecovers) {
-  net::ServerOptions opts;
+TEST_P(ServeTransport, MaxConnsRejectsWithErrLineThenRecovers) {
+  net::ServeOptions opts;
   opts.max_conns = 1;
-  ServerFixture f(opts);
+  ServerFixture f(GetParam(), opts);
 
   // Occupy the single slot and prove the session is live.
-  net::Socket held = net::connect_to("127.0.0.1", f.server.port());
+  net::Socket held = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader held_reader(held, 1 << 16);
   ASSERT_TRUE(held.write_all("stats\n"));
   EXPECT_EQ(read_reply_line(held_reader).rfind("ok\tstats\t", 0), 0u);
@@ -294,13 +418,13 @@ TEST(ServeNet, MaxConnsRejectsWithErrLineThenRecovers) {
   // The second connection is answered with a capacity err line and closed
   // — distinguishable from both a refused connect and a protocol error.
   {
-    net::Socket second = net::connect_to("127.0.0.1", f.server.port());
+    net::Socket second = net::connect_to("127.0.0.1", f.server->port());
     const std::string reply = drain(second);
     EXPECT_EQ(reply.rfind("err\tserver at capacity", 0), 0u) << reply;
   }
 
-  // Free the slot; the server accepts again (the reaper runs on accept, so
-  // poll until the finished session has been collected).
+  // Free the slot; the server accepts again (session teardown is
+  // asynchronous on both transports, so poll until the slot is back).
   ASSERT_TRUE(held.write_all("quit\n"));
   EXPECT_EQ(read_reply_line(held_reader), "bye");
   held.close();
@@ -308,7 +432,7 @@ TEST(ServeNet, MaxConnsRejectsWithErrLineThenRecovers) {
   bool served = false;
   for (int attempt = 0; attempt < 100 && !served; ++attempt) {
     const std::string reply =
-        run_scripted_session(f.server.port(), "stats\nquit\n");
+        run_scripted_session(f.server->port(), "stats\nquit\n");
     if (reply.rfind("ok\tstats\t", 0) == 0) {
       served = true;
     } else {
@@ -316,37 +440,131 @@ TEST(ServeNet, MaxConnsRejectsWithErrLineThenRecovers) {
     }
   }
   EXPECT_TRUE(served) << "server never freed the capacity slot";
-  EXPECT_GE(f.server.counters().rejected, 1u);
+  EXPECT_GE(f.server->counters().rejected, 1u);
 }
 
-TEST(ServeNet, RequestStopUnblocksParkedSessions) {
+TEST_P(ServeTransport, RequestStopUnblocksParkedSessions) {
   auto engine = engine::Engine::from_snapshot(data_path("golden.pgs"));
-  net::Server server(engine, {});
-  std::thread runner([&] { server.run(); });
+  net::ServeOptions opts;
+  opts.engine = &engine;
+  auto server = net::make_transport(GetParam(), opts);
+  std::thread runner([&] { server->run(); });
 
-  // A connected client that never sends anything: its session thread is
-  // parked in read. request_stop() must half-close it (read returns EOF)
-  // and run() must join everything.
-  net::Socket idle = net::connect_to("127.0.0.1", server.port());
+  // A connected client that never sends anything more: its session is
+  // parked (a blocked read, or an armed-and-idle epoll entry).
+  // request_stop() must end it (the client sees EOF) and run() must
+  // join/drain everything.
+  net::Socket idle = net::connect_to("127.0.0.1", server->port());
   ASSERT_TRUE(idle.write_all("stats\n"));
   char buf[512];
   ASSERT_GT(idle.read_some(buf, sizeof buf), 0);  // session is live & parked
 
-  server.request_stop();
+  server->request_stop();
   runner.join();
   EXPECT_EQ(drain(idle), "");  // EOF, promptly
-  const auto c = server.counters();
+  const auto c = server->counters();
   EXPECT_EQ(c.accepted, 1u);
   EXPECT_EQ(c.queries_answered, 1u);
 }
 
+TEST_P(ServeTransport, MetricsVerbAndTimeClauseWorkOverSockets) {
+  ServerFixture f(GetParam());
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
+  net::LineReader reader(sock, 1 << 16);
+
+  // `metrics` answers the one-line tab snapshot in-band...
+  ASSERT_TRUE(sock.write_all("metrics\n"));
+  const std::string snap = read_reply_line(reader);
+  EXPECT_EQ(snap.rfind("ok\tmetrics\t", 0), 0u) << snap.substr(0, 64);
+  EXPECT_NE(snap.find("probgraph_sessions_total="), std::string::npos);
+
+  // ...and the opt-in time clause appends elapsed_us= to its own reply
+  // only: the same query without the clause is byte-stable.
+  ASSERT_TRUE(sock.write_all("stats time\nstats\nquit\n"));
+  const std::string timed = read_reply_line(reader);
+  EXPECT_NE(timed.find("\telapsed_us="), std::string::npos) << timed;
+  const std::string plain = read_reply_line(reader);
+  EXPECT_EQ(plain.find("elapsed_us="), std::string::npos) << plain;
+  EXPECT_EQ(timed.substr(0, timed.find("\telapsed_us=")), plain);
+  EXPECT_EQ(read_reply_line(reader), "bye");
+
+  // The metrics reply is not a query: counters still say 2 (stats×2 — the
+  // timed one counts; metrics and quit are bookkeeping).
+  f.server->request_stop();
+  f.thread.join();
+  EXPECT_EQ(f.server->counters().queries_answered, 2u);
+}
+
 TEST(ServeNet, EphemeralPortIsReportedAndDistinct) {
   auto engine = engine::Engine::from_snapshot(data_path("golden.pgs"));
-  net::Server a(engine, {});
-  net::Server b(engine, {});
-  EXPECT_NE(a.port(), 0);
-  EXPECT_NE(b.port(), 0);
-  EXPECT_NE(a.port(), b.port());
+  net::ServeOptions opts;
+  opts.engine = &engine;
+  auto a = net::make_transport(net::TransportKind::kThreads, opts);
+  auto b = net::make_transport(net::TransportKind::kEpoll, opts);
+  EXPECT_NE(a->port(), 0);
+  EXPECT_NE(b->port(), 0);
+  EXPECT_NE(a->port(), b->port());
+}
+
+// --- Reactor-specific scheduling behavior. ---
+
+TEST(ServeNetEpoll, FairnessBoundLimitsRequestsPerTurn) {
+  // 64 pipelined requests against a per-turn bound of 4 must take at
+  // least 64/4 scheduling turns: the reactor turns counter (delta-able,
+  // unlike a histogram max) proves a hog cannot drain its whole backlog
+  // in one turn.
+  net::ServeOptions opts;
+  opts.max_requests_per_turn = 4;
+  const std::uint64_t turns_before =
+      counter_value("probgraph_reactor_turns_total");
+
+  ServerFixture f(net::TransportKind::kEpoll, opts);
+  std::string script;
+  for (int i = 0; i < 64; ++i) script += "stats\n";
+  script += "quit\n";
+  const std::string transcript = run_scripted_session(f.server->port(), script);
+  EXPECT_EQ(transcript.rfind("ok\tstats\t", 0), 0u);
+  EXPECT_NE(transcript.find("bye\n"), std::string::npos);
+
+  f.server->request_stop();
+  f.thread.join();
+  const std::uint64_t turns =
+      counter_value("probgraph_reactor_turns_total") - turns_before;
+  EXPECT_GE(turns, 65u / 4u) << "a single turn drained more than the bound";
+  EXPECT_EQ(f.server->counters().queries_answered, 64u);
+}
+
+TEST(ServeNetEpoll, PipeliningHogSharesTheOnlyWorkerWithAVictim) {
+  // One worker, a tiny fairness bound, and a hog that pipelines a deep
+  // backlog WITHOUT reading replies: a victim session arriving mid-burst
+  // must still be answered (the hog re-queues at the tail every turn).
+  net::ServeOptions opts;
+  opts.workers = 1;
+  opts.max_requests_per_turn = 2;
+  ServerFixture f(net::TransportKind::kEpoll, opts);
+
+  net::Socket hog = net::connect_to("127.0.0.1", f.server->port());
+  std::string burst;
+  for (int i = 0; i < 200; ++i) burst += "stats\n";
+  ASSERT_TRUE(hog.write_all(burst));
+
+  // The victim's whole session completes while the hog's backlog drains.
+  const std::string victim =
+      run_scripted_session(f.server->port(), "stats\nquit\n");
+  EXPECT_EQ(victim.rfind("ok\tstats\t", 0), 0u) << victim;
+  EXPECT_NE(victim.find("bye\n"), std::string::npos);
+
+  // The hog still gets every reply, in order.
+  ASSERT_TRUE(hog.write_all("quit\n"));
+  hog.shutdown_write();
+  const std::string hog_replies = drain(hog);
+  std::size_t ok_count = 0;
+  for (std::size_t at = hog_replies.find("ok\tstats\t"); at != std::string::npos;
+       at = hog_replies.find("ok\tstats\t", at + 1)) {
+    ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 200u);
+  EXPECT_NE(hog_replies.find("bye\n"), std::string::npos);
 }
 
 // --- Observability over the socket transport. ---
@@ -359,11 +577,6 @@ std::string http_get(std::uint16_t port, const std::string& target) {
   return drain(sock);
 }
 
-std::uint64_t counter_value(const char* name, const obs::Labels& labels) {
-  const obs::Counter* c = obs::Registry::global().find_counter(name, labels);
-  return c == nullptr ? 0 : c->value();
-}
-
 TEST(ServeNet, MetricsScrapeRacesFourClientsWithoutPerturbingReplies) {
   // The acceptance workload with a scraper in the mix: 4 scripted clients
   // against one mapping while an HTTP client hammers GET /metrics. Every
@@ -373,7 +586,7 @@ TEST(ServeNet, MetricsScrapeRacesFourClientsWithoutPerturbingReplies) {
   // and the substrate-routing counters. This test also runs under the
   // TSan CI job: scrape-side shard merges racing writer sessions is
   // exactly the access pattern the relaxed-atomic design must keep clean.
-  ServerFixture f;
+  ServerFixture f(net::TransportKind::kThreads);
   obs::MetricsHttpServer scraper(/*port=*/0);
   std::thread scraper_thread([&] { scraper.run(); });
 
@@ -397,7 +610,7 @@ TEST(ServeNet, MetricsScrapeRacesFourClientsWithoutPerturbingReplies) {
     for (int i = 0; i < kClients; ++i) {
       clients.emplace_back([&, i] {
         transcripts[static_cast<std::size_t>(i)] =
-            run_scripted_session(f.server.port(), script);
+            run_scripted_session(f.server->port(), script);
       });
     }
     for (auto& t : clients) t.join();
@@ -444,34 +657,6 @@ TEST(ServeNet, MetricsHttpRejectsOtherMethodsAndPaths) {
   runner.join();
 }
 
-TEST(ServeNet, MetricsVerbAndTimeClauseWorkOverSockets) {
-  ServerFixture f;
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
-  net::LineReader reader(sock, 1 << 16);
-
-  // `metrics` answers the one-line tab snapshot in-band...
-  ASSERT_TRUE(sock.write_all("metrics\n"));
-  const std::string snap = read_reply_line(reader);
-  EXPECT_EQ(snap.rfind("ok\tmetrics\t", 0), 0u) << snap.substr(0, 64);
-  EXPECT_NE(snap.find("probgraph_sessions_total="), std::string::npos);
-
-  // ...and the opt-in time clause appends elapsed_us= to its own reply
-  // only: the same query without the clause is byte-stable.
-  ASSERT_TRUE(sock.write_all("stats time\nstats\nquit\n"));
-  const std::string timed = read_reply_line(reader);
-  EXPECT_NE(timed.find("\telapsed_us="), std::string::npos) << timed;
-  const std::string plain = read_reply_line(reader);
-  EXPECT_EQ(plain.find("elapsed_us="), std::string::npos) << plain;
-  EXPECT_EQ(timed.substr(0, timed.find("\telapsed_us=")), plain);
-  EXPECT_EQ(read_reply_line(reader), "bye");
-
-  // The metrics reply is not a query: counters still say 1 (stats×2 — the
-  // timed one counts — minus nothing; metrics and quit are bookkeeping).
-  f.server.request_stop();
-  f.thread.join();
-  EXPECT_EQ(f.server.counters().queries_answered, 2u);
-}
-
 TEST(ServeNet, OverlongSocketFramesCountTheOverlongCause) {
   // The socket transport's oversized-frame path must land in the
   // cause="overlong" bucket — distinct from parse failures — so protocol
@@ -483,10 +668,10 @@ TEST(ServeNet, OverlongSocketFramesCountTheOverlongCause) {
   const std::uint64_t parse_before =
       counter_value("probgraph_session_errors_total", parse);
 
-  net::ServerOptions opts;
+  net::ServeOptions opts;
   opts.max_line_bytes = 128;
-  ServerFixture f(opts);
-  net::Socket sock = net::connect_to("127.0.0.1", f.server.port());
+  ServerFixture f(net::TransportKind::kThreads, opts);
+  net::Socket sock = net::connect_to("127.0.0.1", f.server->port());
   net::LineReader reader(sock, 1 << 16);
 
   std::string garbage(4096, 'x');
@@ -496,7 +681,7 @@ TEST(ServeNet, OverlongSocketFramesCountTheOverlongCause) {
   ASSERT_TRUE(sock.write_all("not-a-verb\nquit\n"));
   EXPECT_EQ(read_reply_line(reader).rfind("err\t", 0), 0u);
   EXPECT_EQ(read_reply_line(reader), "bye");
-  f.server.request_stop();
+  f.server->request_stop();
   f.thread.join();
 
   EXPECT_EQ(counter_value("probgraph_session_errors_total", overlong) -
