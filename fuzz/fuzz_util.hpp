@@ -1,0 +1,51 @@
+// Shared plumbing for the fuzz harnesses: feed an in-memory byte buffer
+// to a PATH-taking parser without touching the filesystem. memfd_create
+// gives an anonymous file; /proc/self/fd/<n> is a real openable path to
+// it, so load_snapshot/read_delta_log exercise their genuine open/mmap
+// code paths at fuzzing speed (no disk I/O, no tmpfile cleanup).
+#pragma once
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace probgraph::fuzz {
+
+/// An anonymous in-memory file holding `data`; path() is openable until
+/// destruction. Invalid (empty path) if memfd_create fails — skip the run.
+class MemFile {
+ public:
+  MemFile(const std::uint8_t* data, std::size_t size) {
+    fd_ = ::memfd_create("probgraph-fuzz", 0);
+    if (fd_ < 0) return;
+    const auto* p = reinterpret_cast<const char*>(data);
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::write(fd_, p + off, size - off);
+      if (n <= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    path_ = "/proc/self/fd/" + std::to_string(fd_);
+  }
+  ~MemFile() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  MemFile(const MemFile&) = delete;
+  MemFile& operator=(const MemFile&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace probgraph::fuzz

@@ -1,0 +1,32 @@
+// File-replay driver for toolchains without libFuzzer (the GCC-only
+// container, plain CI smoke): each argv is read whole and fed to
+// LLVMFuzzerTestOneInput once. Exit 0 iff every input was processed
+// without crashing — corpus regression mode, not exploration.
+#ifdef PROBGRAPH_FUZZ_STANDALONE
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  std::fprintf(stderr, "replayed %d input(s) clean\n", ran);
+  return 0;
+}
+
+#endif  // PROBGRAPH_FUZZ_STANDALONE

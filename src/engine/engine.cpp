@@ -218,7 +218,7 @@ const CsrGraph& Engine::dag() {
   if (snap_) {
     if (const CsrGraph* d = snap_->graph_for(/*degree_oriented=*/true)) return *d;
   }
-  std::lock_guard lock(*cache_mu_);
+  util::MutexLock lock(*cache_mu_);
   return dag_locked();
 }
 
@@ -291,7 +291,7 @@ const ProbGraph& Engine::symmetric_pg(std::optional<SketchKind> kind) {
     fail_routing(kind, /*oriented=*/false);
   }
   check_in_memory_kind(kind);
-  std::lock_guard lock(*cache_mu_);
+  util::MutexLock lock(*cache_mu_);
   if (!sym_pg_) sym_pg_.emplace(*base_, config_);
   return *sym_pg_;
 }
@@ -302,7 +302,7 @@ const ProbGraph& Engine::oriented_pg(std::optional<SketchKind> kind) {
     fail_routing(kind, /*oriented=*/true);
   }
   check_in_memory_kind(kind);
-  std::lock_guard lock(*cache_mu_);
+  util::MutexLock lock(*cache_mu_);
   if (!dag_pg_) {
     // Keep the §V-A budget meaning of "additional memory on top of the CSR
     // of G" when sketching the DAG — same as pgtool build --orient.

@@ -46,19 +46,29 @@
 // for the same Engine, so one-shot and served results are bit-identical.
 //
 // Thread safety (the contract the concurrent serving layer, src/net/,
-// relies on — every TCP session shares ONE Engine over one mapping):
+// relies on — every TCP session shares ONE Engine over one mapping).
+//
+// The MACHINE-CHECKED source of truth is the annotations on the members
+// and methods below (util/thread_annotations.hpp): cache_mu_ is the
+// capability, the GUARDED_BY fields are everything it protects, and the
+// EXCLUDES/REQUIRES on the accessors are the locking protocol. The CI
+// Clang leg compiles all of src/ with -Wthread-safety -Werror, and the
+// configure-time negative-compile tests (tests/negative_compile/) prove
+// the analysis actually fires — so this comment can explain WHY the
+// scheme is safe without being the only thing stopping an unguarded
+// access. Where prose and annotations disagree, the annotations win.
 //
 //   * concurrent run() calls from any number of threads are safe. The
 //     graph, the mapped snapshot, and every built ProbGraph are immutable
 //     after construction and only read; each call gets its own
 //     QueryResult.
-//   * the ONLY mutable state is the trio of lazily-built caches (the
-//     degree-oriented DAG and the two sketch sets). Their construction is
-//     serialized by an internal mutex: the first query needing a cache
-//     builds it while others wait, every later query takes one uncontended
-//     lock to fetch the (stable, unique_ptr-held) pointer and then runs
-//     lock-free. Snapshot-backed engines never build sketches, so their
-//     hot path takes no lock at all for sketch queries.
+//   * the ONLY mutable state is the trio of lazily-built caches — exactly
+//     the three GUARDED_BY(*cache_mu_) members below, nothing else.
+//     Construction is serialized by that mutex: the first query needing a
+//     cache builds it while others wait, every later query takes one
+//     uncontended lock to fetch the (stable, unique_ptr-held) pointer and
+//     then runs lock-free. Snapshot-backed engines never build sketches,
+//     so their hot path takes no lock at all for sketch queries.
 //   * construction, moves, and destruction are NOT thread-safe — create
 //     the Engine before spawning sessions and destroy it after joining
 //     them, exactly what the net:: transports do.
@@ -105,7 +115,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -115,6 +124,7 @@
 #include "engine/query.hpp"
 #include "graph/csr_graph.hpp"
 #include "io/snapshot.hpp"
+#include "util/sync.hpp"
 
 namespace probgraph::engine {
 
@@ -208,10 +218,10 @@ class Engine {
   const CsrGraph& symmetric_graph() const;
   /// The degree-oriented DAG (the snapshot's DAG CSR when it carries one,
   /// else lazily built from the symmetric graph and cached). Thread-safe.
-  const CsrGraph& dag();
+  const CsrGraph& dag() EXCLUDES(*cache_mu_);
   /// dag() with cache_mu_ already held (oriented_pg() composes the two
   /// lazy builds under one lock).
-  const CsrGraph& dag_locked();
+  const CsrGraph& dag_locked() REQUIRES(*cache_mu_);
   /// Snapshot substrate lookup per the routing rules above (explicit kind,
   /// else primary kind, else sole-of-orientation). nullptr when the file
   /// does not carry a match. Requires snap_.
@@ -224,11 +234,13 @@ class Engine {
   [[noreturn]] void fail_routing(std::optional<SketchKind> kind, bool oriented) const;
   /// Sketches over the symmetric graph, routed by `kind` (snapshot-served
   /// or lazily built). Thread-safe.
-  const ProbGraph& symmetric_pg(std::optional<SketchKind> kind);
+  const ProbGraph& symmetric_pg(std::optional<SketchKind> kind)
+      EXCLUDES(*cache_mu_);
   /// Sketches over the DAG, budget-referenced to the symmetric CSR,
   /// routed by `kind` (snapshot-served or lazily built). Throws when the
   /// snapshot carries no matching DAG substrate. Thread-safe.
-  const ProbGraph& oriented_pg(std::optional<SketchKind> kind);
+  const ProbGraph& oriented_pg(std::optional<SketchKind> kind)
+      EXCLUDES(*cache_mu_);
   /// In-memory engines build exactly one kind; reject a mismatched route.
   void check_in_memory_kind(std::optional<SketchKind> kind) const;
 
@@ -244,11 +256,16 @@ class Engine {
 
   // Serializes the lazy builds below across concurrent run() calls. Held
   // through a pointer so the Engine stays movable (single-threaded moves
-  // only, per the contract above).
-  std::unique_ptr<std::mutex> cache_mu_ = std::make_unique<std::mutex>();
-  std::unique_ptr<const CsrGraph> dag_;  // in-memory engines, lazily oriented
-  std::optional<ProbGraph> sym_pg_;      // lazily built (in-memory engines only)
-  std::optional<ProbGraph> dag_pg_;      // lazily built (in-memory engines only)
+  // only, per the contract above). The GUARDED_BY annotations are the
+  // machine-checked form of the lazy-cache contract: Clang's
+  // -Wthread-safety leg rejects any new access outside the lock.
+  std::unique_ptr<util::Mutex> cache_mu_ = std::make_unique<util::Mutex>();
+  std::unique_ptr<const CsrGraph> dag_    // in-memory engines, lazily oriented
+      GUARDED_BY(*cache_mu_);
+  std::optional<ProbGraph> sym_pg_        // lazily built (in-memory engines only)
+      GUARDED_BY(*cache_mu_);
+  std::optional<ProbGraph> dag_pg_        // lazily built (in-memory engines only)
+      GUARDED_BY(*cache_mu_);
 };
 
 }  // namespace probgraph::engine

@@ -64,7 +64,7 @@ void LiveEngine::retire(Generation* gen) {
 }
 
 detail::ReaderSlot* LiveEngine::acquire_slot() {
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  util::MutexLock lock(slots_mu_);
   for (auto& slot : slots_) {
     if (!slot->in_use) {
       slot->in_use = true;
@@ -77,7 +77,7 @@ detail::ReaderSlot* LiveEngine::acquire_slot() {
 }
 
 void LiveEngine::release_slot(detail::ReaderSlot* slot) {
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  util::MutexLock lock(slots_mu_);
   slot->in_use = false;
 }
 
@@ -87,7 +87,7 @@ LiveEngine::Reader::Reader(LiveEngine& live)
 LiveEngine::Reader::~Reader() { live_.release_slot(slot_); }
 
 LiveEngine::StageResult LiveEngine::stage(bool tombstone, std::span<const Edge> edges) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  util::MutexLock lock(writer_mu_);
   std::vector<Edge>& staged = tombstone ? staged_deletes_ : staged_inserts_;
   staged.insert(staged.end(), edges.begin(), edges.end());
   pending_inserts_.store(staged_inserts_.size(), std::memory_order_relaxed);
@@ -98,7 +98,7 @@ LiveEngine::StageResult LiveEngine::stage(bool tombstone, std::span<const Edge> 
 }
 
 LiveEngine::SealResult LiveEngine::seal() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  util::MutexLock lock(writer_mu_);
   if (staged_inserts_.empty() && staged_deletes_.empty()) {
     return {false, generation(), {}};
   }
@@ -130,7 +130,7 @@ LiveEngine::SealResult LiveEngine::seal() {
   current_.store(fresh.release(), std::memory_order_seq_cst);
   epoch_.store(next, std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> slots_lock(slots_mu_);
+    util::MutexLock slots_lock(slots_mu_);
     for (const auto& slot : slots_) {
       while (slot->epoch.load(std::memory_order_seq_cst) <= old->number) {
         std::this_thread::yield();

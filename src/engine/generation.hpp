@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -49,6 +48,7 @@
 #include "graph/builder.hpp"
 #include "live/apply.hpp"
 #include "live/delta.hpp"
+#include "util/sync.hpp"
 
 namespace probgraph::engine {
 
@@ -69,7 +69,11 @@ inline constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
 /// sessions' pins never share a line.
 struct alignas(64) ReaderSlot {
   std::atomic<std::uint64_t> epoch{kIdleEpoch};
-  bool in_use = false;  // guarded by LiveEngine::slots_mu_
+  // Guarded by LiveEngine::slots_mu_ — not expressible as a GUARDED_BY
+  // here (the capability lives on the owning LiveEngine, and the analysis
+  // needs an object expression in this scope); acquire_slot/release_slot
+  // are the only accessors and both REQUIRE nothing but take slots_mu_.
+  bool in_use = false;
 };
 
 }  // namespace detail
@@ -114,7 +118,8 @@ class LiveEngine {
   };
   /// Stage edges for the next seal (tombstone = deletions). Thread-safe;
   /// serialized with seals by the writer mutex.
-  StageResult stage(bool tombstone, std::span<const Edge> edges);
+  StageResult stage(bool tombstone, std::span<const Edge> edges)
+      EXCLUDES(writer_mu_);
 
   struct SealResult {
     bool sealed = false;  ///< false: nothing was staged (no-op)
@@ -126,7 +131,7 @@ class LiveEngine {
   /// On failure (I/O, bad batch) the staged changes are retained and the
   /// current generation keeps serving. Records probgraph_generation,
   /// probgraph_updates_applied_total, and probgraph_reseal_latency_seconds.
-  SealResult seal();
+  SealResult seal() EXCLUDES(writer_mu_, slots_mu_);
 
   /// A registered reader session. Construction/destruction take the slot
   /// mutex once; Pin is the per-query lock-free hot path.
@@ -137,7 +142,10 @@ class LiveEngine {
     Reader(const Reader&) = delete;
     Reader& operator=(const Reader&) = delete;
 
-    /// Pins the current generation for one query: atomics only.
+    /// Pins the current generation for one query: atomics only. The
+    /// BEGIN/END markers fence a tools/lint/check_layout.py region — no
+    /// allocation, locking, or container growth may appear inside.
+    // PROBGRAPH_HOT_PATH_BEGIN(live-pin)
     class Pin {
      public:
       explicit Pin(Reader& reader) noexcept : reader_(reader) {
@@ -159,6 +167,7 @@ class LiveEngine {
       Reader& reader_;
       Generation* gen_;
     };
+    // PROBGRAPH_HOT_PATH_END(live-pin)
 
    private:
     friend class Pin;
@@ -175,8 +184,8 @@ class LiveEngine {
  private:
   friend class Reader;
 
-  detail::ReaderSlot* acquire_slot();
-  void release_slot(detail::ReaderSlot* slot);
+  detail::ReaderSlot* acquire_slot() EXCLUDES(slots_mu_);
+  void release_slot(detail::ReaderSlot* slot) EXCLUDES(slots_mu_);
   static void retire(Generation* gen);
 
   std::atomic<Generation*> current_{nullptr};
@@ -184,15 +193,19 @@ class LiveEngine {
   std::atomic<std::uint64_t> pending_inserts_{0};
   std::atomic<std::uint64_t> pending_deletes_{0};
 
-  std::mutex writer_mu_;  // serializes stage() bookkeeping and seal()
-  std::vector<Edge> staged_inserts_;  // guarded by writer_mu_
-  std::vector<Edge> staged_deletes_;  // guarded by writer_mu_
+  // Lock order: writer_mu_ before slots_mu_ (seal() scans the slots for
+  // the reader drain while serialized against other writers). The pin hot
+  // path takes NEITHER — it is atomics only, and the annotations keep it
+  // that way: nothing in Pin can touch a GUARDED_BY field.
+  util::Mutex writer_mu_;  // serializes stage() bookkeeping and seal()
+  std::vector<Edge> staged_inserts_ GUARDED_BY(writer_mu_);
+  std::vector<Edge> staged_deletes_ GUARDED_BY(writer_mu_);
 
-  std::mutex slots_mu_;  // guards slots_ membership, never the pin path
-  std::vector<std::unique_ptr<detail::ReaderSlot>> slots_;
+  util::Mutex slots_mu_;  // guards slots_ membership, never the pin path
+  std::vector<std::unique_ptr<detail::ReaderSlot>> slots_ GUARDED_BY(slots_mu_);
 
   std::string base_path_;
-  std::optional<live::DeltaLogWriter> delta_log_;  // writer_mu_
+  std::optional<live::DeltaLogWriter> delta_log_ GUARDED_BY(writer_mu_);
 };
 
 /// A session host over a LiveEngine: queries pin a generation per request

@@ -10,111 +10,17 @@
 
 #include "graph/orientation.hpp"
 #include "io/mmap_file.hpp"
+#include "io/snapshot_format.hpp"
 #include "util/hash.hpp"
 
 namespace probgraph::io {
 
+// The on-disk structs and format constants live in snapshot_format.hpp,
+// where their layout is pinned byte-by-byte; this file is only the
+// reader/writer logic over them.
+using namespace snapshot_format;
+
 namespace {
-
-constexpr char kMagic[8] = {'P', 'G', 'S', 'N', 'A', 'P', '0', '1'};
-constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
-constexpr std::size_t kSectionAlign = 64;
-constexpr std::uint32_t kFlagDegreeOriented = 1u << 0;
-
-/// Payload section ids. Indices 0–6 of the section table always describe
-/// the PRIMARY substrate in this fixed role order (the whole v1 format);
-/// a v2 file adds the substrate directory at index 7 and repeats the CSR/
-/// arena ids for the extra substrates' sections, which are referenced by
-/// table index from the directory rather than by position.
-enum SectionId : std::uint32_t {
-  kSecCsrOffsets = 1,
-  kSecCsrAdjacency = 2,
-  kSecBfArena = 3,
-  kSecKhArena = 4,
-  kSecOhArena = 5,
-  kSecKmvArena = 6,
-  kSecSketchSizes = 7,
-  kSecSubstrateDir = 8,
-};
-/// The v1 section count; also the count of primary sections in a v2 file.
-constexpr std::uint32_t kPrimarySectionCount = 7;
-
-struct FileHeader {
-  char magic[8];
-  std::uint32_t version;
-  std::uint32_t endian_tag;
-  std::uint64_t file_bytes;
-  std::uint64_t payload_offset;
-  /// Over the ENTIRE file with this field read as zero — header corruption
-  /// (a flipped flags bit, a changed seed) must be rejected, not served.
-  std::uint64_t file_checksum;
-  std::uint32_t section_count;
-  std::uint32_t flags;
-  // Graph shape (of the primary substrate's CSR).
-  std::uint32_t num_vertices;
-  std::uint32_t bf_hashes;
-  std::uint64_t num_directed_edges;
-  // The primary substrate's ProbGraphConfig (field-by-field, never a
-  // struct memcpy, so the file layout survives config evolution).
-  std::uint8_t kind;
-  std::uint8_t bf_estimator;
-  std::uint8_t reserved[6];
-  double storage_budget;
-  std::uint64_t cfg_bf_bits;
-  std::uint64_t budget_reference_bytes;
-  std::uint64_t seed;
-  std::uint32_t cfg_minhash_k;
-  // Derived parameters (what the build computed from the budget).
-  std::uint32_t minhash_k;
-  std::uint64_t bf_bits;
-  std::uint64_t bf_words_per_vertex;
-  double construction_seconds;
-};
-static_assert(std::is_trivially_copyable_v<FileHeader>);
-static_assert(sizeof(FileHeader) == 136, ".pgs header layout is frozen since version 1");
-
-struct SectionEntry {
-  std::uint32_t id;
-  std::uint32_t elem_bytes;
-  std::uint64_t offset;  // absolute, kSectionAlign-aligned
-  std::uint64_t bytes;
-};
-static_assert(std::is_trivially_copyable_v<SectionEntry>);
-static_assert(sizeof(SectionEntry) == 24);
-
-/// One row of the v2 substrate directory: a substrate's full config and
-/// derived parameters plus the section-table indices of its sections.
-/// Entry 0 is the primary and must agree with the FileHeader (its sections
-/// are table indices 0–6, the v1 layout).
-struct SubstrateEntry {
-  std::uint8_t kind;
-  std::uint8_t bf_estimator;
-  std::uint8_t degree_oriented;
-  std::uint8_t reserved0;
-  std::uint32_t bf_hashes;
-  double storage_budget;
-  std::uint64_t cfg_bf_bits;
-  std::uint64_t budget_reference_bytes;
-  std::uint64_t seed;
-  std::uint32_t cfg_minhash_k;
-  std::uint32_t minhash_k;
-  std::uint64_t bf_bits;
-  std::uint64_t bf_words_per_vertex;
-  double construction_seconds;
-  /// Section-table indices in the fixed role order: CSR offsets, CSR
-  /// adjacency, BF arena, k-hash arena, 1-hash arena, KMV arena, sketch
-  /// sizes. Substrates of one orientation share the CSR indices.
-  std::uint32_t sec[7];
-  std::uint32_t reserved1;
-};
-static_assert(std::is_trivially_copyable_v<SubstrateEntry>);
-static_assert(sizeof(SubstrateEntry) == 104, ".pgs substrate directory layout is frozen");
-
-// BottomKEntry has 4 tail-padding bytes; the writer zeroes them (see
-// packed_oh_bytes) so files are byte-deterministic, and the reader serves
-// the mapped array directly.
-static_assert(std::is_trivially_copyable_v<BottomKEntry>);
-static_assert(sizeof(BottomKEntry) == 16, ".pgs 1-hash section layout is frozen");
 
 constexpr std::size_t align_up(std::size_t x) {
   return (x + kSectionAlign - 1) / kSectionAlign * kSectionAlign;

@@ -1,0 +1,182 @@
+// The frozen .pgs on-disk layout, version 1 and 2.
+//
+// Every struct here is written to and read from disk by memcpy/mmap, so
+// its layout IS the file format: field order, widths, padding, and the
+// struct sizes are frozen since the version that introduced them. The
+// static_asserts below pin every byte — sizeof, every offsetof, and
+// trivial copyability — so an accidental edit (a reordered field, a
+// changed width, a compiler-visible #pragma pack leaking in) is a build
+// break on every compiler, not a silently incompatible file. The same
+// numbers live in tools/lint/layout_manifest.json, which
+// tools/lint/check_layout.py checks against this header so the manifest,
+// the header, and the asserts can never drift apart unnoticed.
+//
+// The reader/writer logic stays in io/snapshot.cpp; this header holds
+// only the layout and the format constants shared with the lint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/minhash.hpp"
+
+namespace probgraph::io::snapshot_format {
+
+inline constexpr char kMagic[8] = {'P', 'G', 'S', 'N', 'A', 'P', '0', '1'};
+inline constexpr std::uint32_t kEndianTag = 0x01020304;  // reads back swapped on BE
+inline constexpr std::size_t kSectionAlign = 64;
+inline constexpr std::uint32_t kFlagDegreeOriented = 1u << 0;
+
+/// Payload section ids. Indices 0–6 of the section table always describe
+/// the PRIMARY substrate in this fixed role order (the whole v1 format);
+/// a v2 file adds the substrate directory at index 7 and repeats the CSR/
+/// arena ids for the extra substrates' sections, which are referenced by
+/// table index from the directory rather than by position.
+enum SectionId : std::uint32_t {
+  kSecCsrOffsets = 1,
+  kSecCsrAdjacency = 2,
+  kSecBfArena = 3,
+  kSecKhArena = 4,
+  kSecOhArena = 5,
+  kSecKmvArena = 6,
+  kSecSketchSizes = 7,
+  kSecSubstrateDir = 8,
+};
+/// The v1 section count; also the count of primary sections in a v2 file.
+inline constexpr std::uint32_t kPrimarySectionCount = 7;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint64_t file_bytes;
+  std::uint64_t payload_offset;
+  /// Over the ENTIRE file with this field read as zero — header corruption
+  /// (a flipped flags bit, a changed seed) must be rejected, not served.
+  std::uint64_t file_checksum;
+  std::uint32_t section_count;
+  std::uint32_t flags;
+  // Graph shape (of the primary substrate's CSR).
+  std::uint32_t num_vertices;
+  std::uint32_t bf_hashes;
+  std::uint64_t num_directed_edges;
+  // The primary substrate's ProbGraphConfig (field-by-field, never a
+  // struct memcpy, so the file layout survives config evolution).
+  std::uint8_t kind;
+  std::uint8_t bf_estimator;
+  std::uint8_t reserved[6];
+  double storage_budget;
+  std::uint64_t cfg_bf_bits;
+  std::uint64_t budget_reference_bytes;
+  std::uint64_t seed;
+  std::uint32_t cfg_minhash_k;
+  // Derived parameters (what the build computed from the budget).
+  std::uint32_t minhash_k;
+  std::uint64_t bf_bits;
+  std::uint64_t bf_words_per_vertex;
+  double construction_seconds;
+#if defined(PROBGRAPH_LAYOUT_DRIFT_CANARY)
+  // Never in a real build: the negative-compile layout test defines the
+  // canary macro and proves the pins below turn drift into a build break.
+  std::uint32_t drift_canary;
+#endif
+};
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+static_assert(std::is_standard_layout_v<FileHeader>);
+static_assert(sizeof(FileHeader) == 136, ".pgs header layout is frozen since version 1");
+static_assert(offsetof(FileHeader, magic) == 0);
+static_assert(offsetof(FileHeader, version) == 8);
+static_assert(offsetof(FileHeader, endian_tag) == 12);
+static_assert(offsetof(FileHeader, file_bytes) == 16);
+static_assert(offsetof(FileHeader, payload_offset) == 24);
+static_assert(offsetof(FileHeader, file_checksum) == 32);
+static_assert(offsetof(FileHeader, section_count) == 40);
+static_assert(offsetof(FileHeader, flags) == 44);
+static_assert(offsetof(FileHeader, num_vertices) == 48);
+static_assert(offsetof(FileHeader, bf_hashes) == 52);
+static_assert(offsetof(FileHeader, num_directed_edges) == 56);
+static_assert(offsetof(FileHeader, kind) == 64);
+static_assert(offsetof(FileHeader, bf_estimator) == 65);
+static_assert(offsetof(FileHeader, reserved) == 66);
+static_assert(offsetof(FileHeader, storage_budget) == 72);
+static_assert(offsetof(FileHeader, cfg_bf_bits) == 80);
+static_assert(offsetof(FileHeader, budget_reference_bytes) == 88);
+static_assert(offsetof(FileHeader, seed) == 96);
+static_assert(offsetof(FileHeader, cfg_minhash_k) == 104);
+static_assert(offsetof(FileHeader, minhash_k) == 108);
+static_assert(offsetof(FileHeader, bf_bits) == 112);
+static_assert(offsetof(FileHeader, bf_words_per_vertex) == 120);
+static_assert(offsetof(FileHeader, construction_seconds) == 128);
+
+struct SectionEntry {
+  std::uint32_t id;
+  std::uint32_t elem_bytes;
+  std::uint64_t offset;  // absolute, kSectionAlign-aligned
+  std::uint64_t bytes;
+};
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+static_assert(std::is_standard_layout_v<SectionEntry>);
+static_assert(sizeof(SectionEntry) == 24, ".pgs section table layout is frozen");
+static_assert(offsetof(SectionEntry, id) == 0);
+static_assert(offsetof(SectionEntry, elem_bytes) == 4);
+static_assert(offsetof(SectionEntry, offset) == 8);
+static_assert(offsetof(SectionEntry, bytes) == 16);
+
+/// One row of the v2 substrate directory: a substrate's full config and
+/// derived parameters plus the section-table indices of its sections.
+/// Entry 0 is the primary and must agree with the FileHeader (its sections
+/// are table indices 0–6, the v1 layout).
+struct SubstrateEntry {
+  std::uint8_t kind;
+  std::uint8_t bf_estimator;
+  std::uint8_t degree_oriented;
+  std::uint8_t reserved0;
+  std::uint32_t bf_hashes;
+  double storage_budget;
+  std::uint64_t cfg_bf_bits;
+  std::uint64_t budget_reference_bytes;
+  std::uint64_t seed;
+  std::uint32_t cfg_minhash_k;
+  std::uint32_t minhash_k;
+  std::uint64_t bf_bits;
+  std::uint64_t bf_words_per_vertex;
+  double construction_seconds;
+  /// Section-table indices in the fixed role order: CSR offsets, CSR
+  /// adjacency, BF arena, k-hash arena, 1-hash arena, KMV arena, sketch
+  /// sizes. Substrates of one orientation share the CSR indices.
+  std::uint32_t sec[7];
+  std::uint32_t reserved1;
+};
+static_assert(std::is_trivially_copyable_v<SubstrateEntry>);
+static_assert(std::is_standard_layout_v<SubstrateEntry>);
+static_assert(sizeof(SubstrateEntry) == 104, ".pgs substrate directory layout is frozen");
+static_assert(offsetof(SubstrateEntry, kind) == 0);
+static_assert(offsetof(SubstrateEntry, bf_estimator) == 1);
+static_assert(offsetof(SubstrateEntry, degree_oriented) == 2);
+static_assert(offsetof(SubstrateEntry, reserved0) == 3);
+static_assert(offsetof(SubstrateEntry, bf_hashes) == 4);
+static_assert(offsetof(SubstrateEntry, storage_budget) == 8);
+static_assert(offsetof(SubstrateEntry, cfg_bf_bits) == 16);
+static_assert(offsetof(SubstrateEntry, budget_reference_bytes) == 24);
+static_assert(offsetof(SubstrateEntry, seed) == 32);
+static_assert(offsetof(SubstrateEntry, cfg_minhash_k) == 40);
+static_assert(offsetof(SubstrateEntry, minhash_k) == 44);
+static_assert(offsetof(SubstrateEntry, bf_bits) == 48);
+static_assert(offsetof(SubstrateEntry, bf_words_per_vertex) == 56);
+static_assert(offsetof(SubstrateEntry, construction_seconds) == 64);
+static_assert(offsetof(SubstrateEntry, sec) == 72);
+static_assert(offsetof(SubstrateEntry, reserved1) == 100);
+
+// The 1-hash (bottom-k) arena stores core::BottomKEntry verbatim: it is an
+// on-disk type even though it lives with the sketches. It has 4 tail-
+// padding bytes; the writer zeroes them (see packed_oh_bytes in
+// io/snapshot.cpp) so files are byte-deterministic, and the reader serves
+// the mapped array directly.
+static_assert(std::is_trivially_copyable_v<BottomKEntry>);
+static_assert(std::is_standard_layout_v<BottomKEntry>);
+static_assert(sizeof(BottomKEntry) == 16, ".pgs 1-hash section layout is frozen");
+static_assert(offsetof(BottomKEntry, hash) == 0);
+static_assert(offsetof(BottomKEntry, element) == 8);
+
+}  // namespace probgraph::io::snapshot_format

@@ -3,28 +3,17 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "live/delta_format.hpp"
 #include "util/hash.hpp"
 
 namespace probgraph::live {
 
+// The on-disk structs and format constants live in delta_format.hpp,
+// where their layout is pinned byte-by-byte; this file is only the
+// reader/writer logic over them.
+using namespace delta_format;
+
 namespace {
-
-constexpr char kMagic[8] = {'P', 'G', 'D', 'E', 'L', 'T', 'A', '1'};
-constexpr std::uint32_t kVersion = 1;
-
-struct FileHeader {
-  char magic[8];
-  std::uint32_t version;
-  std::uint32_t reserved;
-};
-static_assert(sizeof(FileHeader) == 16);
-
-struct BatchHeader {
-  std::uint64_t checksum;
-  std::uint32_t num_inserts;
-  std::uint32_t num_deletes;
-};
-static_assert(sizeof(BatchHeader) == 16);
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t x) noexcept {
   return util::murmur3_fmix64(h ^ (x + 0x9e3779b97f4a7c15ULL));

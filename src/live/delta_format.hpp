@@ -1,0 +1,47 @@
+// The frozen .pgd delta-log on-disk layout, version 1.
+//
+// A .pgd file is one FileHeader followed by zero or more records, each a
+// BatchHeader and then num_inserts + num_deletes little-endian
+// (u32 src, u32 dst) pairs — inserts first. Both structs are written and
+// read by memcpy, so their layout IS the format; the asserts pin every
+// byte the same way io/snapshot_format.hpp pins the .pgs layout, and
+// tools/lint/check_layout.py cross-checks the numbers against
+// tools/lint/layout_manifest.json.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace probgraph::live::delta_format {
+
+inline constexpr char kMagic[8] = {'P', 'G', 'D', 'E', 'L', 'T', 'A', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+};
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+static_assert(std::is_standard_layout_v<FileHeader>);
+static_assert(sizeof(FileHeader) == 16, ".pgd header layout is frozen since version 1");
+static_assert(offsetof(FileHeader, magic) == 0);
+static_assert(offsetof(FileHeader, version) == 8);
+static_assert(offsetof(FileHeader, reserved) == 12);
+
+struct BatchHeader {
+  /// live::delta_batch_checksum over the decoded batch; a crash mid-append
+  /// leaves at most one trailing record whose checksum cannot pass.
+  std::uint64_t checksum;
+  std::uint32_t num_inserts;
+  std::uint32_t num_deletes;
+};
+static_assert(std::is_trivially_copyable_v<BatchHeader>);
+static_assert(std::is_standard_layout_v<BatchHeader>);
+static_assert(sizeof(BatchHeader) == 16, ".pgd record layout is frozen since version 1");
+static_assert(offsetof(BatchHeader, checksum) == 0);
+static_assert(offsetof(BatchHeader, num_inserts) == 8);
+static_assert(offsetof(BatchHeader, num_deletes) == 12);
+
+}  // namespace probgraph::live::delta_format

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <system_error>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -96,6 +97,11 @@ EpollServer::EpollServer(const ServeOptions& opts)
     throw std::runtime_error(
         "EpollServer: max_requests_per_turn must be at least 1");
   }
+  // Resolve the reactor instruments before any worker exists: later calls
+  // under mu_ are then plain pointer reads, never the registry creation
+  // lock (metrics.hpp forbids resolving while holding a serving-layer
+  // mutex).
+  (void)reactor_metrics();
   workers_ = opts_.workers;
   if (workers_ <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -105,7 +111,7 @@ EpollServer::EpollServer(const ServeOptions& opts)
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     throw std::runtime_error("EpollServer: epoll_create1 failed: " +
-                             std::string(std::strerror(errno)));
+                             std::system_category().message(errno));
   }
   if (::pipe(wake_pipe_) != 0) {
     ::close(epoll_fd_);
@@ -151,10 +157,23 @@ void EpollServer::accept_ready() {
     Socket sock = listener_.accept();  // nonblocking: invalid on EAGAIN
     if (!sock.valid()) return;
 
-    std::unique_lock lock(mu_);
-    if (conns_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
+    Conn* conn = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      if (conns_.size() < static_cast<std::size_t>(opts_.max_conns)) {
+        ++accepted_;
+        auto host = opts_.live != nullptr
+                        ? engine::make_session_host(*opts_.live)
+                        : engine::make_session_host(*opts_.engine);
+        conn = new Conn(std::move(host), opts_);
+        conn->sock = std::move(sock);
+        conns_.insert(conn);
+      }
+    }
+    if (conn == nullptr) {
       ++rejected_;
-      lock.unlock();
+      // Registry resolution and the blocking reject write both happen
+      // outside mu_ (metrics.hpp contract; never block under the lock).
       obs::Registry::global()
           .counter("probgraph_connections_rejected_total",
                    "Connections answered 'server at capacity' and closed")
@@ -166,28 +185,23 @@ void EpollServer::accept_ready() {
                            " live sessions); retry later\n");
       continue;  // Socket destructor closes the rejected connection
     }
-    ++accepted_;
-    auto host = opts_.live != nullptr ? engine::make_session_host(*opts_.live)
-                                      : engine::make_session_host(*opts_.engine);
-    auto* conn = new Conn(std::move(host), opts_);
-    conn->sock = std::move(sock);
-    conns_.insert(conn);
-    lock.unlock();
 
     set_nonblocking(conn->sock.fd());
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
     ev.data.ptr = conn;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
-      std::lock_guard relock(mu_);
-      conns_.erase(conn);
+      {
+        util::MutexLock relock(mu_);
+        conns_.erase(conn);
+      }
       delete conn;
     }
   }
 }
 
 void EpollServer::enqueue_event(Conn* conn) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   // ONESHOT: events arrive only while armed (kIdle). A stale pointer is
   // impossible — a connection is only destroyed from kRunning, after its
   // one outstanding event was consumed.
@@ -308,22 +322,26 @@ void EpollServer::close_conn(Conn* conn) {
   // per-session metrics.
   conn->sock.shutdown_both();
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     conns_.erase(conn);
   }
   delete conn;
 }
 
 void EpollServer::worker_main() {
-  std::unique_lock lock(mu_);
   while (true) {
-    cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
-    if (stopping_) return;
-    Conn* conn = ready_.front();
-    ready_.pop_front();
-    reactor_metrics().ready_depth->set(static_cast<double>(ready_.size()));
-    conn->state = Conn::State::kRunning;
-    lock.unlock();
+    Conn* conn = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      cv_.wait(mu_, [this]() REQUIRES(mu_) {
+        return stopping_ || !ready_.empty();
+      });
+      if (stopping_) return;
+      conn = ready_.front();
+      ready_.pop_front();
+      reactor_metrics().ready_depth->set(static_cast<double>(ready_.size()));
+      conn->state = Conn::State::kRunning;
+    }
 
     const Turn turn = run_turn(*conn);
     switch (turn) {
@@ -331,12 +349,11 @@ void EpollServer::worker_main() {
         close_conn(conn);
         break;
       case Turn::kRequeue: {
-        lock.lock();
+        util::MutexLock lock(mu_);
         conn->state = Conn::State::kQueued;
         ready_.push_back(conn);
         reactor_metrics().ready_depth->set(static_cast<double>(ready_.size()));
         cv_.notify_one();
-        lock.unlock();
         break;
       }
       case Turn::kArm: {
@@ -344,14 +361,13 @@ void EpollServer::worker_main() {
           // kIdle BEFORE the MOD: the next event can fire the instant the
           // kernel re-arms, and the dispatcher must find the connection
           // idle then — the no-lost-wakeup ordering.
-          std::lock_guard state_lock(mu_);
+          util::MutexLock state_lock(mu_);
           conn->state = Conn::State::kIdle;
         }
         if (!rearm(*conn)) close_conn(conn);
         break;
       }
     }
-    lock.lock();
   }
 }
 
@@ -387,7 +403,7 @@ void EpollServer::run() {
   // Stop path: no new events get queued (this thread was the only
   // dispatcher); workers finish their current turn and exit.
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -397,7 +413,7 @@ void EpollServer::run() {
   // destructors record the per-session metrics, fds close.
   std::unordered_set<Conn*> leftovers;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     leftovers.swap(conns_);
     ready_.clear();
     reactor_metrics().ready_depth->set(0.0);

@@ -34,14 +34,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_set>
 
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace probgraph::net {
 
@@ -80,12 +79,12 @@ class EpollServer final : public Transport {
   struct Conn;
   enum class Turn : std::uint8_t { kClose, kRequeue, kArm };
 
-  void accept_ready();
-  void enqueue_event(Conn* conn);
-  void worker_main();
+  void accept_ready() EXCLUDES(mu_);
+  void enqueue_event(Conn* conn) EXCLUDES(mu_);
+  void worker_main() EXCLUDES(mu_);
   Turn run_turn(Conn& conn);
   [[nodiscard]] bool rearm(Conn& conn) noexcept;
-  void close_conn(Conn* conn);
+  void close_conn(Conn* conn) EXCLUDES(mu_);
 
   ServeOptions opts_;
   TcpListener listener_;
@@ -94,11 +93,11 @@ class EpollServer final : public Transport {
   int workers_ = 2;
   std::atomic<bool> stop_{false};
 
-  std::mutex mu_;  // run queue + conn states + conns_ membership
-  std::condition_variable cv_;
-  std::deque<Conn*> ready_;
-  std::unordered_set<Conn*> conns_;
-  bool stopping_ = false;  // guarded by mu_; workers exit when set
+  util::Mutex mu_;  // run queue + conn states + conns_ membership
+  util::CondVar cv_;
+  std::deque<Conn*> ready_ GUARDED_BY(mu_);
+  std::unordered_set<Conn*> conns_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;  // workers exit when set
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};

@@ -103,7 +103,7 @@ void Server::handle(Conn* conn) {
 void Server::reap(bool all) {
   std::vector<std::unique_ptr<Conn>> finished;
   {
-    std::lock_guard lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if (all || (*it)->done.load()) {
         finished.push_back(std::move(*it));
@@ -138,12 +138,29 @@ void Server::run() {
     }
     reap(/*all=*/false);
 
-    std::lock_guard lock(conns_mu_);
-    if (conns_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
+    bool at_capacity = false;
+    {
+      util::MutexLock lock(conns_mu_);
+      if (conns_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
+        at_capacity = true;
+      } else {
+        ++accepted_;
+        auto conn = std::make_unique<Conn>();
+        conn->sock = std::move(sock);
+        Conn* raw = conn.get();
+        conns_.push_back(std::move(conn));
+        // Spawn under the lock: once the Conn is in conns_, a concurrent
+        // reap(all) may join-and-free it, so `thread` must be set first.
+        raw->thread = std::thread([this, raw] { handle(raw); });
+      }
+    }
+    if (at_capacity) {
       ++rejected_;
       // Registry mirror of the capacity counter, so a scrape sees
-      // rejections without asking the Server object. Resolved lazily here
-      // (cold path: a rejection is already a slow, sad event).
+      // rejections without asking the Server object. Resolved outside
+      // conns_mu_: the registry takes its creation lock, and no
+      // serving-layer mutex may be held across it (metrics.hpp contract) —
+      // nor across the blocking reject write below.
       obs::Registry::global()
           .counter("probgraph_connections_rejected_total",
                    "Connections answered 'server at capacity' and closed")
@@ -151,19 +168,13 @@ void Server::run() {
       (void)sock.write_all("err\tserver at capacity (" +
                            std::to_string(opts_.max_conns) +
                            " live sessions); retry later\n");
-      continue;  // Socket destructor closes the rejected connection
+      // Socket destructor closes the rejected connection.
     }
-    ++accepted_;
-    auto conn = std::make_unique<Conn>();
-    conn->sock = std::move(sock);
-    Conn* raw = conn.get();
-    conns_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] { handle(raw); });
   }
 
   // Stop path: no new sessions; wake every live one out of its read.
   {
-    std::lock_guard lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (auto& conn : conns_) conn->sock.shutdown_both();
   }
   reap(/*all=*/true);

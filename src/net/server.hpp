@@ -30,11 +30,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace probgraph::net {
 
@@ -77,15 +77,19 @@ class Server final : public Transport {
 
   void handle(Conn* conn);
   /// Join and free finished sessions; with `all`, every session (stop path).
-  void reap(bool all);
+  void reap(bool all) EXCLUDES(conns_mu_);
 
   ServeOptions opts_;
   TcpListener listener_;
+  // Stop path: request_stop() touches only stop_ and the self-pipe write
+  // end — both async-signal-safe, neither guarded, which is exactly why a
+  // signal handler may call it (no mutex may appear here; the annotations
+  // keep the session table out of its reach).
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> stop_{false};
 
-  std::mutex conns_mu_;
-  std::list<std::unique_ptr<Conn>> conns_;
+  util::Mutex conns_mu_;  // guards the session table, never session I/O
+  std::list<std::unique_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};

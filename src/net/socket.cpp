@@ -10,13 +10,17 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 namespace probgraph::net {
 
 namespace {
 
+// system_category().message() instead of strerror(): same text, but
+// thread-safe (strerror writes a shared static buffer, and sockets fail
+// on session threads concurrently).
 [[noreturn]] void fail_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::runtime_error(what + ": " + std::system_category().message(errno));
 }
 
 // MSG_NOSIGNAL suppresses SIGPIPE per send on Linux/BSD; where it does not

@@ -48,10 +48,12 @@ class Counter {
  public:
   constexpr Counter() noexcept = default;
 
+  // PROBGRAPH_HOT_PATH_BEGIN(counter-add)
   void add(std::uint64_t n = 1) noexcept {
     shards_[shard_index() % kCounterShards].v.fetch_add(
         n, std::memory_order_relaxed);
   }
+  // PROBGRAPH_HOT_PATH_END(counter-add)
 
   [[nodiscard]] std::uint64_t value() const noexcept {
     std::uint64_t total = 0;
@@ -72,9 +74,11 @@ class Gauge {
  public:
   constexpr Gauge() noexcept = default;
 
+  // PROBGRAPH_HOT_PATH_BEGIN(gauge-set)
   void set(double v) noexcept {
     bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
   }
+  // PROBGRAPH_HOT_PATH_END(gauge-set)
 
   [[nodiscard]] double value() const noexcept {
     return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
@@ -127,6 +131,7 @@ class Histogram {
     return bucket_lower(b + 1);
   }
 
+  // PROBGRAPH_HOT_PATH_BEGIN(histogram-observe)
   void observe(double value) noexcept {
     if (value < 0) value = 0;
     double scaled = value * kUnitsPerValue + 0.5;
@@ -146,6 +151,7 @@ class Histogram {
                           cur, u, std::memory_order_relaxed)) {
     }
   }
+  // PROBGRAPH_HOT_PATH_END(histogram-observe)
 
   /// A merged, immutable view taken at scrape time.
   struct Snapshot {

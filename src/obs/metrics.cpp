@@ -77,7 +77,7 @@ Registry& Registry::global() {
 Registry::Entry& Registry::get_or_create(std::string_view name,
                                          std::string_view help, Labels labels,
                                          Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& e : entries_) {
     if (e->name == name && e->labels == labels) {
       if (e->kind != kind) {
@@ -119,7 +119,7 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
 
 const Counter* Registry::find_counter(std::string_view name,
                                       const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& e : entries_) {
     if (e->name == name && e->labels == labels && e->kind == Kind::kCounter) {
       return e->c.get();
@@ -131,7 +131,7 @@ const Counter* Registry::find_counter(std::string_view name,
 std::string Registry::prometheus_text() const {
   std::string out;
   out.reserve(8192);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // Families are emitted grouped by name, HELP/TYPE once per family, in
   // first-registration order. entries_ is append-only, so a linear
   // "first time this name appears" scan preserves that order.
@@ -229,7 +229,7 @@ std::string Registry::tab_text() const {
     out += field;
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& ep : entries_) {
       const Entry& e = *ep;
       const std::string labels = format_labels(e.labels);
@@ -272,7 +272,7 @@ std::string Registry::tab_text() const {
 std::string Registry::summary_text() const {
   std::string out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& ep : entries_) {
       const Entry& e = *ep;
       const std::string labels = format_labels(e.labels);

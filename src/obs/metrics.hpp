@@ -20,13 +20,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/instruments.hpp"
+#include "util/sync.hpp"
 
 namespace probgraph::obs {
 
@@ -42,22 +42,25 @@ class Registry {
 
   /// Get-or-create. Returned references stay valid for the registry's
   /// lifetime. Throws std::logic_error if the name+labels pair already
-  /// exists as a different instrument type.
+  /// exists as a different instrument type. Takes the creation lock —
+  /// resolve instruments once and cache the reference; never call these
+  /// on a hot path or while holding another serving-layer mutex.
   Counter& counter(std::string_view name, std::string_view help,
-                   Labels labels = {});
+                   Labels labels = {}) EXCLUDES(mu_);
   Gauge& gauge(std::string_view name, std::string_view help,
-               Labels labels = {});
+               Labels labels = {}) EXCLUDES(mu_);
   Histogram& histogram(std::string_view name, std::string_view help,
-                       Labels labels = {});
+                       Labels labels = {}) EXCLUDES(mu_);
 
   /// Look up an existing counter without creating; nullptr if absent.
   /// (Tests use this to read deltas without guessing help strings.)
   [[nodiscard]] const Counter* find_counter(std::string_view name,
-                                            const Labels& labels) const;
+                                            const Labels& labels) const
+      EXCLUDES(mu_);
 
-  [[nodiscard]] std::string prometheus_text() const;
-  [[nodiscard]] std::string tab_text() const;
-  [[nodiscard]] std::string summary_text() const;
+  [[nodiscard]] std::string prometheus_text() const EXCLUDES(mu_);
+  [[nodiscard]] std::string tab_text() const EXCLUDES(mu_);
+  [[nodiscard]] std::string summary_text() const EXCLUDES(mu_);
 
   Registry() = default;
   Registry(const Registry&) = delete;
@@ -79,10 +82,13 @@ class Registry {
   };
 
   Entry& get_or_create(std::string_view name, std::string_view help,
-                       Labels labels, Kind kind);
+                       Labels labels, Kind kind) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  /// The creation lock: guards the instrument LIST only. The instruments
+  /// themselves are lock-free (instruments.hpp) and recorded into without
+  /// ever touching mu_ — that split is the whole hot-path contract.
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace probgraph::obs

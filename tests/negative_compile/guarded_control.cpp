@@ -1,0 +1,25 @@
+// Positive control for guarded_misuse.cpp: the identical guarded access,
+// done correctly under a scoped MutexLock. This TU must compile under
+// every compiler and flag set the negative test uses — if it does not,
+// the negative test's failure proves nothing (the toolchain is broken,
+// not the misuse caught), and CMake aborts the configure saying so.
+#include "util/sync.hpp"
+
+namespace {
+
+struct Account {
+  probgraph::util::Mutex mu;
+  int balance GUARDED_BY(mu) = 0;
+};
+
+int read_locked(Account& account) {
+  probgraph::util::MutexLock lock(account.mu);
+  return account.balance;
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  return read_locked(account);
+}

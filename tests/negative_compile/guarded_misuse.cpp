@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror.
+//
+// This TU reads a GUARDED_BY field without holding its mutex — the exact
+// bug class the annotations in src/ exist to catch. CMake try_compile runs
+// it at configure time (tests/negative_compile/CMakeLists snippet in the
+// top-level CMakeLists.txt) and FAILS THE CONFIGURE if this file builds,
+// which is the liveness proof for the whole annotation scheme: if the
+// analysis ever stops firing (a broken macro, a compiler flag typo, a
+// wrapper regression), the seeded misuse compiles and the build breaks
+// loudly instead of the checks rotting silently.
+//
+// guarded_control.cpp is the matching positive control: the same access
+// under a MutexLock, which must ALWAYS compile — so a failure here is
+// attributable to the analysis, not to some unrelated breakage.
+#include "util/sync.hpp"
+
+namespace {
+
+struct Account {
+  probgraph::util::Mutex mu;
+  int balance GUARDED_BY(mu) = 0;
+};
+
+int read_unlocked(Account& account) {
+  return account.balance;  // unguarded read: -Wthread-safety error
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  return read_unlocked(account);
+}

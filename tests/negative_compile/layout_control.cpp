@@ -1,0 +1,12 @@
+// Positive control for layout_drift.cpp: the format headers as shipped
+// must compile cleanly (all layout pins hold on this target). A failure
+// here means the real layout drifted — the exact condition the pins
+// guard — or the target ABI disagrees with the frozen LP64 little-endian
+// layout; either way the configure stops.
+#include "io/snapshot_format.hpp"
+#include "live/delta_format.hpp"
+
+int main() {
+  return static_cast<int>(sizeof(probgraph::io::snapshot_format::FileHeader) +
+                          sizeof(probgraph::live::delta_format::FileHeader));
+}

@@ -1,0 +1,15 @@
+// MUST NOT COMPILE under ANY compiler.
+//
+// PROBGRAPH_LAYOUT_DRIFT_CANARY injects one extra field into the frozen
+// .pgs FileHeader (io/snapshot_format.hpp), simulating exactly the kind
+// of accidental layout drift the static_assert pins exist to stop. CMake
+// try_compile runs this at configure time and fails the configure if it
+// BUILDS — proving the sizeof/offsetof pins are live, firing asserts, not
+// decorative comments. layout_control.cpp compiles the same header
+// without the canary and must always pass.
+#define PROBGRAPH_LAYOUT_DRIFT_CANARY 1
+#include "io/snapshot_format.hpp"
+
+int main() {
+  return static_cast<int>(sizeof(probgraph::io::snapshot_format::FileHeader));
+}
